@@ -1,0 +1,184 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. **brick memory ordering** — lexicographic vs Morton (BrickLib
+//!    autotunes brick ordering; the adjacency indirection is what makes
+//!    the choice free);
+//! 2. **gather vs scatter scheduling** — register pressure vs FLOPs, the
+//!    trade the Auto strategy arbitrates;
+//! 3. **brick shape** — `by×bz` of 2×2 / 4×4 / 8×8 at constant width (the
+//!    paper's conclusion names brick-size tuning as the path to the
+//!    remaining 2–4x of Fig. 7);
+//! 4. **partial vs full edge loads** — measured via kernel loaded bytes.
+//!
+//! Run with `cargo bench --bench ablations` (env `BRICKS_BENCH_N`,
+//! default 128, multiple of 64).
+
+use std::sync::Arc;
+
+use brick_codegen::{generate, CodegenOptions, LayoutKind, Strategy};
+use brick_core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
+use brick_dsl::shape::StencilShape;
+use brick_dsl::StencilAnalysis;
+use brick_vm::{KernelSpec, ScalarKernel, TraceGeometry};
+use gpu_sim::{simulate, GpuArch, ProgModel};
+
+fn geom(
+    n: usize,
+    dims: BrickDims,
+    radius: usize,
+    ordering: BrickOrdering,
+) -> TraceGeometry {
+    let d = Arc::new(BrickDecomp::new((n, n, n), dims, radius, ordering));
+    TraceGeometry::brick(Arc::new(BrickNav::new(d)))
+}
+
+fn main() {
+    let n: usize = std::env::var("BRICKS_BENCH_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    assert!(n.is_multiple_of(64), "BRICKS_BENCH_N must be a multiple of 64");
+    let arch = GpuArch::a100();
+    let w = arch.simd_width;
+
+    println!("== ablation 1: brick memory ordering (A100 CUDA, {n}^3) ==");
+    println!("{:8} {:14} {:>9} {:>9} {:>8}", "stencil", "ordering", "GFLOP/s", "DRAM GB", "pagehit");
+    for shape in [StencilShape::star(2), StencilShape::cube(2)] {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let a = StencilAnalysis::of_shape(&shape);
+        let spec = KernelSpec::Vector(
+            generate(&st, &b, LayoutKind::Brick, w, CodegenOptions::default()).unwrap(),
+        );
+        for ordering in [BrickOrdering::Lexicographic, BrickOrdering::Morton] {
+            let g = geom(n, BrickDims::for_simd_width(w), shape.radius as usize, ordering);
+            let r = simulate(&spec, &g, &arch, ProgModel::Cuda, a.flops_per_point).unwrap();
+            println!(
+                "{:8} {:14} {:>9.0} {:>9.3} {:>8.2}",
+                shape.label(),
+                format!("{ordering:?}"),
+                r.gflops,
+                r.mem.dram_bytes as f64 / 1e9,
+                r.mem.pages.hit_rate()
+            );
+        }
+    }
+
+    println!("\n== ablation 2: gather vs scatter scheduling (A100 CUDA, {n}^3) ==");
+    println!(
+        "{:8} {:9} {:>6} {:>9} {:>7} {:>9}",
+        "stencil", "strategy", "regs", "instr/blk", "occup", "GFLOP/s"
+    );
+    for shape in StencilShape::paper_suite() {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let a = StencilAnalysis::of_shape(&shape);
+        for strategy in [Strategy::Gather, Strategy::Scatter] {
+            let k = generate(
+                &st,
+                &b,
+                LayoutKind::Brick,
+                w,
+                CodegenOptions {
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let instr = k.stats.total_instructions();
+            let spec = KernelSpec::Vector(k);
+            let g = geom(
+                n,
+                BrickDims::for_simd_width(w),
+                shape.radius as usize,
+                BrickOrdering::Lexicographic,
+            );
+            let r = simulate(&spec, &g, &arch, ProgModel::Cuda, a.flops_per_point).unwrap();
+            println!(
+                "{:8} {:9} {:>6} {:>9} {:>6.2} {:>9.0}",
+                shape.label(),
+                strategy.to_string(),
+                r.regs_per_thread,
+                instr,
+                r.occupancy.occupancy,
+                r.gflops
+            );
+        }
+    }
+
+    println!("\n== ablation 3: brick shape by x bz at width {w} (13pt, A100 CUDA, {n}^3) ==");
+    println!("{:8} {:>9} {:>9} {:>7}", "shape", "GFLOP/s", "DRAM GB", "regs");
+    let shape = StencilShape::star(2);
+    let st = shape.stencil();
+    let b = st.default_bindings();
+    let a = StencilAnalysis::of_shape(&shape);
+    for (by, bz) in [(2usize, 2usize), (4, 4), (8, 8)] {
+        let k = generate(
+            &st,
+            &b,
+            LayoutKind::Brick,
+            w,
+            CodegenOptions {
+                block_yz: (by, bz),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let spec = KernelSpec::Vector(k);
+        let g = geom(
+            n,
+            BrickDims::new(w, by, bz),
+            shape.radius as usize,
+            BrickOrdering::Lexicographic,
+        );
+        let r = simulate(&spec, &g, &arch, ProgModel::Cuda, a.flops_per_point).unwrap();
+        println!(
+            "{:8} {:>9.0} {:>9.3} {:>7}",
+            format!("{bz}x{by}x{w}"),
+            r.gflops,
+            r.mem.dram_bytes as f64 / 1e9,
+            r.regs_per_thread
+        );
+    }
+
+    println!("\n== ablation 5: Fig. 2 scalar kernels, bricks vs array layout (A100 CUDA, {n}^3) ==");
+    println!("{:8} {:8} {:>9} {:>9} {:>9}", "stencil", "layout", "GFLOP/s", "DRAM GB", "L1 GB");
+    for shape in [StencilShape::star(1), StencilShape::cube(2)] {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let a = StencilAnalysis::of_shape(&shape);
+        for layout in [LayoutKind::Array, LayoutKind::Brick] {
+            let spec = KernelSpec::Scalar(ScalarKernel::new(&st, &b, layout, w).unwrap());
+            let g = match layout {
+                LayoutKind::Array => {
+                    TraceGeometry::array((n, n, n), shape.radius as usize, BrickDims::for_simd_width(w))
+                }
+                LayoutKind::Brick => geom(
+                    n,
+                    BrickDims::for_simd_width(w),
+                    shape.radius as usize,
+                    BrickOrdering::Lexicographic,
+                ),
+            };
+            let r = simulate(&spec, &g, &arch, ProgModel::Cuda, a.flops_per_point).unwrap();
+            println!(
+                "{:8} {:8} {:>9.0} {:>9.3} {:>9.3}",
+                shape.label(),
+                layout.to_string(),
+                r.gflops,
+                r.mem.dram_bytes as f64 / 1e9,
+                r.mem.l1_bytes as f64 / 1e9
+            );
+        }
+    }
+
+    println!("\n== ablation 4: edge-load narrowing (loaded bytes per block) ==");
+    println!("{:8} {:>12} {:>14}", "stencil", "loaded bytes", "full-row bytes");
+    for shape in StencilShape::paper_suite() {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Brick, w, CodegenOptions::default()).unwrap();
+        let full: u64 = k.stats.loads as u64 * w as u64 * 8;
+        println!("{:8} {:>12} {:>14}", shape.label(), k.loaded_bytes(), full);
+    }
+}

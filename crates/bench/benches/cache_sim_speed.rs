@@ -1,0 +1,88 @@
+//! Criterion bench: simulator throughput — cache accesses and full
+//! memory-hierarchy simulations per second. These are the costs that
+//! bound how large a domain the experiment harness can sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+use brick_codegen::{generate, CodegenOptions, LayoutKind};
+use brick_core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
+use brick_dsl::shape::StencilShape;
+use brick_vm::{KernelSpec, ScalarKernel, TraceGeometry};
+use gpu_sim::{simulate_memory, Cache, CacheConfig, GpuArch, WritePolicy};
+
+fn bench_raw_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    // a strided read pattern with ~50% hit rate
+    let accesses: Vec<u64> = (0..100_000u64).map(|i| (i * 96) % (1 << 22)).collect();
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    group.bench_function("l1_sectored_read", |bench| {
+        bench.iter(|| {
+            let mut cache = Cache::new(CacheConfig {
+                bytes: 192 * 1024,
+                line: 128,
+                sector: 32,
+                assoc: 8,
+                write: WritePolicy::ThroughNoAllocate,
+            });
+            let mut sink = 0u64;
+            for &a in &accesses {
+                cache.read(a, 32, &mut |t| sink += t.bytes as u64);
+            }
+            sink
+        });
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_hierarchy");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    let arch = GpuArch::a100();
+    let n = 128;
+    for shape in [StencilShape::star(2), StencilShape::cube(2)] {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let radius = shape.radius as usize;
+
+        let vector = KernelSpec::Vector(
+            generate(&st, &b, LayoutKind::Brick, 32, CodegenOptions::default()).unwrap(),
+        );
+        let decomp = Arc::new(BrickDecomp::new(
+            (n, n, n),
+            BrickDims::for_simd_width(32),
+            radius,
+            BrickOrdering::Lexicographic,
+        ));
+        let bgeom = TraceGeometry::brick(Arc::new(BrickNav::new(decomp)));
+        group.bench_with_input(
+            BenchmarkId::new("bricks_codegen", shape.label()),
+            &vector,
+            |bench, spec| {
+                bench.iter(|| simulate_memory(spec, &bgeom, &arch, 32));
+            },
+        );
+
+        let scalar = KernelSpec::Scalar(
+            ScalarKernel::new(&st, &b, LayoutKind::Array, 32).unwrap(),
+        );
+        let ageom = TraceGeometry::array((n, n, n), radius, BrickDims::for_simd_width(32));
+        group.bench_with_input(
+            BenchmarkId::new("array_scalar", shape.label()),
+            &scalar,
+            |bench, spec| {
+                bench.iter(|| simulate_memory(spec, &ageom, &arch, 4));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_cache, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: the code generator itself — generation latency per
+//! stencil/strategy (BrickLib generates at build time; our generator runs
+//! at runtime and should stay interactive even for the 125-point cube).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use brick_codegen::{emit_vector, generate, CodegenOptions, Dialect, LayoutKind, Strategy};
+use brick_dsl::shape::StencilShape;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegen");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for shape in StencilShape::paper_suite() {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        for strategy in [Strategy::Gather, Strategy::Scatter] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy}"), shape.label()),
+                &strategy,
+                |bench, &strategy| {
+                    bench.iter(|| {
+                        generate(
+                            &st,
+                            &b,
+                            LayoutKind::Brick,
+                            32,
+                            CodegenOptions {
+                                strategy,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emit");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let st = StencilShape::cube(2).stencil();
+    let b = st.default_bindings();
+    let kernel = generate(&st, &b, LayoutKind::Brick, 32, CodegenOptions::default()).unwrap();
+    for dialect in [Dialect::Cuda, Dialect::Hip, Dialect::Sycl] {
+        group.bench_function(dialect.name(), |bench| {
+            bench.iter(|| emit_vector(&kernel, dialect));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_emit);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion bench: numeric execution throughput of the three kernel
+//! configurations on the VM — the library's real (CPU-side) stencil
+//! performance, reported in points/second per configuration.
+//!
+//! This is the micro-benchmark counterpart of the paper's Fig. 3 sweep:
+//! same stencils, same configurations, measured as actual Rust kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+use brick_codegen::{generate, CodegenOptions, LayoutKind};
+use brick_core::{ArrayGrid, BrickDims, BrickGrid};
+use brick_dsl::shape::StencilShape;
+use brick_dsl::DenseGrid;
+use brick_vm::{run_scalar_array, run_vector_array, run_vector_brick, ScalarKernel};
+
+const N: usize = 64;
+const WIDTH: usize = 32;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements((N * N * N) as u64));
+
+    for shape in [
+        StencilShape::star(1),
+        StencilShape::star(4),
+        StencilShape::cube(1),
+        StencilShape::cube(2),
+    ] {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let halo = st.radius() as usize;
+        let mut dense = DenseGrid::cubic(N, halo);
+        dense.fill_test_pattern();
+
+        // array (scalar)
+        {
+            let kernel = ScalarKernel::new(&st, &b, LayoutKind::Array, WIDTH).unwrap();
+            let input = ArrayGrid::from_dense(&dense);
+            let mut output = ArrayGrid::new(N, N, N, halo);
+            group.bench_with_input(
+                BenchmarkId::new("array", shape.label()),
+                &kernel,
+                |bench, k| {
+                    bench.iter(|| run_scalar_array(k, &input, &mut output).unwrap());
+                },
+            );
+        }
+
+        // array codegen
+        {
+            let kernel =
+                generate(&st, &b, LayoutKind::Array, WIDTH, CodegenOptions::default()).unwrap();
+            let input = ArrayGrid::from_dense(&dense);
+            let mut output = ArrayGrid::new(N, N, N, halo);
+            group.bench_with_input(
+                BenchmarkId::new("array-codegen", shape.label()),
+                &kernel,
+                |bench, k| {
+                    bench.iter(|| run_vector_array(k, &input, &mut output).unwrap());
+                },
+            );
+        }
+
+        // bricks codegen
+        {
+            let kernel =
+                generate(&st, &b, LayoutKind::Brick, WIDTH, CodegenOptions::default()).unwrap();
+            let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(WIDTH));
+            let mut output =
+                BrickGrid::with_metadata(Arc::clone(input.decomp()), Arc::clone(input.info()));
+            group.bench_with_input(
+                BenchmarkId::new("bricks-codegen", shape.label()),
+                &kernel,
+                |bench, k| {
+                    bench.iter(|| run_vector_brick(k, &input, &mut output).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_layout_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_conversion");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements((N * N * N) as u64));
+    let mut dense = DenseGrid::cubic(N, 2);
+    dense.fill_test_pattern();
+    group.bench_function("dense_to_bricks", |bench| {
+        bench.iter(|| BrickGrid::from_dense(&dense, BrickDims::for_simd_width(WIDTH)));
+    });
+    let grid = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(WIDTH));
+    group.bench_function("bricks_to_dense", |bench| {
+        bench.iter(|| grid.to_dense());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_layout_conversion);
+criterion_main!(benches);

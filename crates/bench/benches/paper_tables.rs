@@ -1,0 +1,68 @@
+//! `cargo bench` target that regenerates every table and figure of the
+//! paper (the same drivers as the `experiments` binary), timing each
+//! phase once. Not a criterion bench: the sweep is minutes-long and the
+//! artifact itself is the result.
+//!
+//! Domain size: `BRICKS_BENCH_N` env var (default 256; the paper's 512
+//! with `BRICKS_BENCH_N=512`).
+
+use std::time::Instant;
+
+use experiments::report::*;
+use experiments::{figures, tables, ExperimentParams};
+
+fn main() {
+    // `cargo bench -- --bench` passes flags; ignore them.
+    let n: usize = std::env::var("BRICKS_BENCH_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let params = ExperimentParams { n };
+    params
+        .validate()
+        .expect("BRICKS_BENCH_N must be a multiple of 64");
+
+    println!("==============================================================");
+    println!(" paper reproduction benchmark: {n}^3 doubles, all platforms");
+    println!("==============================================================\n");
+
+    println!("== Table 1: systems and toolchains ==");
+    println!("{}", render_table1(&tables::table1()));
+    println!("== Table 2: stencil suite ==");
+    println!("{}", render_table2(&tables::table2()));
+    println!("== Table 4: theoretical arithmetic intensity ==");
+    println!("{}", render_table4(&tables::table4()));
+
+    let t0 = Instant::now();
+    let sweep = experiments::sweep(params);
+    let sweep_time = t0.elapsed().as_secs_f64();
+    println!("full sweep (6 stencils x 3 configs x 6 platform pairs): {sweep_time:.1}s\n");
+
+    println!("== Table 3: P from fraction of Roofline (bricks codegen) ==");
+    println!("{}", render_portability(&tables::table3(&sweep)));
+    println!("== Table 5: P from fraction of theoretical AI (bricks codegen) ==");
+    println!("{}", render_portability(&tables::table5(&sweep)));
+
+    println!("== Fig. 3: Rooflines ==");
+    println!("{}", render_fig3(&figures::fig3(&sweep)));
+    println!("== Fig. 4: L1 data movement ==");
+    println!("{}", render_fig4(&figures::fig4(&sweep)));
+    println!("{}", render_correlation(&figures::fig5(&sweep), "Fig. 5"));
+    println!("{}", render_correlation(&figures::fig6(&sweep), "Fig. 6"));
+
+    println!("== Fig. 7: potential speed-up (bricks codegen) ==");
+    for p in figures::fig7(&sweep) {
+        println!(
+            "  {:28} frac_AI {:.2}  frac_roofline {:.2}  potential {:.1}x",
+            p.label,
+            p.frac_ai,
+            p.frac_roofline,
+            p.potential()
+        );
+    }
+
+    let dir = std::path::Path::new("artifacts");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = write_sweep_csv(&sweep, &dir.join("bench_sweep.csv"));
+    println!("\nartifacts/bench_sweep.csv written; sweep wall time {sweep_time:.1}s");
+}

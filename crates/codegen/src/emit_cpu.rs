@@ -1,0 +1,319 @@
+//! CPU SIMD emitters: AVX2, AVX-512 and SVE renderings of generated
+//! kernels.
+//!
+//! Beyond the GPU dialects of Fig. 2, BrickLib's generator also targets
+//! CPUs: "architecture-specific implementations for CPUs include SIMD
+//! instructions in AVX2, AVX512, and SVE" (paper §3), and the prior study
+//! [Zhao et al., P3HPC'18] evaluated exactly those backends on KNL and
+//! Skylake. This module maps the same vector IR onto CPU intrinsics: a
+//! `width`-lane IR register becomes `width / isa_lanes` native vectors,
+//! loads/stores become (un)aligned vector memory ops, [`VOp::ShiftX`]
+//! becomes the ISA's lane-concatenation primitive (`valignq` /
+//! `vperm2f128+vshufpd` / `svext`), and FMA chains map directly.
+
+use std::fmt::Write;
+
+use crate::ir::{VOp, VectorKernel};
+
+/// CPU SIMD instruction set to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuIsa {
+    /// 256-bit AVX2 (4 × f64).
+    Avx2,
+    /// 512-bit AVX-512 (8 × f64).
+    Avx512,
+    /// Arm SVE at a 512-bit implementation width (8 × f64); predicated.
+    Sve,
+}
+
+impl CpuIsa {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CpuIsa::Avx2 => "AVX2",
+            CpuIsa::Avx512 => "AVX512",
+            CpuIsa::Sve => "SVE",
+        }
+    }
+
+    /// `f64` lanes per native vector.
+    pub fn lanes(&self) -> usize {
+        match self {
+            CpuIsa::Avx2 => 4,
+            CpuIsa::Avx512 | CpuIsa::Sve => 8,
+        }
+    }
+
+    /// The native vector type.
+    pub fn vtype(&self) -> &'static str {
+        match self {
+            CpuIsa::Avx2 => "__m256d",
+            CpuIsa::Avx512 => "__m512d",
+            CpuIsa::Sve => "svfloat64_t",
+        }
+    }
+
+    fn load(&self, ptr: &str) -> String {
+        match self {
+            CpuIsa::Avx2 => format!("_mm256_loadu_pd({ptr})"),
+            CpuIsa::Avx512 => format!("_mm512_loadu_pd({ptr})"),
+            CpuIsa::Sve => format!("svld1_f64(pg, {ptr})"),
+        }
+    }
+
+    fn store(&self, ptr: &str, v: &str) -> String {
+        match self {
+            CpuIsa::Avx2 => format!("_mm256_storeu_pd({ptr}, {v})"),
+            CpuIsa::Avx512 => format!("_mm512_storeu_pd({ptr}, {v})"),
+            CpuIsa::Sve => format!("svst1_f64(pg, {ptr}, {v})"),
+        }
+    }
+
+    fn add(&self, a: &str, b: &str) -> String {
+        match self {
+            CpuIsa::Avx2 => format!("_mm256_add_pd({a}, {b})"),
+            CpuIsa::Avx512 => format!("_mm512_add_pd({a}, {b})"),
+            CpuIsa::Sve => format!("svadd_f64_x(pg, {a}, {b})"),
+        }
+    }
+
+    fn mul_bcast(&self, a: &str, c: &str) -> String {
+        match self {
+            CpuIsa::Avx2 => format!("_mm256_mul_pd({a}, _mm256_set1_pd({c}))"),
+            CpuIsa::Avx512 => format!("_mm512_mul_pd({a}, _mm512_set1_pd({c}))"),
+            CpuIsa::Sve => format!("svmul_n_f64_x(pg, {a}, {c})"),
+        }
+    }
+
+    fn fma_bcast(&self, acc: &str, a: &str, c: &str) -> String {
+        match self {
+            CpuIsa::Avx2 => format!("_mm256_fmadd_pd({a}, _mm256_set1_pd({c}), {acc})"),
+            CpuIsa::Avx512 => format!("_mm512_fmadd_pd({a}, _mm512_set1_pd({c}), {acc})"),
+            CpuIsa::Sve => format!("svmla_n_f64_x(pg, {acc}, {a}, {c})"),
+        }
+    }
+
+    /// Concatenate-and-extract of two native vectors by `k` lanes —
+    /// the CPU analogue of the GPU shuffle pair.
+    fn align(&self, lo: &str, hi: &str, k: usize) -> String {
+        match self {
+            CpuIsa::Avx2 => format!("avx2_align_pd({lo}, {hi}, {k}) /* vperm2f128+vshufpd */"),
+            CpuIsa::Avx512 => {
+                format!("_mm512_castsi512_pd(_mm512_alignr_epi64(_mm512_castpd_si512({hi}), _mm512_castpd_si512({lo}), {k}))")
+            }
+            CpuIsa::Sve => format!("svext_f64({lo}, {hi}, {k})"),
+        }
+    }
+}
+
+/// Render a generated kernel as CPU SIMD source for `isa`.
+///
+/// The kernel's `width`-lane registers are split into
+/// `width / isa.lanes()` native vectors (vector folding on CPUs works the
+/// same way — the brick row is one long folded vector); shifts chain
+/// `align` ops across the sub-vectors.
+pub fn emit_cpu_vector(kernel: &VectorKernel, isa: CpuIsa) -> String {
+    let lanes = isa.lanes();
+    assert!(
+        kernel.width.is_multiple_of(lanes),
+        "kernel width {} not a multiple of {} lanes",
+        kernel.width,
+        lanes
+    );
+    let chunks = kernel.width / lanes;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "// {} kernel for {}-lane f64 vectors: width {} = {} x {}",
+        isa.name(),
+        lanes,
+        kernel.width,
+        chunks,
+        isa.vtype()
+    );
+    let _ = writeln!(
+        s,
+        "void {}_{}(const bElem *bIn, bElem *bOut, const unsigned *adj) {{",
+        kernel.name.replace('-', "_"),
+        isa.name().to_lowercase()
+    );
+    if isa == CpuIsa::Sve {
+        let _ = writeln!(s, "  svbool_t pg = svptrue_b64();");
+    }
+    let _ = writeln!(s, "  {} r[{}][{}];", isa.vtype(), kernel.num_regs, chunks);
+    for op in &kernel.ops {
+        match *op {
+            VOp::LoadRow {
+                dst,
+                rx,
+                ry,
+                rz,
+                lane0,
+                lanes: nl,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "  {{ const bElem *p = row_ptr(bIn, adj, {rx}, {ry}, {rz}) + {lane0}; \
+                     // {nl} lanes"
+                );
+                let full = (nl as usize).div_ceil(lanes);
+                for ch in 0..full.min(chunks) {
+                    let _ = writeln!(
+                        s,
+                        "    r[{dst}][{ch}] = {};",
+                        isa.load(&format!("p + {}", ch * lanes))
+                    );
+                }
+                let _ = writeln!(s, "  }}");
+            }
+            VOp::ShiftX { dst, src, edge, dx } => {
+                // shift right by dx lanes across the chunk array: chunk i
+                // takes lanes from (src[i], src[i+1]) or wraps into edge.
+                let k = dx.rem_euclid(lanes as i16) as usize;
+                for ch in 0..chunks {
+                    let step = if dx > 0 { 1i64 } else { -1 };
+                    let nb = ch as i64 + step;
+                    let (lo, hi) = if dx > 0 {
+                        (
+                            format!("r[{src}][{ch}]"),
+                            if (nb as usize) < chunks {
+                                format!("r[{src}][{nb}]")
+                            } else {
+                                format!("r[{edge}][0]")
+                            },
+                        )
+                    } else {
+                        (
+                            if nb >= 0 {
+                                format!("r[{src}][{nb}]")
+                            } else {
+                                format!("r[{edge}][{}]", chunks - 1)
+                            },
+                            format!("r[{src}][{ch}]"),
+                        )
+                    };
+                    let _ = writeln!(s, "  r[{dst}][{ch}] = {};", isa.align(&lo, &hi, k));
+                }
+            }
+            VOp::Add { dst, a, b } => {
+                for ch in 0..chunks {
+                    let _ = writeln!(
+                        s,
+                        "  r[{dst}][{ch}] = {};",
+                        isa.add(&format!("r[{a}][{ch}]"), &format!("r[{b}][{ch}]"))
+                    );
+                }
+            }
+            VOp::Mul { dst, a, coeff } => {
+                let c = format!("{:?}", kernel.coeffs[coeff as usize]);
+                for ch in 0..chunks {
+                    let _ = writeln!(
+                        s,
+                        "  r[{dst}][{ch}] = {};",
+                        isa.mul_bcast(&format!("r[{a}][{ch}]"), &c)
+                    );
+                }
+            }
+            VOp::Fma { dst, acc, a, coeff } => {
+                let c = format!("{:?}", kernel.coeffs[coeff as usize]);
+                for ch in 0..chunks {
+                    let _ = writeln!(
+                        s,
+                        "  r[{dst}][{ch}] = {};",
+                        isa.fma_bcast(
+                            &format!("r[{acc}][{ch}]"),
+                            &format!("r[{a}][{ch}]"),
+                            &c
+                        )
+                    );
+                }
+            }
+            VOp::StoreRow { src, ry, rz } => {
+                let _ = writeln!(s, "  {{ bElem *p = out_row_ptr(bOut, {ry}, {rz});");
+                for ch in 0..chunks {
+                    let _ = writeln!(
+                        s,
+                        "    {};",
+                        isa.store(&format!("p + {}", ch * lanes), &format!("r[{src}][{ch}]"))
+                    );
+                }
+                let _ = writeln!(s, "  }}");
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, CodegenOptions};
+    use crate::ir::LayoutKind;
+    use brick_dsl::shape::StencilShape;
+
+    fn kernel(width: usize) -> VectorKernel {
+        let st = StencilShape::star(2).stencil();
+        let b = st.default_bindings();
+        generate(&st, &b, LayoutKind::Brick, width, CodegenOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn avx512_uses_512_bit_ops() {
+        let src = emit_cpu_vector(&kernel(32), CpuIsa::Avx512);
+        assert!(src.contains("_mm512_loadu_pd"));
+        assert!(src.contains("_mm512_fmadd_pd"));
+        assert!(src.contains("_mm512_alignr_epi64"));
+        assert!(src.contains("__m512d r["));
+        // 32 lanes = 4 chunks of 8
+        assert!(src.contains("width 32 = 4 x __m512d"));
+    }
+
+    #[test]
+    fn avx2_uses_256_bit_ops() {
+        let src = emit_cpu_vector(&kernel(16), CpuIsa::Avx2);
+        assert!(src.contains("_mm256_loadu_pd"));
+        assert!(src.contains("_mm256_fmadd_pd"));
+        assert!(src.contains("avx2_align_pd"));
+        assert!(src.contains("width 16 = 4 x __m256d"));
+    }
+
+    #[test]
+    fn sve_is_predicated(){
+        let src = emit_cpu_vector(&kernel(16), CpuIsa::Sve);
+        assert!(src.contains("svbool_t pg = svptrue_b64();"));
+        assert!(src.contains("svld1_f64(pg,"));
+        assert!(src.contains("svmla_n_f64_x(pg,"));
+        assert!(src.contains("svext_f64("));
+    }
+
+    #[test]
+    fn chunk_count_scales_with_width() {
+        for (w, chunks) in [(16usize, 2usize), (32, 4), (64, 8)] {
+            let src = emit_cpu_vector(&kernel(w), CpuIsa::Avx512);
+            assert!(
+                src.contains(&format!("width {w} = {chunks} x __m512d")),
+                "w={w}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn indivisible_width_rejected() {
+        // width 20 is not a multiple of 8 lanes
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Brick, 20, CodegenOptions::default()).unwrap();
+        let _ = emit_cpu_vector(&k, CpuIsa::Avx512);
+    }
+
+    #[test]
+    fn store_count_matches_kernel() {
+        let k = kernel(16);
+        let src = emit_cpu_vector(&k, CpuIsa::Avx512);
+        let stores = src.matches("_mm512_storeu_pd").count();
+        // 16 output rows x 2 chunks
+        assert_eq!(stores, k.stats.stores as usize * 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Linear-scan register allocation for straight-line vector programs.
+//!
+//! The generator emits SSA-ish virtual registers; this pass maps them onto
+//! a minimal pool of physical registers and reports the maximum number
+//! simultaneously live — the per-thread register demand that drives the
+//! GPU occupancy and spill models.
+
+use std::collections::HashMap;
+
+use crate::ir::{Reg, VOp};
+
+/// Result of allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Rewritten instruction stream using physical registers.
+    pub ops: Vec<VOp>,
+    /// Number of physical registers used.
+    pub num_regs: usize,
+    /// Maximum simultaneously-live registers (equals `num_regs` for this
+    /// allocator, which never leaves a register idle below the peak).
+    pub max_live: u32,
+}
+
+/// Allocate physical registers for a straight-line virtual-register
+/// program.
+///
+/// A dying operand's register is released *before* the defining operand of
+/// the same instruction is allocated, so reductions (`acc' = acc + x·c`)
+/// reuse their accumulator register exactly as a GPU compiler would.
+pub fn allocate(ops: &[VOp]) -> Allocation {
+    // Last instruction index at which each virtual register is read.
+    let mut last_use: HashMap<Reg, usize> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        for r in op.uses() {
+            last_use.insert(r, i);
+        }
+    }
+
+    let mut phys_of: HashMap<Reg, Reg> = HashMap::new();
+    let mut free: Vec<Reg> = Vec::new();
+    let mut next_phys: Reg = 0;
+    let mut live: u32 = 0;
+    let mut max_live: u32 = 0;
+    let mut out = Vec::with_capacity(ops.len());
+
+    for (i, op) in ops.iter().enumerate() {
+        // Resolve operand registers first (they must already be mapped).
+        let resolved_uses: HashMap<Reg, Reg> = op
+            .uses()
+            .map(|r| {
+                let p = *phys_of
+                    .get(&r)
+                    .unwrap_or_else(|| panic!("virtual register {r} used before definition"));
+                (r, p)
+            })
+            .collect();
+
+        // Release registers whose last use is this instruction.
+        for (vreg, preg) in &resolved_uses {
+            if last_use.get(vreg) == Some(&i) {
+                phys_of.remove(vreg);
+                free.push(*preg);
+                live -= 1;
+            }
+        }
+
+        // Allocate the definition.
+        let def_phys = op.def().map(|d| {
+            debug_assert!(
+                !phys_of.contains_key(&d),
+                "virtual register {d} defined twice"
+            );
+            let p = free.pop().unwrap_or_else(|| {
+                let p = next_phys;
+                next_phys += 1;
+                p
+            });
+            // A value defined but never read (possible for stored rows via
+            // StoreRow "use") still occupies its register until its last
+            // use; values with no uses die immediately after definition.
+            phys_of.insert(d, p);
+            live += 1;
+            max_live = max_live.max(live);
+            (d, p)
+        });
+
+        out.push(op.map_regs(|r| {
+            if let Some((d, p)) = def_phys {
+                if r == d {
+                    return p;
+                }
+            }
+            *resolved_uses.get(&r).unwrap_or(&r)
+        }));
+
+        // Values that are never read die right away.
+        if let Some((d, p)) = def_phys {
+            if !last_use.contains_key(&d) {
+                phys_of.remove(&d);
+                free.push(p);
+                live -= 1;
+            }
+        }
+    }
+
+    Allocation {
+        ops: out,
+        num_regs: next_phys as usize,
+        max_live,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(dst: Reg) -> VOp {
+        VOp::LoadRow {
+            dst,
+            rx: 0,
+            ry: 0,
+            rz: 0,
+            lane0: 0,
+            lanes: 4,
+        }
+    }
+
+    #[test]
+    fn sequential_reuse_needs_few_registers() {
+        // v0 = load; v1 = v0 * c; store v1  ... repeated with fresh vregs
+        let mut ops = Vec::new();
+        for i in 0..4u16 {
+            ops.push(load(2 * i));
+            ops.push(VOp::Mul {
+                dst: 2 * i + 1,
+                a: 2 * i,
+                coeff: 0,
+            });
+            ops.push(VOp::StoreRow {
+                src: 2 * i + 1,
+                ry: 0,
+                rz: 0,
+            });
+        }
+        let a = allocate(&ops);
+        // each value dies at its consumer, whose result may alias it:
+        // a single physical register suffices
+        assert_eq!(a.num_regs, 1);
+        assert_eq!(a.max_live, 1);
+    }
+
+    #[test]
+    fn accumulator_chain_reuses_register() {
+        // acc chain: v0=load, v1=load, v2 = fma(v0-as-acc...)
+        let ops = vec![
+            load(0),
+            load(1),
+            VOp::Mul {
+                dst: 2,
+                a: 0,
+                coeff: 0,
+            },
+            VOp::Fma {
+                dst: 3,
+                acc: 2,
+                a: 1,
+                coeff: 1,
+            },
+            VOp::StoreRow {
+                src: 3,
+                ry: 0,
+                rz: 0,
+            },
+        ];
+        let a = allocate(&ops);
+        // v0 and v1 live together before the Mul; every later result
+        // aliases a dying operand, so the peak is 2
+        assert_eq!(a.max_live, 2);
+        assert_eq!(a.num_regs, 2);
+    }
+
+    #[test]
+    fn long_lived_values_drive_pressure() {
+        // load N rows, then consume them all at the end
+        let n = 10u16;
+        let mut ops: Vec<VOp> = (0..n).map(load).collect();
+        let mut acc = 0;
+        for i in 1..n {
+            let dst = n + i;
+            ops.push(VOp::Add { dst, a: acc, b: i });
+            acc = dst;
+        }
+        ops.push(VOp::StoreRow {
+            src: acc,
+            ry: 0,
+            rz: 0,
+        });
+        let a = allocate(&ops);
+        assert_eq!(a.max_live, n as u32); // all rows live before reduction
+    }
+
+    #[test]
+    fn unread_definition_dies_immediately() {
+        let ops = vec![load(0), load(1), VOp::StoreRow { src: 1, ry: 0, rz: 0 }];
+        let a = allocate(&ops);
+        // v0 never read: its register frees instantly, v1 reuses it
+        assert_eq!(a.num_regs, 1);
+    }
+
+    #[test]
+    fn rewritten_program_structure_preserved() {
+        let ops = vec![
+            load(5),
+            VOp::Mul {
+                dst: 9,
+                a: 5,
+                coeff: 0,
+            },
+            VOp::StoreRow {
+                src: 9,
+                ry: 0,
+                rz: 0,
+            },
+        ];
+        let a = allocate(&ops);
+        assert_eq!(a.ops.len(), 3);
+        match (&a.ops[0], &a.ops[1], &a.ops[2]) {
+            (
+                VOp::LoadRow { dst: d0, .. },
+                VOp::Mul { dst: d1, a: a1, .. },
+                VOp::StoreRow { src, .. },
+            ) => {
+                assert_eq!(a1, d0);
+                assert_eq!(src, d1);
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "used before definition")]
+    fn use_before_def_panics() {
+        let ops = vec![VOp::StoreRow {
+            src: 0,
+            ry: 0,
+            rz: 0,
+        }];
+        let _ = allocate(&ops);
+    }
+}

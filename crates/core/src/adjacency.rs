@@ -1,0 +1,136 @@
+//! Brick adjacency: the 27-neighbour table that replaces ghost zones.
+//!
+//! Every brick stores the ids of its `3×3×3` neighbourhood (itself in the
+//! middle). A stencil access that steps outside a brick is redirected via
+//! this table, which is what lets bricks live anywhere in memory while the
+//! logical grid stays contiguous — the defining flexibility of the layout.
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "no neighbour" (outside the allocated brick shell).
+/// Dereferencing it is a logic error and panics in the accessors.
+pub const NO_BRICK: u32 = u32::MAX;
+
+/// Flat index into a 27-entry neighbour table for a per-dimension step
+/// `(dx, dy, dz)`, each in `{-1, 0, 1}`. The centre (self) is index 13.
+#[inline]
+pub fn neighbor_index(dx: i32, dy: i32, dz: i32) -> usize {
+    debug_assert!((-1..=1).contains(&dx) && (-1..=1).contains(&dy) && (-1..=1).contains(&dz));
+    (((dz + 1) * 3 + (dy + 1)) * 3 + (dx + 1)) as usize
+}
+
+/// Adjacency info for a set of bricks: `adj[brick][neighbor_index]`.
+///
+/// Mirrors BrickLib's `BrickInfo` structure (the `bInfo` argument of the
+/// paper's Fig. 2 kernels).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrickInfo {
+    adj: Vec<[u32; 27]>,
+}
+
+impl BrickInfo {
+    /// Adjacency table with every entry unset.
+    pub fn new(num_bricks: usize) -> Self {
+        BrickInfo {
+            adj: vec![[NO_BRICK; 27]; num_bricks],
+        }
+    }
+
+    /// Number of bricks covered.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if no bricks are covered.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Set the neighbour of `brick` in direction `(dx, dy, dz)`.
+    pub fn set_neighbor(&mut self, brick: u32, dx: i32, dy: i32, dz: i32, neighbor: u32) {
+        self.adj[brick as usize][neighbor_index(dx, dy, dz)] = neighbor;
+    }
+
+    /// Neighbour of `brick` in direction `(dx, dy, dz)`; `NO_BRICK` if
+    /// outside the shell.
+    #[inline]
+    pub fn neighbor(&self, brick: u32, dx: i32, dy: i32, dz: i32) -> u32 {
+        self.adj[brick as usize][neighbor_index(dx, dy, dz)]
+    }
+
+    /// Neighbour lookup that panics on `NO_BRICK`, for accessors that have
+    /// already validated the access is within the ghost shell.
+    #[inline]
+    pub fn expect_neighbor(&self, brick: u32, dx: i32, dy: i32, dz: i32) -> u32 {
+        let n = self.neighbor(brick, dx, dy, dz);
+        assert_ne!(
+            n, NO_BRICK,
+            "brick {brick} has no ({dx},{dy},{dz}) neighbor: access leaves the ghost shell"
+        );
+        n
+    }
+
+    /// Raw 27-entry row for one brick.
+    pub fn row(&self, brick: u32) -> &[u32; 27] {
+        &self.adj[brick as usize]
+    }
+
+    /// Bytes of adjacency metadata (reported as layout overhead).
+    pub fn metadata_bytes(&self) -> usize {
+        self.adj.len() * 27 * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_index_layout() {
+        assert_eq!(neighbor_index(0, 0, 0), 13);
+        assert_eq!(neighbor_index(-1, -1, -1), 0);
+        assert_eq!(neighbor_index(1, 1, 1), 26);
+        assert_eq!(neighbor_index(1, 0, 0), 14);
+        assert_eq!(neighbor_index(0, 1, 0), 16);
+        assert_eq!(neighbor_index(0, 0, 1), 22);
+    }
+
+    #[test]
+    fn all_27_indices_distinct() {
+        let mut seen = [false; 27];
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let i = neighbor_index(dx, dy, dz);
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn set_and_get_neighbor() {
+        let mut info = BrickInfo::new(3);
+        info.set_neighbor(0, 1, 0, 0, 1);
+        info.set_neighbor(1, -1, 0, 0, 0);
+        assert_eq!(info.neighbor(0, 1, 0, 0), 1);
+        assert_eq!(info.neighbor(1, -1, 0, 0), 0);
+        assert_eq!(info.neighbor(0, 0, 0, 1), NO_BRICK);
+        assert_eq!(info.expect_neighbor(0, 1, 0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no (0,0,1) neighbor")]
+    fn expect_neighbor_panics_on_missing() {
+        let info = BrickInfo::new(1);
+        info.expect_neighbor(0, 0, 0, 1);
+    }
+
+    #[test]
+    fn metadata_bytes_counts_u32s() {
+        let info = BrickInfo::new(10);
+        assert_eq!(info.metadata_bytes(), 10 * 27 * 4);
+    }
+}

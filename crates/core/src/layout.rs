@@ -1,0 +1,116 @@
+//! Brick geometry.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dimensions of a single brick in elements: `bx × by × bz` with `bx` the
+/// contiguous dimension.
+///
+/// The paper's experiments use `4 × 4 × SIMD_width` bricks, i.e.
+/// `bx = SIMD_width`, `by = bz = 4`; [`BrickDims::for_simd_width`] builds
+/// exactly that configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BrickDims {
+    /// Extent along the contiguous `x` dimension (the vector-folded one).
+    pub bx: usize,
+    /// Extent along `y`.
+    pub by: usize,
+    /// Extent along `z`.
+    pub bz: usize,
+}
+
+impl BrickDims {
+    /// Arbitrary brick dimensions (each ≥ 1).
+    pub fn new(bx: usize, by: usize, bz: usize) -> Self {
+        assert!(bx >= 1 && by >= 1 && bz >= 1, "empty brick");
+        BrickDims { bx, by, bz }
+    }
+
+    /// The paper's brick shape for a given architecture SIMD width:
+    /// `4 × 4 × SIMD_width`.
+    pub fn for_simd_width(simd_width: usize) -> Self {
+        Self::new(simd_width, 4, 4)
+    }
+
+    /// Elements per brick.
+    pub fn volume(&self) -> usize {
+        self.bx * self.by * self.bz
+    }
+
+    /// Bytes per brick for `f64` elements.
+    pub fn bytes(&self) -> usize {
+        self.volume() * std::mem::size_of::<f64>()
+    }
+
+    /// Flat element offset of `(x, y, z)` inside a brick; coordinates must
+    /// be in range.
+    #[inline]
+    pub fn element_offset(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.bx && y < self.by && z < self.bz);
+        (z * self.by + y) * self.bx + x
+    }
+
+    /// Flat offset of the start of row `(y, z)` — the natural vector-load
+    /// granule when `bx` equals the architecture vector width.
+    #[inline]
+    pub fn row_offset(&self, y: usize, z: usize) -> usize {
+        self.element_offset(0, y, z)
+    }
+
+    /// Number of `bx`-element rows in a brick.
+    pub fn rows(&self) -> usize {
+        self.by * self.bz
+    }
+}
+
+impl fmt::Display for BrickDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Displayed z-major to match the paper's "4 x 4 x SIMD" phrasing.
+        write!(f, "{}x{}x{}", self.bz, self.by, self.bx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_brick_shapes() {
+        for (w, vol) in [(32usize, 512usize), (64, 1024), (16, 256)] {
+            let d = BrickDims::for_simd_width(w);
+            assert_eq!((d.bx, d.by, d.bz), (w, 4, 4));
+            assert_eq!(d.volume(), vol);
+            assert_eq!(d.bytes(), vol * 8);
+        }
+    }
+
+    #[test]
+    fn element_offset_is_row_major_in_x() {
+        let d = BrickDims::new(8, 4, 4);
+        assert_eq!(d.element_offset(0, 0, 0), 0);
+        assert_eq!(d.element_offset(1, 0, 0), 1);
+        assert_eq!(d.element_offset(0, 1, 0), 8);
+        assert_eq!(d.element_offset(0, 0, 1), 32);
+        assert_eq!(d.element_offset(7, 3, 3), d.volume() - 1);
+    }
+
+    #[test]
+    fn row_offset_strides_by_bx() {
+        let d = BrickDims::new(16, 4, 4);
+        assert_eq!(d.row_offset(0, 0), 0);
+        assert_eq!(d.row_offset(1, 0), 16);
+        assert_eq!(d.row_offset(0, 1), 64);
+        assert_eq!(d.rows(), 16);
+    }
+
+    #[test]
+    fn display_is_z_major() {
+        assert_eq!(BrickDims::for_simd_width(32).to_string(), "4x4x32");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty brick")]
+    fn zero_dim_panics() {
+        let _ = BrickDims::new(0, 4, 4);
+    }
+}

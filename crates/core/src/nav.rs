@@ -1,0 +1,120 @@
+//! Data-free brick navigation.
+//!
+//! [`BrickNav`] bundles a decomposition with its adjacency table and
+//! resolves brick-relative coordinates to `(brick, element offset)` —
+//! everything an address-trace generator needs, without holding any field
+//! data. [`crate::BrickGrid`] delegates its accessors here.
+
+use std::sync::Arc;
+
+use crate::adjacency::BrickInfo;
+use crate::decomp::BrickDecomp;
+use crate::layout::BrickDims;
+
+/// Decomposition + adjacency, shared by all grids of one experiment.
+#[derive(Debug, Clone)]
+pub struct BrickNav {
+    decomp: Arc<BrickDecomp>,
+    info: Arc<BrickInfo>,
+}
+
+impl BrickNav {
+    /// Build the adjacency table for `decomp`.
+    pub fn new(decomp: Arc<BrickDecomp>) -> Self {
+        let info = Arc::new(decomp.build_adjacency());
+        BrickNav { decomp, info }
+    }
+
+    /// Reuse an existing adjacency table.
+    pub fn from_parts(decomp: Arc<BrickDecomp>, info: Arc<BrickInfo>) -> Self {
+        debug_assert_eq!(decomp.num_bricks(), info.len());
+        BrickNav { decomp, info }
+    }
+
+    /// The decomposition.
+    pub fn decomp(&self) -> &Arc<BrickDecomp> {
+        &self.decomp
+    }
+
+    /// The adjacency table.
+    pub fn info(&self) -> &Arc<BrickInfo> {
+        &self.info
+    }
+
+    /// Brick geometry.
+    pub fn dims(&self) -> BrickDims {
+        self.decomp.dims()
+    }
+
+    /// Resolve brick-relative coordinates to `(brick, element offset)`
+    /// through the adjacency table; local coordinates may extend one brick
+    /// beyond `0..bdim` on each axis.
+    #[inline]
+    pub fn resolve_rel(&self, brick: u32, lx: i64, ly: i64, lz: i64) -> (u32, usize) {
+        let dims = self.dims();
+        let b = [dims.bx as i64, dims.by as i64, dims.bz as i64];
+        let l = [lx, ly, lz];
+        let mut step = [0i32; 3];
+        let mut loc = [0usize; 3];
+        for d in 0..3 {
+            debug_assert!(
+                l[d] >= -b[d] && l[d] < 2 * b[d],
+                "relative coordinate {} exceeds one brick of reach on axis {d}",
+                l[d]
+            );
+            step[d] = l[d].div_euclid(b[d]) as i32;
+            loc[d] = l[d].rem_euclid(b[d]) as usize;
+        }
+        let target = if step == [0, 0, 0] {
+            brick
+        } else {
+            self.info.expect_neighbor(brick, step[0], step[1], step[2])
+        };
+        (target, dims.element_offset(loc[0], loc[1], loc[2]))
+    }
+
+    /// Byte address (relative to the slab base) of a brick element.
+    #[inline]
+    pub fn element_addr(&self, brick: u32, offset: usize) -> u64 {
+        ((brick as u64 * self.dims().volume() as u64) + offset as u64) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::BrickOrdering;
+
+    #[test]
+    fn nav_resolves_like_grid() {
+        let decomp = Arc::new(BrickDecomp::new(
+            (8, 8, 8),
+            BrickDims::new(4, 4, 4),
+            2,
+            BrickOrdering::Lexicographic,
+        ));
+        let nav = BrickNav::new(Arc::clone(&decomp));
+        let home = decomp.brick_at(1, 1, 1);
+        // in-brick
+        assert_eq!(nav.resolve_rel(home, 1, 2, 3), (home, nav.dims().element_offset(1, 2, 3)));
+        // +x neighbour
+        let (b, off) = nav.resolve_rel(home, 5, 0, 0);
+        assert_eq!(b, decomp.brick_at(2, 1, 1));
+        assert_eq!(off, nav.dims().element_offset(1, 0, 0));
+        // -z ghost
+        let (b, _) = nav.resolve_rel(home, 0, 0, -1);
+        assert_eq!(b, decomp.brick_at(1, 1, 0));
+    }
+
+    #[test]
+    fn element_addr_scales_by_brick_volume() {
+        let decomp = Arc::new(BrickDecomp::new(
+            (8, 8, 8),
+            BrickDims::new(4, 4, 4),
+            1,
+            BrickOrdering::Lexicographic,
+        ));
+        let nav = BrickNav::new(decomp);
+        assert_eq!(nav.element_addr(2, 3), (2 * 64 + 3) * 8);
+    }
+}

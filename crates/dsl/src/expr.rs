@@ -1,0 +1,274 @@
+//! Expression AST for the stencil DSL.
+//!
+//! Mirrors the python-like input language of BrickLib (paper Fig. 1):
+//! `Index`, `Grid`, `ConstRef` and arithmetic on them. Expressions must be
+//! *linear* in grid accesses — the normaliser in [`crate::stencil`] rejects
+//! products of two accesses.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::Arc;
+
+/// A named symbolic constant coefficient (`ConstRef("MPI_B0")` in the DSL).
+///
+/// Coefficients are symbols at stencil-definition time; numeric values are
+/// bound later through [`crate::stencil::CoeffBindings`]. Two `ConstRef`s
+/// with the same name denote the same coefficient class.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstRef {
+    name: Arc<str>,
+}
+
+impl ConstRef {
+    /// Create a coefficient symbol with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ConstRef {
+            name: Arc::from(name.into().into_boxed_str()),
+        }
+    }
+
+    /// The symbol's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for ConstRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A named grid (field) that stencil expressions read from.
+///
+/// In this reproduction stencils read from a single input grid and write a
+/// single output grid, matching every kernel evaluated in the paper; the
+/// name is carried through to the emitted CUDA/HIP/SYCL source.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GridRef {
+    name: Arc<str>,
+}
+
+impl GridRef {
+    /// Declare a 3-D grid with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        GridRef {
+            name: Arc::from(name.into().into_boxed_str()),
+        }
+    }
+
+    /// The grid's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Access this grid at a constant offset `(dx, dy, dz)` from the output
+    /// point. `dx` is the contiguous (fastest-varying) dimension.
+    pub fn offset(&self, dx: i32, dy: i32, dz: i32) -> Expr {
+        Expr::Access {
+            grid: self.clone(),
+            offset: [dx, dy, dz],
+        }
+    }
+
+    /// Access at the centre point — shorthand for `offset(0, 0, 0)`.
+    pub fn center(&self) -> Expr {
+        self.offset(0, 0, 0)
+    }
+}
+
+impl fmt::Display for GridRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A stencil expression tree.
+///
+/// Built with ordinary Rust operators from [`GridRef::offset`] accesses,
+/// [`ConstRef`] symbols and `f64` literals.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Read of `grid` at a constant offset from the output point.
+    #[allow(missing_docs)]
+    Access { grid: GridRef, offset: [i32; 3] },
+    /// A symbolic coefficient.
+    Coeff(ConstRef),
+    /// A numeric literal.
+    Lit(f64),
+    /// Sum of two sub-expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two sub-expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two sub-expressions (at most one side may contain grid
+    /// accesses; enforced at normalisation time).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Number of grid-access leaves in the expression (before
+    /// normalisation, so repeated offsets count multiple times).
+    pub fn access_count(&self) -> usize {
+        match self {
+            Expr::Access { .. } => 1,
+            Expr::Coeff(_) | Expr::Lit(_) => 0,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.access_count() + b.access_count()
+            }
+            Expr::Neg(a) => a.access_count(),
+        }
+    }
+
+    /// True if the expression contains no grid accesses (it is a pure
+    /// coefficient expression).
+    pub fn is_coefficient(&self) -> bool {
+        self.access_count() == 0
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Access { grid, offset } => {
+                write!(f, "{}(", grid)?;
+                for (d, (name, o)) in ["i", "j", "k"].iter().zip(offset).enumerate() {
+                    if d > 0 {
+                        f.write_str(", ")?;
+                    }
+                    match *o {
+                        0 => write!(f, "{name}")?,
+                        v if v > 0 => write!(f, "{name}+{v}")?,
+                        v => write!(f, "{name}{v}")?,
+                    }
+                }
+                f.write_str(")")
+            }
+            Expr::Coeff(c) => write!(f, "{c}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "{a}*{b}"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $variant:ident) => {
+        impl $trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(rhs))
+            }
+        }
+        impl $trait<Expr> for ConstRef {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$variant(Box::new(Expr::Coeff(self)), Box::new(rhs))
+            }
+        }
+        impl $trait<ConstRef> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: ConstRef) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(Expr::Coeff(rhs)))
+            }
+        }
+        impl $trait<Expr> for f64 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$variant(Box::new(Expr::Lit(self)), Box::new(rhs))
+            }
+        }
+        impl $trait<f64> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: f64) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(Expr::Lit(rhs)))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, Add);
+impl_binop!(Sub, sub, Sub);
+impl_binop!(Mul, mul, Mul);
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+impl Mul<ConstRef> for f64 {
+    type Output = Expr;
+    fn mul(self, rhs: ConstRef) -> Expr {
+        Expr::Mul(Box::new(Expr::Lit(self)), Box::new(Expr::Coeff(rhs)))
+    }
+}
+
+impl From<ConstRef> for Expr {
+    fn from(c: ConstRef) -> Expr {
+        Expr::Coeff(c)
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Expr {
+        Expr::Lit(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_ref_identity_by_name() {
+        let a = ConstRef::new("a");
+        let b = ConstRef::new("a");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "a");
+    }
+
+    #[test]
+    fn build_and_display_simple_expr() {
+        let g = GridRef::new("in");
+        let a = ConstRef::new("c0");
+        let e = a * g.offset(1, 0, -1);
+        assert_eq!(e.to_string(), "c0*in(i+1, j, k-1)");
+        assert_eq!(e.access_count(), 1);
+    }
+
+    #[test]
+    fn access_count_sums_over_tree() {
+        let g = GridRef::new("in");
+        let e = g.offset(0, 0, 0) + g.offset(1, 0, 0) - g.offset(-1, 0, 0);
+        assert_eq!(e.access_count(), 3);
+        assert!(!e.is_coefficient());
+    }
+
+    #[test]
+    fn coefficient_expression_has_no_accesses() {
+        let a = ConstRef::new("a");
+        let e = 2.0 * a + 1.0;
+        assert!(e.is_coefficient());
+    }
+
+    #[test]
+    fn neg_display() {
+        let g = GridRef::new("u");
+        let e = -g.center();
+        assert_eq!(e.to_string(), "(-u(i, j, k))");
+    }
+
+    #[test]
+    fn scalar_ops_both_sides() {
+        let g = GridRef::new("u");
+        let e1 = 2.0 * g.center();
+        let e2 = g.center() * 2.0;
+        assert_eq!(e1.access_count(), 1);
+        assert_eq!(e2.access_count(), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Benchmark stencil shape generators (paper Table 2).
+//!
+//! Two extensible shape classes proxy common high-order finite-difference
+//! stencils:
+//!
+//! * **star** — points on the three axes within `radius` of the centre
+//!   (7/13/19/25-point for radius 1–4);
+//! * **cube** — every point of the `(2·radius+1)³` bounding box
+//!   (27/125-point for radius 1–2).
+//!
+//! As in the paper, a minimal number of unique coefficients is used by
+//! exploiting symmetry: all taps at the same "distance class" share one
+//! coefficient symbol.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::expr::ConstRef;
+use crate::stencil::{LinCoeff, Offset, Stencil, Tap};
+
+/// The two shape families evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeKind {
+    /// Grid-axis-aligned points only.
+    Star,
+    /// Full cubical bounding box.
+    Cube,
+}
+
+impl fmt::Display for ShapeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeKind::Star => f.write_str("star"),
+            ShapeKind::Cube => f.write_str("cube"),
+        }
+    }
+}
+
+/// A (shape, radius) pair — one row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StencilShape {
+    /// Shape family.
+    pub kind: ShapeKind,
+    /// Stencil radius (≥ 1).
+    pub radius: u32,
+}
+
+impl StencilShape {
+    /// A star-shaped stencil of the given radius.
+    pub fn star(radius: u32) -> Self {
+        StencilShape {
+            kind: ShapeKind::Star,
+            radius,
+        }
+    }
+
+    /// A cube-shaped stencil of the given radius.
+    pub fn cube(radius: u32) -> Self {
+        StencilShape {
+            kind: ShapeKind::Cube,
+            radius,
+        }
+    }
+
+    /// The six configurations benchmarked in the paper (Table 2):
+    /// star radius 1–4 and cube radius 1–2.
+    pub fn paper_suite() -> Vec<StencilShape> {
+        vec![
+            StencilShape::star(1),
+            StencilShape::star(2),
+            StencilShape::star(3),
+            StencilShape::star(4),
+            StencilShape::cube(1),
+            StencilShape::cube(2),
+        ]
+    }
+
+    /// Number of points in the stencil.
+    pub fn points(&self) -> usize {
+        let r = self.radius as usize;
+        match self.kind {
+            ShapeKind::Star => 6 * r + 1,
+            ShapeKind::Cube => (2 * r + 1).pow(3),
+        }
+    }
+
+    /// Number of unique coefficient classes under symmetry.
+    ///
+    /// For a star this is `radius + 1` (centre plus one class per
+    /// distance); for a cube it is the number of multisets of size 3 drawn
+    /// from `{0..radius}` — each sorted `(|dx|,|dy|,|dz|)` triple is one
+    /// class (4 for the 27-point, 10 for the 125-point stencil).
+    pub fn unique_coefficients(&self) -> usize {
+        let r = self.radius as usize;
+        match self.kind {
+            ShapeKind::Star => r + 1,
+            // multisets of size 3 from (r+1) values: C(r+3, 3)
+            ShapeKind::Cube => (r + 1) * (r + 2) * (r + 3) / 6,
+        }
+    }
+
+    /// Human-readable name matching the paper's labels, e.g. `"13pt"`.
+    pub fn label(&self) -> String {
+        format!("{}pt", self.points())
+    }
+
+    /// Full name including the family, e.g. `"13pt-star-r2"`.
+    pub fn full_name(&self) -> String {
+        format!("{}pt-{}-r{}", self.points(), self.kind, self.radius)
+    }
+
+    /// Generate the taps with symmetric coefficient classes.
+    ///
+    /// Class symbols are `c0, c1, …` ordered by distance class; `c0` is
+    /// always the centre point.
+    pub fn taps(&self) -> Vec<Tap> {
+        let r = self.radius as i32;
+        let mut taps = Vec::with_capacity(self.points());
+        match self.kind {
+            ShapeKind::Star => {
+                taps.push(tap([0, 0, 0], 0));
+                for d in 1..=r {
+                    let class = d as usize;
+                    for axis in 0..3 {
+                        for sign in [-1, 1] {
+                            let mut o = [0i32; 3];
+                            o[axis] = sign * d;
+                            taps.push(tap(o, class));
+                        }
+                    }
+                }
+            }
+            ShapeKind::Cube => {
+                let classes = cube_classes(self.radius);
+                for dz in -r..=r {
+                    for dy in -r..=r {
+                        for dx in -r..=r {
+                            let key = sorted_abs([dx, dy, dz]);
+                            let class = classes.iter().position(|c| *c == key).expect(
+                                "every offset's distance class is enumerated by cube_classes",
+                            );
+                            taps.push(tap([dx, dy, dz], class));
+                        }
+                    }
+                }
+            }
+        }
+        taps.sort_by_key(|t| t.offset);
+        taps
+    }
+
+    /// Build the full normalised [`Stencil`] for this shape.
+    pub fn stencil(&self) -> Stencil {
+        Stencil::from_taps(self.full_name(), "out", "in", self.taps())
+    }
+}
+
+impl fmt::Display for StencilShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} r{} ({})", self.kind, self.radius, self.label())
+    }
+}
+
+fn tap(offset: Offset, class: usize) -> Tap {
+    let mut coeff = LinCoeff::default();
+    coeff.terms.insert(ConstRef::new(format!("c{class}")), 1.0);
+    Tap { offset, coeff }
+}
+
+fn sorted_abs(o: Offset) -> [i32; 3] {
+    let mut a = [o[0].abs(), o[1].abs(), o[2].abs()];
+    a.sort_unstable();
+    a
+}
+
+/// Distance classes of a cube stencil, ordered with the centre first then
+/// lexicographically: all sorted `(a ≤ b ≤ c)` triples with entries in
+/// `0..=radius`.
+fn cube_classes(radius: u32) -> Vec<[i32; 3]> {
+    let r = radius as i32;
+    let mut out = Vec::new();
+    for a in 0..=r {
+        for b in a..=r {
+            for c in b..=r {
+                out.push([a, b, c]);
+            }
+        }
+    }
+    out
+}
+
+/// Convenience constructor: the classic radius-`r` star stencil.
+pub fn star(radius: u32) -> Stencil {
+    StencilShape::star(radius).stencil()
+}
+
+/// Convenience constructor: the radius-`r` cube stencil.
+pub fn cube(radius: u32) -> Stencil {
+    StencilShape::cube(radius).stencil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2 of the paper, verbatim.
+    const TABLE2: &[(ShapeKind, u32, usize, usize)] = &[
+        (ShapeKind::Star, 1, 7, 2),
+        (ShapeKind::Star, 2, 13, 3),
+        (ShapeKind::Star, 3, 19, 4),
+        (ShapeKind::Star, 4, 25, 5),
+        (ShapeKind::Cube, 1, 27, 4),
+        (ShapeKind::Cube, 2, 125, 10),
+    ];
+
+    #[test]
+    fn closed_forms_match_table2() {
+        for &(kind, radius, points, coeffs) in TABLE2 {
+            let s = StencilShape { kind, radius };
+            assert_eq!(s.points(), points, "{s}");
+            assert_eq!(s.unique_coefficients(), coeffs, "{s}");
+        }
+    }
+
+    #[test]
+    fn generated_taps_match_closed_forms() {
+        for &(kind, radius, points, coeffs) in TABLE2 {
+            let shape = StencilShape { kind, radius };
+            let st = shape.stencil();
+            assert_eq!(st.points(), points, "{shape}");
+            assert_eq!(st.coefficient_classes(), coeffs, "{shape}");
+            assert_eq!(st.symbols().len(), coeffs, "{shape}");
+            assert_eq!(st.radius(), radius as i32, "{shape}");
+        }
+    }
+
+    #[test]
+    fn paper_suite_is_the_six_configs() {
+        let suite = StencilShape::paper_suite();
+        assert_eq!(suite.len(), 6);
+        let labels: Vec<String> = suite.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["7pt", "13pt", "19pt", "25pt", "27pt", "125pt"]);
+    }
+
+    #[test]
+    fn star_taps_lie_on_axes() {
+        let st = star(4);
+        for t in st.taps() {
+            let nonzero = t.offset.iter().filter(|o| **o != 0).count();
+            assert!(nonzero <= 1, "star tap off axis: {:?}", t.offset);
+        }
+    }
+
+    #[test]
+    fn cube_taps_fill_bounding_box() {
+        let st = cube(2);
+        assert_eq!(st.points(), 125);
+        // all offsets distinct
+        let mut offs: Vec<_> = st.taps().iter().map(|t| t.offset).collect();
+        offs.dedup();
+        assert_eq!(offs.len(), 125);
+        for t in st.taps() {
+            assert!(t.offset.iter().all(|o| o.abs() <= 2));
+        }
+    }
+
+    #[test]
+    fn symmetric_offsets_share_class() {
+        let st = cube(1);
+        let b = st.default_bindings();
+        let taps = st.resolve(&b).unwrap();
+        let w = |o: Offset| taps.iter().find(|(t, _)| *t == o).unwrap().1;
+        // face/face, edge/edge, corner/corner symmetry
+        assert_eq!(w([1, 0, 0]), w([0, 0, -1]));
+        assert_eq!(w([1, 1, 0]), w([0, -1, 1]));
+        assert_eq!(w([1, 1, 1]), w([-1, -1, -1]));
+        assert_ne!(w([1, 0, 0]), w([1, 1, 0]));
+    }
+
+    #[test]
+    fn center_class_is_c0() {
+        for shape in StencilShape::paper_suite() {
+            let st = shape.stencil();
+            let c = st
+                .taps()
+                .iter()
+                .find(|t| t.offset == [0, 0, 0])
+                .expect("center tap");
+            assert_eq!(c.coeff.single_symbol().unwrap().name(), "c0");
+        }
+    }
+
+    #[test]
+    fn reach_is_isotropic() {
+        for shape in StencilShape::paper_suite() {
+            let st = shape.stencil();
+            let r = shape.radius as i32;
+            assert_eq!(st.reach(), [r, r, r]);
+        }
+    }
+
+    #[test]
+    fn cube_classes_count() {
+        assert_eq!(cube_classes(1).len(), 4);
+        assert_eq!(cube_classes(2).len(), 10);
+        assert_eq!(cube_classes(3).len(), 20);
+    }
+}

@@ -1,0 +1,122 @@
+//! Experiment configuration: the three kernel configurations of §4.4 and
+//! the sweep parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use brick_codegen::LayoutKind;
+
+/// The data-layout × code-generation configurations the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelConfig {
+    /// Conventional array layout, 3-D tiling, native scalar compilation.
+    Array,
+    /// Conventional array layout with the vector code generator —
+    /// isolates the codegen contribution.
+    ArrayCodegen,
+    /// Brick layout with the vector code generator — adds the data-layout
+    /// contribution.
+    BricksCodegen,
+}
+
+impl KernelConfig {
+    /// The three configurations, in the paper's presentation order.
+    pub fn all() -> [KernelConfig; 3] {
+        [
+            KernelConfig::Array,
+            KernelConfig::ArrayCodegen,
+            KernelConfig::BricksCodegen,
+        ]
+    }
+
+    /// Data layout of the configuration.
+    pub fn layout(&self) -> LayoutKind {
+        match self {
+            KernelConfig::Array | KernelConfig::ArrayCodegen => LayoutKind::Array,
+            KernelConfig::BricksCodegen => LayoutKind::Brick,
+        }
+    }
+
+    /// Whether the vector code generator is applied.
+    pub fn codegen(&self) -> bool {
+        !matches!(self, KernelConfig::Array)
+    }
+
+    /// The paper's label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelConfig::Array => "array",
+            KernelConfig::ArrayCodegen => "array codegen",
+            KernelConfig::BricksCodegen => "bricks codegen",
+        }
+    }
+}
+
+impl fmt::Display for KernelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Cubic domain extent. The paper uses 512; the default 256 keeps a
+    /// full sweep in CI time. Must be a multiple of every brick extent
+    /// (i.e. of 64).
+    pub n: usize,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams { n: 256 }
+    }
+}
+
+impl ExperimentParams {
+    /// The paper's full problem size (`512³` doubles).
+    pub fn paper_full() -> Self {
+        ExperimentParams { n: 512 }
+    }
+
+    /// Validate divisibility by the largest brick extent (MI250X, 64).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 || !self.n.is_multiple_of(64) {
+            return Err(format!(
+                "domain extent {} must be a positive multiple of 64 \
+                 (the widest brick, MI250X wave width)",
+                self.n
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_layouts() {
+        assert_eq!(KernelConfig::Array.layout(), LayoutKind::Array);
+        assert_eq!(KernelConfig::ArrayCodegen.layout(), LayoutKind::Array);
+        assert_eq!(KernelConfig::BricksCodegen.layout(), LayoutKind::Brick);
+        assert!(!KernelConfig::Array.codegen());
+        assert!(KernelConfig::ArrayCodegen.codegen());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<_> = KernelConfig::all().iter().map(|c| c.label()).collect();
+        assert_eq!(labels, ["array", "array codegen", "bricks codegen"]);
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(ExperimentParams::default().validate().is_ok());
+        assert!(ExperimentParams::paper_full().validate().is_ok());
+        assert!(ExperimentParams { n: 100 }.validate().is_err());
+        assert!(ExperimentParams { n: 0 }.validate().is_err());
+        assert_eq!(ExperimentParams::paper_full().n, 512);
+    }
+}

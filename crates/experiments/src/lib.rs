@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # experiments
+//!
+//! The experiment harness: regenerates every table and figure of
+//! *"Performance Portability Evaluation of Blocked Stencil Computations
+//! on GPUs"* from the simulated pipeline (DSL → codegen → VM trace →
+//! GPU simulation → metrics).
+//!
+//! One driver per artifact (see DESIGN.md §4):
+//!
+//! | paper artifact | function |
+//! |---|---|
+//! | Table 1 (systems/compilers) | [`tables::table1`] |
+//! | Table 2 (stencil inventory) | [`tables::table2`] |
+//! | Table 3 (P, fraction of Roofline) | [`tables::table3`] |
+//! | Table 4 (theoretical AI) | [`tables::table4`] |
+//! | Table 5 (P, fraction of theoretical AI) | [`tables::table5`] |
+//! | Fig. 1/2 (DSL + kernels) | [`figures::fig1_fig2_listings`] |
+//! | Fig. 3 (Rooflines) | [`figures::fig3`] |
+//! | Fig. 4 (L1 data movement) | [`figures::fig4`] |
+//! | Fig. 5 (CUDA vs SYCL on A100) | [`figures::fig5`] |
+//! | Fig. 6 (HIP vs SYCL on MI250X) | [`figures::fig6`] |
+//! | Fig. 7 (potential speed-up) | [`figures::fig7`] |
+//!
+//! The `experiments` binary drives them (`cargo run -p experiments
+//! --release -- --all`).
+
+pub mod config;
+pub mod figures;
+pub mod paper;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod tables;
+
+pub use config::{ExperimentParams, KernelConfig};
+pub use runner::{sweep, Record, Sweep};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! One shared 128³ sweep for the whole test suite — the sweep is the
+    //! expensive part, the assertions are cheap.
+    use crate::config::ExperimentParams;
+    use crate::runner::{sweep, Sweep};
+    use std::sync::OnceLock;
+
+    static SWEEP: OnceLock<Sweep> = OnceLock::new();
+
+    pub fn shared_sweep() -> &'static Sweep {
+        SWEEP.get_or_init(|| sweep(ExperimentParams { n: 128 }))
+    }
+}

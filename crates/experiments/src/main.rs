@@ -1,0 +1,236 @@
+//! Experiment CLI: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p experiments --release -- --all            # 256³ sweep
+//! cargo run -p experiments --release -- --all --full     # paper's 512³
+//! cargo run -p experiments --release -- --table3 --fig5 --n 128
+//! cargo run -p experiments --release -- --listings       # Fig. 1/2 text
+//! ```
+//!
+//! Artifacts (CSV/JSON) are written to `artifacts/` unless `--out DIR`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use experiments::report::*;
+use experiments::{figures, tables, ExperimentParams};
+
+struct Args {
+    n: usize,
+    out: PathBuf,
+    table1: bool,
+    table2: bool,
+    table3: bool,
+    table4: bool,
+    table5: bool,
+    compare: bool,
+    fig3: bool,
+    fig4: bool,
+    fig5: bool,
+    fig6: bool,
+    fig7: bool,
+    listings: bool,
+}
+
+impl Args {
+    fn needs_sweep(&self) -> bool {
+        self.table3
+            || self.table5
+            || self.compare
+            || self.fig3
+            || self.fig4
+            || self.fig5
+            || self.fig6
+            || self.fig7
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: ExperimentParams::default().n,
+        out: PathBuf::from("artifacts"),
+        table1: false,
+        table2: false,
+        table3: false,
+        table4: false,
+        table5: false,
+        compare: false,
+        fig3: false,
+        fig4: false,
+        fig5: false,
+        fig6: false,
+        fig7: false,
+        listings: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut any = false;
+    while let Some(a) = it.next() {
+        any = true;
+        match a.as_str() {
+            "--all" => {
+                args.table1 = true;
+                args.table2 = true;
+                args.table3 = true;
+                args.table4 = true;
+                args.table5 = true;
+                args.compare = true;
+                args.fig3 = true;
+                args.fig4 = true;
+                args.fig5 = true;
+                args.fig6 = true;
+                args.fig7 = true;
+                args.listings = true;
+            }
+            "--table1" => args.table1 = true,
+            "--table2" => args.table2 = true,
+            "--table3" => args.table3 = true,
+            "--table4" => args.table4 = true,
+            "--table5" => args.table5 = true,
+            "--compare" => args.compare = true,
+            "--fig3" => args.fig3 = true,
+            "--fig4" => args.fig4 = true,
+            "--fig5" => args.fig5 = true,
+            "--fig6" => args.fig6 = true,
+            "--fig7" => args.fig7 = true,
+            "--listings" => args.listings = true,
+            "--full" => args.n = ExperimentParams::paper_full().n,
+            "--n" => {
+                args.n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--n: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--help" | "-h" => {
+                return Err(HELP.to_string());
+            }
+            other => return Err(format!("unknown argument {other}\n{HELP}")),
+        }
+    }
+    if !any {
+        return Err(HELP.to_string());
+    }
+    Ok(args)
+}
+
+const HELP: &str = "usage: experiments [--all] [--table1..5] [--compare] [--fig3..7] [--listings]
+                   [--n N] [--full] [--out DIR]
+
+Regenerates the tables and figures of 'Performance Portability Evaluation
+of Blocked Stencil Computations on GPUs' (SC-W 2023) on the simulated
+GPU substrate. --full runs the paper's 512^3 grid (slow); the default is
+256^3. Artifacts are written to DIR (default ./artifacts).";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = ExperimentParams { n: args.n };
+    if let Err(e) = params.validate() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    if args.listings {
+        println!("{}", figures::fig1_fig2_listings());
+    }
+    if args.table1 {
+        println!("== Table 1: systems and toolchains ==");
+        println!("{}", render_table1(&tables::table1()));
+    }
+    if args.table2 {
+        println!("== Table 2: stencil suite ==");
+        println!("{}", render_table2(&tables::table2()));
+    }
+    if args.table4 {
+        println!("== Table 4: theoretical arithmetic intensity ==");
+        println!("{}", render_table4(&tables::table4()));
+    }
+
+    if !args.needs_sweep() {
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "running full sweep at {0}^3 (6 stencils x 3 configs x 6 platform pairs)...",
+        params.n
+    );
+    let t0 = Instant::now();
+    let sweep = experiments::sweep(params);
+    eprintln!("sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+    if let Err(e) = write_sweep_csv(&sweep, &args.out.join("sweep.csv")) {
+        eprintln!("warning: could not write sweep.csv: {e}");
+    }
+
+    if args.table3 {
+        println!("== Table 3: P from fraction of Roofline (bricks codegen) ==");
+        let t = tables::table3(&sweep);
+        println!("{}", render_portability(&t));
+        let _ = write_json(&t, &args.out.join("table3.json"));
+    }
+    if args.table5 {
+        println!("== Table 5: P from fraction of theoretical AI (bricks codegen) ==");
+        let t = tables::table5(&sweep);
+        println!("{}", render_portability(&t));
+        let _ = write_json(&t, &args.out.join("table5.json"));
+    }
+    if args.compare {
+        println!("== measured vs paper (Tables 3 and 5) ==");
+        let (c3, c5) = experiments::paper::compare_all(&sweep);
+        println!("{}", experiments::paper::render_comparison(&c3));
+        println!("{}", experiments::paper::render_comparison(&c5));
+        let _ = write_json(&c3, &args.out.join("compare_table3.json"));
+        let _ = write_json(&c5, &args.out.join("compare_table5.json"));
+    }
+    if args.fig3 {
+        println!("== Fig. 3: Rooflines ==");
+        let panels = figures::fig3(&sweep);
+        println!("{}", render_fig3(&panels));
+        for p in &panels {
+            println!("{}", experiments::plot::roofline_ascii(p));
+        }
+        let _ = write_json(&panels, &args.out.join("fig3.json"));
+    }
+    if args.fig4 {
+        println!("== Fig. 4: L1 data movement ==");
+        let groups = figures::fig4(&sweep);
+        println!("{}", render_fig4(&groups));
+        let _ = write_json(&groups, &args.out.join("fig4.json"));
+    }
+    if args.fig5 {
+        let f = figures::fig5(&sweep);
+        println!("{}", render_correlation(&f, "Fig. 5"));
+        let _ = write_json(&f, &args.out.join("fig5.json"));
+    }
+    if args.fig6 {
+        let f = figures::fig6(&sweep);
+        println!("{}", render_correlation(&f, "Fig. 6"));
+        let _ = write_json(&f, &args.out.join("fig6.json"));
+    }
+    if args.fig7 {
+        println!("== Fig. 7: potential speed-up (bricks codegen) ==");
+        let pts = figures::fig7(&sweep);
+        println!("{}", experiments::plot::speedup_ascii(&pts));
+        for p in &pts {
+            println!(
+                "  {:24} frac_AI {:.2}  frac_roofline {:.2}  potential {:.1}x",
+                p.label,
+                p.frac_ai,
+                p.frac_roofline,
+                p.potential()
+            );
+        }
+        let _ = write_json(&pts, &args.out.join("fig7.json"));
+    }
+    ExitCode::SUCCESS
+}

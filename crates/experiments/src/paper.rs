@@ -1,0 +1,193 @@
+//! The paper's published numbers, for side-by-side comparison.
+//!
+//! Tables 3 and 5 are reproduced verbatim from the paper so the harness
+//! can print measured-vs-published deltas (`experiments --compare`).
+//! Absolute agreement is not the goal (our platforms are simulated); the
+//! comparison quantifies how closely the *shapes* track.
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::Sweep;
+use crate::tables::PortabilityTable;
+
+/// Published per-stencil rows of a portability table: five platform
+/// efficiencies and the row P, in the paper's column order
+/// (A100 CUDA, A100 SYCL, MI250X HIP, MI250X SYCL, PVC SYCL).
+pub type PaperRow = (&'static str, [f64; 5], f64);
+
+/// Paper Table 3: P based on fraction of the Roofline.
+pub fn paper_table3() -> Vec<PaperRow> {
+    vec![
+        ("7pt", [0.95, 0.84, 0.66, 0.68, 0.77], 0.77),
+        ("13pt", [0.92, 0.79, 0.66, 0.67, 0.67], 0.73),
+        ("19pt", [0.85, 0.87, 0.65, 0.66, 0.53], 0.69),
+        ("25pt", [0.69, 0.79, 0.66, 0.64, 0.47], 0.63),
+        ("27pt", [0.82, 0.60, 0.66, 0.67, 0.61], 0.66),
+        ("125pt", [0.47, 0.39, 0.42, 0.63, 0.23], 0.38),
+    ]
+}
+
+/// Paper Table 5: P based on fraction of theoretical arithmetic
+/// intensity.
+pub fn paper_table5() -> Vec<PaperRow> {
+    vec![
+        ("7pt", [0.92, 0.49, 0.62, 0.59, 0.93], 0.67),
+        ("13pt", [0.92, 0.88, 0.66, 0.48, 0.92], 0.72),
+        ("19pt", [0.91, 0.87, 0.60, 0.43, 0.91], 0.68),
+        ("25pt", [0.88, 0.81, 0.56, 0.41, 0.91], 0.65),
+        ("27pt", [0.93, 0.59, 0.67, 0.59, 0.92], 0.71),
+        ("125pt", [0.92, 0.89, 0.64, 0.38, 0.92], 0.67),
+    ]
+}
+
+/// Overall P values the paper reports under each table.
+pub const PAPER_OVERALL_P3: f64 = 0.61;
+/// Overall P of the paper's Table 5.
+pub const PAPER_OVERALL_P5: f64 = 0.68;
+
+/// Comparison of one measured portability table against the paper's.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableComparison {
+    /// Which table.
+    pub table: String,
+    /// `(stencil, measured P, paper P)` rows.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Measured overall P.
+    pub measured_overall: f64,
+    /// Paper overall P.
+    pub paper_overall: f64,
+    /// Mean absolute per-row difference in P.
+    pub mean_abs_diff: f64,
+    /// Rank (Spearman) correlation between the measured and published
+    /// per-row P orderings — the "same shape" statistic.
+    pub rank_correlation: f64,
+}
+
+fn spearman(measured: &[f64], paper: &[f64]) -> f64 {
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
+        let mut r = vec![0.0; v.len()];
+        for (rank, &i) in idx.iter().enumerate() {
+            r[i] = rank as f64;
+        }
+        r
+    }
+    let (ra, rb) = (ranks(measured), ranks(paper));
+    let n = measured.len() as f64;
+    let d2: f64 = ra.iter().zip(&rb).map(|(a, b)| (a - b).powi(2)).sum();
+    1.0 - 6.0 * d2 / (n * (n * n - 1.0))
+}
+
+/// Compare a measured portability table against its published
+/// counterpart.
+pub fn compare_table(
+    measured: &PortabilityTable,
+    paper: &[PaperRow],
+    paper_overall: f64,
+    name: &str,
+) -> TableComparison {
+    assert_eq!(measured.rows.len(), paper.len(), "row count mismatch");
+    let mut rows = Vec::new();
+    let mut diff_sum = 0.0;
+    let (mut ms, mut ps) = (Vec::new(), Vec::new());
+    for ((stencil, _, p), (pst, _, pp)) in measured.rows.iter().zip(paper) {
+        assert_eq!(stencil, pst, "stencil order mismatch");
+        rows.push((stencil.clone(), *p, *pp));
+        diff_sum += (p - pp).abs();
+        ms.push(*p);
+        ps.push(*pp);
+    }
+    TableComparison {
+        table: name.to_string(),
+        measured_overall: measured.overall_p,
+        paper_overall,
+        mean_abs_diff: diff_sum / rows.len() as f64,
+        rank_correlation: spearman(&ms, &ps),
+        rows,
+    }
+}
+
+/// Build both comparisons from a sweep.
+pub fn compare_all(sweep: &Sweep) -> (TableComparison, TableComparison) {
+    let t3 = crate::tables::table3(sweep);
+    let t5 = crate::tables::table5(sweep);
+    (
+        compare_table(&t3, &paper_table3(), PAPER_OVERALL_P3, "Table 3"),
+        compare_table(&t5, &paper_table5(), PAPER_OVERALL_P5, "Table 5"),
+    )
+}
+
+/// Render a comparison as text.
+pub fn render_comparison(c: &TableComparison) -> String {
+    use std::fmt::Write;
+    let mut out = format!("--- {} vs paper ---\n", c.table);
+    let _ = writeln!(out, "{:>8} {:>10} {:>8} {:>7}", "stencil", "measured", "paper", "diff");
+    for (stencil, m, p) in &c.rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>9.0}% {:>7.0}% {:>+6.0}%",
+            stencil,
+            m * 100.0,
+            p * 100.0,
+            (m - p) * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "overall: measured {:.0}% vs paper {:.0}%; mean |ΔP| {:.0}pp; rank corr {:.2}",
+        c.measured_overall * 100.0,
+        c.paper_overall * 100.0,
+        c.mean_abs_diff * 100.0,
+        c.rank_correlation
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::shared_sweep;
+
+    #[test]
+    fn paper_rows_match_published_p() {
+        // row P must be the harmonic mean of its efficiencies (validates
+        // our transcription of the paper's tables)
+        for (stencil, effs, p) in paper_table3().iter().chain(paper_table5().iter()) {
+            let hm = perf_portability::pennycook_p(
+                &effs.iter().map(|e| Some(*e)).collect::<Vec<_>>(),
+            );
+            assert!(
+                (hm - p).abs() < 0.012,
+                "{stencil}: harmonic {hm:.3} vs published {p:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn spearman_basics() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&[3.0, 2.0, 1.0], &[10.0, 20.0, 30.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_against_shared_sweep() {
+        let (c3, c5) = compare_all(shared_sweep());
+        assert_eq!(c3.rows.len(), 6);
+        assert_eq!(c5.rows.len(), 6);
+        // shapes must agree better than chance: the 125pt row is the
+        // minimum in both our Table 3 and the paper's
+        let min_measured = c3
+            .rows
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0
+            .clone();
+        assert_eq!(min_measured, "125pt");
+        // mean deviation stays bounded (simulated platform, same shape)
+        assert!(c3.mean_abs_diff < 0.35, "{}", c3.mean_abs_diff);
+        let r = render_comparison(&c3);
+        assert!(r.contains("rank corr"));
+    }
+}

@@ -1,0 +1,204 @@
+//! ASCII plotting: log-log Roofline panels (Fig. 3) and the potential
+//! speed-up plane (Fig. 7) rendered for the terminal.
+
+use crate::config::KernelConfig;
+use crate::figures::Fig3Panel;
+use perf_portability::SpeedupPoint;
+
+const PLOT_W: usize = 64;
+const PLOT_H: usize = 20;
+
+fn config_glyph(c: KernelConfig) -> char {
+    match c {
+        KernelConfig::Array => 'a',
+        KernelConfig::ArrayCodegen => 'c',
+        KernelConfig::BricksCodegen => 'B',
+    }
+}
+
+/// Render one Fig. 3 panel as a log-log ASCII Roofline plot.
+///
+/// `a` = array, `c` = array codegen, `B` = bricks codegen; `*` marks
+/// overlapping configurations; the `/`-then-`-` line is the Roofline.
+pub fn roofline_ascii(panel: &Fig3Panel) -> String {
+    let rl = &panel.roofline;
+    // axis ranges: AI from 0.25 to 16, GFLOP/s from peak/64 to peak*1.2
+    let (ai_lo, ai_hi) = (0.25f64, 16.0f64);
+    let gf_hi = rl.peak_gflops * 1.2;
+    let gf_lo = gf_hi / 128.0;
+
+    let x_of = |ai: f64| -> Option<usize> {
+        if ai <= 0.0 {
+            return None;
+        }
+        let t = (ai.ln() - ai_lo.ln()) / (ai_hi.ln() - ai_lo.ln());
+        if !(0.0..=1.0).contains(&t) {
+            return None;
+        }
+        Some((t * (PLOT_W - 1) as f64).round() as usize)
+    };
+    let y_of = |gf: f64| -> Option<usize> {
+        if gf <= 0.0 {
+            return None;
+        }
+        let t = (gf.ln() - gf_lo.ln()) / (gf_hi.ln() - gf_lo.ln());
+        if !(0.0..=1.0).contains(&t) {
+            return None;
+        }
+        Some(PLOT_H - 1 - (t * (PLOT_H - 1) as f64).round() as usize)
+    };
+
+    let mut grid = vec![vec![' '; PLOT_W]; PLOT_H];
+    // the roofline itself
+    #[allow(clippy::needless_range_loop)] // px indexes rows selected by y_of
+    for px in 0..PLOT_W {
+        let t = px as f64 / (PLOT_W - 1) as f64;
+        let ai = (ai_lo.ln() + t * (ai_hi.ln() - ai_lo.ln())).exp();
+        if let Some(py) = y_of(rl.attainable(ai)) {
+            let mem_bound = rl.memory_bound(ai);
+            let ch = if mem_bound { '/' } else { '-' };
+            if grid[py][px] == ' ' {
+                grid[py][px] = ch;
+            }
+        }
+    }
+    // the measured points
+    for (config, _stencil, ai, gflops) in &panel.points {
+        if let (Some(px), Some(py)) = (x_of(*ai), y_of(*gflops)) {
+            let g = config_glyph(*config);
+            let cell = &mut grid[py][px];
+            *cell = match *cell {
+                ' ' | '/' | '-' => g,
+                prev if prev == g => g,
+                _ => '*',
+            };
+        }
+    }
+
+    let mut out = format!(
+        "{} / {}  (peak {:.0} GFLOP/s, {:.0} GB/s; a=array c=array-codegen B=bricks-codegen *=overlap)\n",
+        panel.gpu, panel.model, rl.peak_gflops, rl.bandwidth_gbs
+    );
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>8.0} |", gf_hi)
+        } else if i == PLOT_H - 1 {
+            format!("{:>8.0} |", gf_lo)
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("         +");
+    out.push_str(&"-".repeat(PLOT_W));
+    out.push('\n');
+    out.push_str(&format!(
+        "          {:<10} AI (FLOP/Byte), log scale {:>40}\n",
+        ai_lo, ai_hi
+    ));
+    out
+}
+
+/// Render the Fig. 7 potential speed-up plane as ASCII: x = fraction of
+/// theoretical AI, y = fraction of Roofline, both linear in `[0, 1]`,
+/// with `2x` and `4x` iso-potential curves.
+pub fn speedup_ascii(points: &[SpeedupPoint]) -> String {
+    let mut grid = vec![vec![' '; PLOT_W]; PLOT_H];
+    let x_of = |v: f64| ((v.clamp(0.0, 1.0)) * (PLOT_W - 1) as f64).round() as usize;
+    let y_of = |v: f64| PLOT_H - 1 - (v.clamp(0.0, 1.0) * (PLOT_H - 1) as f64).round() as usize;
+
+    for s in [2.0f64, 4.0] {
+        #[allow(clippy::needless_range_loop)] // px indexes rows selected by y_of
+        for px in 0..PLOT_W {
+            let fai = px as f64 / (PLOT_W - 1) as f64;
+            if fai <= 0.0 {
+                continue;
+            }
+            let fr = 1.0 / (s * fai);
+            if fr <= 1.0 {
+                let py = y_of(fr);
+                if grid[py][px] == ' ' {
+                    grid[py][px] = '.';
+                }
+            }
+        }
+    }
+    for p in points {
+        let glyph = p
+            .label
+            .split_whitespace()
+            .nth(1)
+            .and_then(|g| g.chars().next())
+            .unwrap_or('?');
+        let (px, py) = (x_of(p.frac_ai), y_of(p.frac_roofline));
+        let cell = &mut grid[py][px];
+        *cell = match *cell {
+            ' ' | '.' => glyph,
+            prev if prev == glyph => glyph,
+            _ => '*',
+        };
+    }
+
+    let mut out = String::from(
+        "potential speed-up plane (A=A100 M=MI250X P=PVC, '.' = 2x/4x iso-curves)\n",
+    );
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "frac 1.0 |".to_string()
+        } else if i == PLOT_H - 1 {
+            "     0.0 |".to_string()
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("         +");
+    out.push_str(&"-".repeat(PLOT_W));
+    out.push_str("\n          0.0        fraction of theoretical AI         1.0\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{fig3, fig7};
+    use crate::testutil::shared_sweep;
+
+    #[test]
+    fn roofline_plot_contains_all_glyphs() {
+        let panels = fig3(shared_sweep());
+        let s = roofline_ascii(&panels[0]);
+        assert!(s.contains('B'));
+        assert!(s.contains('/'), "memory diagonal missing");
+        assert!(s.lines().count() > PLOT_H);
+    }
+
+    #[test]
+    fn roofline_plot_header_row_has_no_points() {
+        // nothing can sit above the plot's top (1.2x the compute peak)
+        let panels = fig3(shared_sweep());
+        for p in &panels {
+            let s = roofline_ascii(p);
+            let top = s.lines().nth(1).unwrap(); // first grid row
+            assert!(
+                !top.contains('B') && !top.contains('a') && !top.contains('*'),
+                "{} {}: point above the plot ceiling",
+                p.gpu,
+                p.model
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_plot_draws_points_and_curves() {
+        let pts = fig7(shared_sweep());
+        let s = speedup_ascii(&pts);
+        assert!(s.contains('.'));
+        assert!(s.contains('A') || s.contains('*'));
+        assert!(s.contains("fraction of theoretical AI"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Rendering: text tables for the terminal and CSV/JSON artifacts on
+//! disk.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::figures::{CorrelationFigure, Fig3Panel, Fig4Group};
+use crate::runner::Sweep;
+use crate::tables::{PortabilityTable, Table2Row, Table4Row};
+
+/// Render a generic text table with a header row.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{c:>w$}", w = w);
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Render Table 1.
+pub fn render_table1(rows: &[[String; 4]]) -> String {
+    render_table(
+        &["system", "model", "paper toolchain", "simulated equivalent"],
+        &rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>(),
+    )
+}
+
+/// Render Table 2.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    render_table(
+        &["shape", "radius", "points", "unique coefficients"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.shape.clone(),
+                    r.radius.to_string(),
+                    r.points.to_string(),
+                    r.unique_coefficients.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Render Table 4.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    render_table(
+        &["shape", "points", "theoretical AI (FLOP/Byte)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.shape.clone(),
+                    r.points.to_string(),
+                    format!("{:.4}", r.theoretical_ai),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Render a portability table (Table 3 or 5), with the consistency
+/// statistics (min/max ratio and coefficient of variation) of the
+/// related P3HPC literature appended per row.
+pub fn render_portability(t: &PortabilityTable) -> String {
+    let mut header: Vec<&str> = vec!["stencil"];
+    header.extend(t.columns.iter().map(String::as_str));
+    header.push("P");
+    header.push("min/max");
+    let mut rows = Vec::new();
+    for (stencil, effs, p) in &t.rows {
+        let cons = perf_portability::consistency(effs);
+        let mut row = vec![stencil.clone()];
+        row.extend(effs.iter().map(|e| format!("{:.0}%", e * 100.0)));
+        row.push(format!("{:.0}%", p * 100.0));
+        row.push(format!("{:.2}", cons.min_max_ratio));
+        rows.push(row);
+    }
+    let mut out = format!("efficiency: {}\n", t.efficiency);
+    out.push_str(&render_table(&header, &rows));
+    let _ = writeln!(out, "overall P: {:.0}%", t.overall_p * 100.0);
+    out
+}
+
+/// Render a Fig. 3 panel as a text table (AI/GFLOPs per point plus the
+/// ceilings).
+pub fn render_fig3(panels: &[Fig3Panel]) -> String {
+    let mut out = String::new();
+    for p in panels {
+        let _ = writeln!(
+            out,
+            "--- {} / {} (empirical peak {:.0} GFLOP/s, bw {:.0} GB/s, ridge AI {:.2}) ---",
+            p.gpu,
+            p.model,
+            p.roofline.peak_gflops,
+            p.roofline.bandwidth_gbs,
+            p.roofline.ridge_ai()
+        );
+        let rows: Vec<Vec<String>> = p
+            .points
+            .iter()
+            .map(|(config, stencil, ai, gflops)| {
+                vec![
+                    stencil.clone(),
+                    config.to_string(),
+                    format!("{ai:.3}"),
+                    format!("{gflops:.0}"),
+                    format!("{:.0}%", 100.0 * gflops / p.roofline.attainable(*ai)),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &["stencil", "config", "AI", "GFLOP/s", "% roofline"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Fig. 4 as text.
+pub fn render_fig4(groups: &[Fig4Group]) -> String {
+    let mut out = String::new();
+    for g in groups {
+        let _ = writeln!(out, "--- L1 data movement: {} / {} ---", g.gpu, g.model);
+        let rows: Vec<Vec<String>> = g
+            .bars
+            .iter()
+            .map(|(config, stencil, bytes)| {
+                vec![
+                    stencil.clone(),
+                    config.to_string(),
+                    format!("{:.3}", *bytes as f64 / 1e9),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(&["stencil", "config", "L1 GB"], &rows));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a correlation figure (Fig. 5 / Fig. 6) as text.
+pub fn render_correlation(f: &CorrelationFigure, title: &str) -> String {
+    let mut out = format!(
+        "--- {title}: {} vs {} on {} ---\n",
+        f.y_model, f.x_model, f.gpu
+    );
+    let rows: Vec<Vec<String>> = f
+        .perf_points
+        .iter()
+        .zip(&f.bytes_points)
+        .map(|(p, b)| {
+            vec![
+                p.label.clone(),
+                format!("{:.0}", p.y),
+                format!("{:.0}", p.x),
+                format!("{:.2}", b.y / 1e9),
+                format!("{:.2}", b.x / 1e9),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "config",
+            &format!("{} GFLOP/s", f.y_model),
+            &format!("{} GFLOP/s", f.x_model),
+            &format!("{} GB", f.y_model),
+            &format!("{} GB", f.x_model),
+        ],
+        &rows,
+    ));
+    let _ = writeln!(
+        out,
+        "perf: {} wins {:.0}% of points, geomean ratio {:.2}x, log-pearson {:.3}",
+        f.y_model,
+        f.perf.frac_y_wins * 100.0,
+        f.perf.geomean_ratio,
+        f.perf.log_pearson
+    );
+    let _ = writeln!(
+        out,
+        "bytes: theoretical lower bound {:.2} GB, geomean ratio {:.2}x",
+        f.bytes_lower_bound as f64 / 1e9,
+        f.bytes.geomean_ratio
+    );
+    out
+}
+
+/// Write the full sweep as CSV (one row per record).
+pub fn write_sweep_csv(sweep: &Sweep, path: &Path) -> io::Result<()> {
+    let mut out = String::from(
+        "stencil,config,gpu,model,gflops,ai,theoretical_ai,frac_roofline,\
+         frac_theoretical_ai,l1_bytes,l2_bytes,dram_bytes,time_s,occupancy,\
+         regs_per_thread,spilled,limiter\n",
+    );
+    for r in &sweep.records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.3},{:.5},{:.5},{:.5},{:.5},{},{},{},{:.6e},{:.4},{},{},{}",
+            r.stencil,
+            r.config.label().replace(' ', "-"),
+            r.gpu,
+            r.model,
+            r.gflops,
+            r.ai,
+            r.theoretical_ai,
+            r.frac_roofline,
+            r.frac_theoretical_ai,
+            r.l1_bytes,
+            r.l2_bytes,
+            r.dram_bytes,
+            r.time_s,
+            r.occupancy,
+            r.regs_per_thread,
+            r.spilled,
+            r.limiter,
+        );
+    }
+    fs::write(path, out)
+}
+
+/// Write any serialisable artifact as JSON.
+pub fn write_json<T: serde::Serialize>(value: &T, path: &Path) -> io::Result<()> {
+    let s = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables;
+
+    #[test]
+    fn generic_table_alignment() {
+        let t = render_table(
+            &["a", "bb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "200".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("10  200"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn static_tables_render() {
+        assert!(render_table1(&tables::table1()).contains("Perlmutter"));
+        assert!(render_table2(&tables::table2()).contains("125"));
+        assert!(render_table4(&tables::table4()).contains("8.3750"));
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let sweep = crate::testutil::shared_sweep();
+        let dir = std::env::temp_dir().join("bricks_repro_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.csv");
+        write_sweep_csv(sweep, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 1 + sweep.records.len());
+        assert!(content.starts_with("stencil,config"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn portability_rendering() {
+        let t = tables::table3(crate::testutil::shared_sweep());
+        let s = render_portability(&t);
+        assert!(s.contains("overall P:"));
+        assert!(s.contains("7pt"));
+    }
+}

@@ -1,0 +1,509 @@
+//! Sectored, set-associative cache model.
+//!
+//! Matches the structure GPU profilers expose: lines carry per-sector
+//! valid/dirty bits, fills happen at sector granularity, LRU replacement
+//! within a set. Two write policies cover the hierarchy:
+//!
+//! * GPU L1s are **write-through, no-write-allocate** for global stores;
+//! * the device L2 is **write-back, write-allocate**, except that a write
+//!   covering a whole sector allocates without fetching (which is why the
+//!   full-row stores of the generated kernels reach the theoretical
+//!   2-bytes-per-point minimum, §5.2.1).
+//!
+//! Every transaction to the next level is reported through a callback so
+//! the hierarchy can be composed without materialising miss streams.
+
+use serde::{Deserialize, Serialize};
+
+/// Write policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Stores pass to the next level immediately and do not allocate.
+    ThroughNoAllocate,
+    /// Stores allocate and mark sectors dirty; dirty sectors are written
+    /// back on eviction (or flush).
+    BackAllocate,
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Line size in bytes (tag granularity).
+    pub line: usize,
+    /// Sector size in bytes (fill granularity; `line % sector == 0`).
+    pub sector: usize,
+    /// Associativity (lines per set).
+    pub assoc: usize,
+    /// Write policy.
+    pub write: WritePolicy,
+}
+
+impl CacheConfig {
+    fn num_sets(&self) -> usize {
+        let sets = self.bytes / (self.line * self.assoc);
+        assert!(sets > 0, "cache smaller than one set");
+        sets
+    }
+}
+
+/// Byte counters of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Transactions presented to this level.
+    pub accesses: u64,
+    /// Bytes requested of this level, rounded to touched sectors — the
+    /// "data movement" a profiler reports for the level.
+    pub requested_bytes: u64,
+    /// Sector hits.
+    pub hit_sectors: u64,
+    /// Sector misses (fills from the next level).
+    pub miss_sectors: u64,
+    /// Bytes filled from the next level.
+    pub fill_bytes: u64,
+    /// Bytes written to the next level (write-through traffic or dirty
+    /// write-backs).
+    pub writeout_bytes: u64,
+    /// Cache lines visited, counting one per distinct line per request —
+    /// the "wavefronts" a GPU L1 serialises on (one line per cycle).
+    pub line_visits: u64,
+}
+
+impl CacheStats {
+    /// Sector hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hit_sectors + self.miss_sectors;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hit_sectors as f64 / total as f64
+    }
+
+    /// Total bytes exchanged with the next level.
+    pub fn next_level_bytes(&self) -> u64 {
+        self.fill_bytes + self.writeout_bytes
+    }
+
+    /// Bytes the cache *delivers* at line granularity
+    /// (`line_visits × line size`) — the bandwidth-relevant volume for a
+    /// one-line-per-cycle data path.
+    pub fn delivered_bytes(&self, line: usize) -> u64 {
+        self.line_visits * line as u64
+    }
+
+    /// Accumulate another stats block (used to merge per-SM L1s).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.requested_bytes += other.requested_bytes;
+        self.hit_sectors += other.hit_sectors;
+        self.miss_sectors += other.miss_sectors;
+        self.fill_bytes += other.fill_bytes;
+        self.writeout_bytes += other.writeout_bytes;
+        self.line_visits += other.line_visits;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    valid: u32,
+    dirty: u32,
+    last_use: u64,
+}
+
+/// One cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    sectors_per_line: u32,
+    /// Running statistics.
+    pub stats: CacheStats,
+}
+
+/// A transaction this level issues to the next one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextLevel {
+    /// Address of the sector.
+    pub addr: u64,
+    /// Bytes (always one sector).
+    pub bytes: u32,
+    /// True for write-backs / write-throughs; false for fills.
+    pub is_write: bool,
+}
+
+impl Cache {
+    /// Empty cache of the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two() && cfg.sector.is_power_of_two());
+        assert_eq!(cfg.line % cfg.sector, 0);
+        assert!(cfg.assoc >= 1);
+        let sets = cfg.num_sets();
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); sets],
+            clock: 0,
+            sectors_per_line: (cfg.line / cfg.sector) as u32,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Present a read of `bytes` at `addr`; next-level transactions are
+    /// reported through `next`.
+    pub fn read(&mut self, addr: u64, bytes: u32, next: &mut impl FnMut(NextLevel)) {
+        self.access(addr, bytes, false, next)
+    }
+
+    /// Present a write of `bytes` at `addr`.
+    pub fn write(&mut self, addr: u64, bytes: u32, next: &mut impl FnMut(NextLevel)) {
+        self.access(addr, bytes, true, next)
+    }
+
+    fn access(&mut self, addr: u64, bytes: u32, is_write: bool, next: &mut impl FnMut(NextLevel)) {
+        debug_assert!(bytes > 0);
+        self.stats.accesses += 1;
+        self.clock += 1;
+        let sector = self.cfg.sector as u64;
+        let line = self.cfg.line as u64;
+        let mut s = addr & !(sector - 1);
+        let end = addr + bytes as u64;
+        let mut last_line = u64::MAX;
+        while s < end {
+            let this_line = s & !(line - 1);
+            if this_line != last_line {
+                self.stats.line_visits += 1;
+                last_line = this_line;
+            }
+            // Full coverage means the write overwrites the whole sector,
+            // permitting allocate-without-fetch.
+            let full = is_write && s >= addr && s + sector <= end;
+            self.touch_sector(s, is_write, full, next);
+            s += sector;
+        }
+    }
+
+    fn touch_sector(
+        &mut self,
+        sector_addr: u64,
+        is_write: bool,
+        full_cover: bool,
+        next: &mut impl FnMut(NextLevel),
+    ) {
+        let cfg = self.cfg;
+        self.stats.requested_bytes += cfg.sector as u64;
+        let line_addr = sector_addr & !(cfg.line as u64 - 1);
+        let sector_idx = ((sector_addr - line_addr) / cfg.sector as u64) as u32;
+        let bit = 1u32 << sector_idx;
+        let set_idx = ((line_addr / cfg.line as u64) as usize) % self.sets.len();
+        let tag = line_addr / cfg.line as u64;
+        let clock = self.clock;
+
+        if is_write && cfg.write == WritePolicy::ThroughNoAllocate {
+            // Write-through: forward, update in place if present.
+            next(NextLevel {
+                addr: sector_addr,
+                bytes: cfg.sector as u32,
+                is_write: true,
+            });
+            self.stats.writeout_bytes += cfg.sector as u64;
+            let set = &mut self.sets[set_idx];
+            if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
+                l.last_use = clock;
+                // sector contents refreshed; validity unchanged
+            }
+            return;
+        }
+
+        let set = &mut self.sets[set_idx];
+        if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
+            l.last_use = clock;
+            if l.valid & bit != 0 {
+                self.stats.hit_sectors += 1;
+                if is_write {
+                    l.dirty |= bit;
+                }
+                return;
+            }
+            // line present, sector not resident
+            self.stats.miss_sectors += 1;
+            if is_write && full_cover {
+                l.valid |= bit;
+                l.dirty |= bit;
+                return;
+            }
+            next(NextLevel {
+                addr: sector_addr,
+                bytes: cfg.sector as u32,
+                is_write: false,
+            });
+            self.stats.fill_bytes += cfg.sector as u64;
+            l.valid |= bit;
+            if is_write {
+                l.dirty |= bit;
+            }
+            return;
+        }
+
+        // Line miss: allocate, possibly evicting LRU.
+        self.stats.miss_sectors += 1;
+        if set.len() >= cfg.assoc {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let victim = set.swap_remove(lru);
+            Self::write_back_line(&cfg, self.sectors_per_line, &victim, &mut self.stats, next);
+        }
+        let mut line = Line {
+            tag,
+            valid: 0,
+            dirty: 0,
+            last_use: clock,
+        };
+        if is_write && full_cover {
+            line.valid |= bit;
+            line.dirty |= bit;
+        } else {
+            next(NextLevel {
+                addr: sector_addr,
+                bytes: cfg.sector as u32,
+                is_write: false,
+            });
+            self.stats.fill_bytes += cfg.sector as u64;
+            line.valid |= bit;
+            if is_write {
+                line.dirty |= bit;
+            }
+        }
+        self.sets[set_idx].push(line);
+    }
+
+    fn write_back_line(
+        cfg: &CacheConfig,
+        sectors_per_line: u32,
+        line: &Line,
+        stats: &mut CacheStats,
+        next: &mut impl FnMut(NextLevel),
+    ) {
+        if line.dirty == 0 {
+            return;
+        }
+        let base = line.tag * cfg.line as u64;
+        for s in 0..sectors_per_line {
+            if line.dirty & (1 << s) != 0 {
+                next(NextLevel {
+                    addr: base + s as u64 * cfg.sector as u64,
+                    bytes: cfg.sector as u32,
+                    is_write: true,
+                });
+                stats.writeout_bytes += cfg.sector as u64;
+            }
+        }
+    }
+
+    /// Write back every dirty sector (end-of-kernel accounting) and clear
+    /// the contents.
+    pub fn flush(&mut self, next: &mut impl FnMut(NextLevel)) {
+        let cfg = self.cfg;
+        let spl = self.sectors_per_line;
+        for set in &mut self.sets {
+            for line in set.drain(..) {
+                Self::write_back_line(&cfg, spl, &line, &mut self.stats, next);
+            }
+        }
+    }
+
+    /// Drop contents without writing back (between independent kernels).
+    pub fn invalidate(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1_cfg() -> CacheConfig {
+        CacheConfig {
+            bytes: 4096,
+            line: 128,
+            sector: 32,
+            assoc: 4,
+            write: WritePolicy::ThroughNoAllocate,
+        }
+    }
+
+    fn l2_cfg() -> CacheConfig {
+        CacheConfig {
+            bytes: 4096,
+            line: 128,
+            sector: 32,
+            assoc: 4,
+            write: WritePolicy::BackAllocate,
+        }
+    }
+
+    fn collect(c: &mut Cache, addr: u64, bytes: u32, is_write: bool) -> Vec<NextLevel> {
+        let mut out = Vec::new();
+        if is_write {
+            c.write(addr, bytes, &mut |t| out.push(t));
+        } else {
+            c.read(addr, bytes, &mut |t| out.push(t));
+        }
+        out
+    }
+
+    #[test]
+    fn cold_read_fills_per_sector() {
+        let mut c = Cache::new(l2_cfg());
+        let t = collect(&mut c, 0, 128, false);
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|x| !x.is_write && x.bytes == 32));
+        assert_eq!(c.stats.miss_sectors, 4);
+        assert_eq!(c.stats.requested_bytes, 128);
+    }
+
+    #[test]
+    fn warm_read_hits() {
+        let mut c = Cache::new(l2_cfg());
+        collect(&mut c, 0, 128, false);
+        let t = collect(&mut c, 0, 128, false);
+        assert!(t.is_empty());
+        assert_eq!(c.stats.hit_sectors, 4);
+    }
+
+    #[test]
+    fn unaligned_read_touches_extra_sector() {
+        let mut c = Cache::new(l2_cfg());
+        // 64 bytes starting at 16 spans sectors 0,16..etc: [0,32),[32,64),[64,96)
+        let t = collect(&mut c, 16, 64, false);
+        assert_eq!(t.len(), 3);
+        assert_eq!(c.stats.requested_bytes, 96);
+    }
+
+    #[test]
+    fn full_sector_write_allocates_without_fetch() {
+        let mut c = Cache::new(l2_cfg());
+        let t = collect(&mut c, 0, 128, true);
+        assert!(t.is_empty(), "no fetch on full-sector store");
+        assert_eq!(c.stats.fill_bytes, 0);
+        // flush writes the dirty sectors back
+        let mut wb = Vec::new();
+        c.flush(&mut |t| wb.push(t));
+        assert_eq!(wb.len(), 4);
+        assert!(wb.iter().all(|x| x.is_write));
+    }
+
+    #[test]
+    fn partial_sector_write_fetches_then_dirties() {
+        let mut c = Cache::new(l2_cfg());
+        let t = collect(&mut c, 8, 8, true);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].is_write, "partial write must fetch");
+        let mut wb = Vec::new();
+        c.flush(&mut |t| wb.push(t));
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb[0].bytes, 32);
+    }
+
+    #[test]
+    fn write_through_forwards_and_does_not_allocate() {
+        let mut c = Cache::new(l1_cfg());
+        let t = collect(&mut c, 0, 64, true);
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|x| x.is_write));
+        assert_eq!(c.stats.writeout_bytes, 64);
+        // subsequent read misses (store did not allocate)
+        let t = collect(&mut c, 0, 32, false);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].is_write);
+    }
+
+    #[test]
+    fn lru_eviction_and_capacity() {
+        // 4096B, 128B lines, assoc 4 -> 8 sets; lines mapping to set 0 are
+        // 1KB apart
+        let mut c = Cache::new(l2_cfg());
+        for i in 0..5u64 {
+            collect(&mut c, i * 1024, 32, false);
+        }
+        // line 0 was LRU and must have been evicted: rereading it misses
+        let before = c.stats.miss_sectors;
+        collect(&mut c, 0, 32, false);
+        assert_eq!(c.stats.miss_sectors, before + 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = Cache::new(l2_cfg());
+        let mut wb = Vec::new();
+        c.write(0, 32, &mut |t| wb.push(t));
+        for i in 1..5u64 {
+            c.read(i * 1024, 32, &mut |t| wb.push(t));
+        }
+        assert!(
+            wb.iter().any(|t| t.is_write && t.addr == 0),
+            "evicting the dirty line must write it back: {wb:?}"
+        );
+    }
+
+    #[test]
+    fn hit_rate_and_merge() {
+        let mut c = Cache::new(l2_cfg());
+        collect(&mut c, 0, 32, false);
+        collect(&mut c, 0, 32, false);
+        assert!((c.stats.hit_rate() - 0.5).abs() < 1e-12);
+        let mut total = CacheStats::default();
+        total.merge(&c.stats);
+        total.merge(&c.stats);
+        assert_eq!(total.accesses, 2 * c.stats.accesses);
+    }
+
+    #[test]
+    fn invalidate_drops_without_writeback() {
+        let mut c = Cache::new(l2_cfg());
+        collect(&mut c, 0, 32, true);
+        c.invalidate();
+        let mut wb = Vec::new();
+        c.flush(&mut |t| wb.push(t));
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn non_pow2_set_count_supported() {
+        // 192 KB / (128 B x 8) = 192 sets, as on the A100 L1
+        let mut c = Cache::new(CacheConfig {
+            bytes: 192 * 1024,
+            line: 128,
+            sector: 32,
+            assoc: 8,
+            write: WritePolicy::BackAllocate,
+        });
+        collect(&mut c, 0, 32, false);
+        collect(&mut c, 0, 32, false);
+        assert_eq!(c.stats.hit_sectors, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one set")]
+    fn degenerate_cache_rejected() {
+        let _ = Cache::new(CacheConfig {
+            bytes: 64,
+            line: 128,
+            sector: 32,
+            assoc: 4,
+            write: WritePolicy::BackAllocate,
+        });
+    }
+}

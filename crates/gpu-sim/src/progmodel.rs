@@ -1,0 +1,240 @@
+//! Programming-model compiler models (§4.2 and Table 1).
+//!
+//! The paper compiles the same kernels with the vendor model (CUDA on
+//! NVIDIA, HIP on AMD) and with SYCL, and attributes the performance gaps
+//! it observes to compiler maturity: scalar-code quality, register
+//! allocation, and shuffle lowering. This module models those mechanisms
+//! so the gaps *emerge* from instruction counts, register pressure and
+//! spill traffic rather than from hard-coded slowdown factors:
+//!
+//! * **scalar CSE** — vendor compilers hoist and reuse the address
+//!   arithmetic of a gather loop; the portable compiler recomputes most of
+//!   it per tap (more integer instructions per load);
+//! * **register allocation** — the portable compiler keeps more
+//!   intermediate values live and spills sooner (a lower effective
+//!   register ceiling), producing local-memory traffic that rides the
+//!   whole memory hierarchy;
+//! * **shuffle lowering** — `sub_group_shuffle_*` lowers to a two-
+//!   instruction sequence where the native intrinsics need one.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::arch::GpuKind;
+
+/// The programming models of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProgModel {
+    /// NVIDIA CUDA.
+    Cuda,
+    /// AMD HIP (on NVIDIA it wraps the CUDA toolchain).
+    Hip,
+    /// SYCL (intel-llvm / DPC++ / oneAPI).
+    Sycl,
+}
+
+impl fmt::Display for ProgModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgModel::Cuda => f.write_str("CUDA"),
+            ProgModel::Hip => f.write_str("HIP"),
+            ProgModel::Sycl => f.write_str("SYCL"),
+        }
+    }
+}
+
+impl ProgModel {
+    /// Whether this model is supported on a GPU (Table 1: CUDA+HIP+SYCL on
+    /// Perlmutter, HIP+SYCL on Crusher, SYCL on Florentia).
+    pub fn supports(&self, gpu: GpuKind) -> bool {
+        matches!(
+            (self, gpu),
+            (ProgModel::Cuda, GpuKind::A100)
+                | (ProgModel::Hip, GpuKind::A100 | GpuKind::Mi250xGcd)
+                | (ProgModel::Sycl, _)
+        )
+    }
+
+    /// The `(GPU, model)` pairs evaluated in the paper's figures.
+    pub fn paper_matrix() -> Vec<(GpuKind, ProgModel)> {
+        vec![
+            (GpuKind::A100, ProgModel::Cuda),
+            (GpuKind::A100, ProgModel::Hip),
+            (GpuKind::A100, ProgModel::Sycl),
+            (GpuKind::Mi250xGcd, ProgModel::Hip),
+            (GpuKind::Mi250xGcd, ProgModel::Sycl),
+            (GpuKind::PvcStack, ProgModel::Sycl),
+        ]
+    }
+
+    /// The five platform columns of Tables 3 and 5 (HIP-on-A100 is the
+    /// CUDA wrapper and is not reported separately).
+    pub fn portability_columns() -> Vec<(GpuKind, ProgModel)> {
+        vec![
+            (GpuKind::A100, ProgModel::Cuda),
+            (GpuKind::A100, ProgModel::Sycl),
+            (GpuKind::Mi250xGcd, ProgModel::Hip),
+            (GpuKind::Mi250xGcd, ProgModel::Sycl),
+            (GpuKind::PvcStack, ProgModel::Sycl),
+        ]
+    }
+}
+
+/// Compiler-quality parameters for one `(GPU, model)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompilerModel {
+    /// The programming model.
+    pub model: ProgModel,
+    /// Whether the scalar path reuses hoisted address arithmetic.
+    pub scalar_cse: bool,
+    /// Integer/address instructions issued per memory access in scalar
+    /// code.
+    pub addr_instrs_per_access: f64,
+    /// Extra always-live registers (addressing, descriptors, indices).
+    pub reg_overhead: u32,
+    /// Multiplier on the kernel's own register demand (allocator quality).
+    pub reg_inflation: f64,
+    /// Effective per-thread register ceiling before the compiler spills.
+    pub spill_ceiling: u32,
+    /// Instructions per lane-shuffle primitive.
+    pub shuffle_instrs: f64,
+    /// Fraction of peak instruction issue the generated code sustains.
+    pub issue_efficiency: f64,
+}
+
+impl CompilerModel {
+    /// The compiler model used for `model` on `gpu`; `None` when the pair
+    /// is unsupported.
+    pub fn resolve(gpu: GpuKind, model: ProgModel) -> Option<CompilerModel> {
+        if !model.supports(gpu) {
+            return None;
+        }
+        Some(match (gpu, model) {
+            // Native toolchains: good CSE, lean registers, 1-instruction
+            // shuffles.
+            (GpuKind::A100, ProgModel::Cuda) => CompilerModel {
+                model,
+                scalar_cse: true,
+                addr_instrs_per_access: 1.3,
+                reg_overhead: 16,
+                reg_inflation: 1.0,
+                spill_ceiling: 255,
+                shuffle_instrs: 1.0,
+                issue_efficiency: 0.85,
+            },
+            // HIP on Perlmutter wraps the NVIDIA compiler (§4.2): same
+            // generated code, same performance.
+            (GpuKind::A100, ProgModel::Hip) => CompilerModel {
+                model,
+                ..Self::resolve(GpuKind::A100, ProgModel::Cuda).unwrap()
+            },
+            (GpuKind::Mi250xGcd, ProgModel::Hip) => CompilerModel {
+                model,
+                scalar_cse: true,
+                addr_instrs_per_access: 1.4,
+                reg_overhead: 18,
+                reg_inflation: 1.05,
+                spill_ceiling: 255,
+                shuffle_instrs: 1.0,
+                issue_efficiency: 0.8,
+            },
+            // SYCL: portable compiler; weaker scalar optimisation, higher
+            // register pressure, earlier spills, two-instruction shuffles.
+            (GpuKind::A100, ProgModel::Sycl) => CompilerModel {
+                model,
+                scalar_cse: false,
+                addr_instrs_per_access: 3.2,
+                reg_overhead: 26,
+                reg_inflation: 1.25,
+                spill_ceiling: 128,
+                shuffle_instrs: 2.0,
+                issue_efficiency: 0.7,
+            },
+            (GpuKind::Mi250xGcd, ProgModel::Sycl) => CompilerModel {
+                model,
+                scalar_cse: false,
+                addr_instrs_per_access: 2.6,
+                reg_overhead: 24,
+                reg_inflation: 1.2,
+                spill_ceiling: 160,
+                shuffle_instrs: 2.0,
+                issue_efficiency: 0.72,
+            },
+            // oneAPI on its own hardware: portable front end, mature
+            // native back end.
+            (GpuKind::PvcStack, ProgModel::Sycl) => CompilerModel {
+                model,
+                scalar_cse: false,
+                addr_instrs_per_access: 2.4,
+                reg_overhead: 22,
+                reg_inflation: 1.15,
+                spill_ceiling: 192,
+                shuffle_instrs: 2.0,
+                issue_efficiency: 0.75,
+            },
+            _ => unreachable!("supports() gates unsupported pairs"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_matrix_matches_table1() {
+        assert!(ProgModel::Cuda.supports(GpuKind::A100));
+        assert!(!ProgModel::Cuda.supports(GpuKind::Mi250xGcd));
+        assert!(!ProgModel::Cuda.supports(GpuKind::PvcStack));
+        assert!(ProgModel::Hip.supports(GpuKind::A100));
+        assert!(ProgModel::Hip.supports(GpuKind::Mi250xGcd));
+        assert!(!ProgModel::Hip.supports(GpuKind::PvcStack));
+        for g in [GpuKind::A100, GpuKind::Mi250xGcd, GpuKind::PvcStack] {
+            assert!(ProgModel::Sycl.supports(g));
+        }
+    }
+
+    #[test]
+    fn paper_matrix_has_six_combinations() {
+        assert_eq!(ProgModel::paper_matrix().len(), 6);
+        assert_eq!(ProgModel::portability_columns().len(), 5);
+    }
+
+    #[test]
+    fn hip_on_a100_is_the_cuda_wrapper() {
+        let cuda = CompilerModel::resolve(GpuKind::A100, ProgModel::Cuda).unwrap();
+        let hip = CompilerModel::resolve(GpuKind::A100, ProgModel::Hip).unwrap();
+        assert_eq!(hip.scalar_cse, cuda.scalar_cse);
+        assert_eq!(hip.reg_overhead, cuda.reg_overhead);
+        assert_eq!(hip.shuffle_instrs, cuda.shuffle_instrs);
+        assert_eq!(hip.issue_efficiency, cuda.issue_efficiency);
+        assert_eq!(hip.model, ProgModel::Hip);
+    }
+
+    #[test]
+    fn unsupported_pairs_resolve_to_none() {
+        assert!(CompilerModel::resolve(GpuKind::PvcStack, ProgModel::Cuda).is_none());
+        assert!(CompilerModel::resolve(GpuKind::PvcStack, ProgModel::Hip).is_none());
+        assert!(CompilerModel::resolve(GpuKind::Mi250xGcd, ProgModel::Cuda).is_none());
+    }
+
+    #[test]
+    fn sycl_is_modelled_weaker_than_native() {
+        for gpu in [GpuKind::A100, GpuKind::Mi250xGcd] {
+            let native = CompilerModel::resolve(
+                gpu,
+                if gpu == GpuKind::A100 {
+                    ProgModel::Cuda
+                } else {
+                    ProgModel::Hip
+                },
+            )
+            .unwrap();
+            let sycl = CompilerModel::resolve(gpu, ProgModel::Sycl).unwrap();
+            assert!(!sycl.scalar_cse && native.scalar_cse);
+            assert!(sycl.addr_instrs_per_access > native.addr_instrs_per_access);
+            assert!(sycl.spill_ceiling < native.spill_ceiling);
+            assert!(sycl.shuffle_instrs > native.shuffle_instrs);
+        }
+    }
+}

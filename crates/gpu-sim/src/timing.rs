@@ -1,0 +1,251 @@
+//! Occupancy and kernel-time models.
+//!
+//! Time follows the hierarchical Roofline the paper evaluates against
+//! (§4.4): a kernel is limited by the slowest of the DRAM, L2 and L1
+//! byte streams, the FP64 pipes, and instruction issue — with the memory
+//! terms derated when occupancy is too low to cover latency.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::GpuArch;
+use crate::compiler::CompiledKernel;
+use crate::dram::PageStats;
+use crate::progmodel::CompilerModel;
+
+/// Resident-block/warp picture of a kernel on one SM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Thread blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM.
+    pub resident_warps: u32,
+    /// Fraction of the SM's maximum resident warps.
+    pub occupancy: f64,
+}
+
+/// Compute occupancy from register and thread limits.
+pub fn occupancy(arch: &GpuArch, k: &CompiledKernel) -> Occupancy {
+    let regs_per_block = (k.regs_per_thread.max(1) * k.threads_per_block).max(1);
+    let by_regs = arch.regfile_per_sm / regs_per_block;
+    let by_threads = arch.max_threads_per_sm / k.threads_per_block.max(1);
+    let blocks = by_regs.min(by_threads).min(arch.max_blocks_per_sm).max(1);
+    let resident_warps = (blocks * k.warps_per_block).min(arch.max_warps_per_sm());
+    Occupancy {
+        blocks_per_sm: blocks,
+        resident_warps,
+        occupancy: resident_warps as f64 / arch.max_warps_per_sm() as f64,
+    }
+}
+
+/// Byte totals produced by the memory-hierarchy simulation (plus spill
+/// traffic added by the assembler).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemCounters {
+    /// Bytes requested of the L1s (sector-rounded) — the paper's Fig. 4
+    /// metric.
+    pub l1_bytes: u64,
+    /// Bytes requested of the L2.
+    pub l2_bytes: u64,
+    /// Bytes exchanged with HBM — the paper's "Bytes accessed" metric
+    /// (Figs. 5 and 6, right panels).
+    pub dram_bytes: u64,
+    /// HBM read component of `dram_bytes`.
+    pub dram_read_bytes: u64,
+    /// HBM write component of `dram_bytes`.
+    pub dram_write_bytes: u64,
+    /// Row-buffer locality of the HBM stream.
+    pub pages: PageStats,
+}
+
+/// Per-limiter times in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// HBM stream time.
+    pub t_dram: f64,
+    /// L2 stream time.
+    pub t_l2: f64,
+    /// Aggregate L1 stream time.
+    pub t_l1: f64,
+    /// FP64 pipe time.
+    pub t_fp64: f64,
+    /// Instruction-issue time.
+    pub t_issue: f64,
+    /// Kernel time: the maximum of the limiter times.
+    pub time: f64,
+}
+
+impl TimeBreakdown {
+    /// Name of the binding limiter.
+    pub fn limiter(&self) -> &'static str {
+        let pairs = [
+            ("DRAM", self.t_dram),
+            ("L2", self.t_l2),
+            ("L1", self.t_l1),
+            ("FP64", self.t_fp64),
+            ("issue", self.t_issue),
+        ];
+        pairs
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, _)| *n)
+            .unwrap_or("DRAM")
+    }
+}
+
+/// Kernel-time model.
+///
+/// `mem` carries the simulated byte totals (spill traffic already folded
+/// in); `num_blocks` is the launch size.
+pub fn kernel_time(
+    arch: &GpuArch,
+    cm: &CompilerModel,
+    k: &CompiledKernel,
+    mem: &MemCounters,
+    num_blocks: u64,
+) -> TimeBreakdown {
+    let occ = occupancy(arch, k);
+    // Streaming memory saturates once enough warps are resident; below
+    // that, effective bandwidth falls off linearly (latency-bound).
+    let mem_derate = (occ.occupancy / arch.bw_saturation_occupancy).min(1.0);
+    let giga = 1e9;
+
+    // Row-buffer locality scales the achievable pin bandwidth: many
+    // interleaved address streams (the tiled-array kernels) thrash the
+    // open pages, a brick's single stream keeps them open (paper §3).
+    let page_eff = mem.pages.efficiency();
+    let t_dram = mem.dram_bytes as f64 / (arch.hbm_gbs * giga * mem_derate * page_eff);
+    let t_l2 = mem.l2_bytes as f64 / (arch.l2_gbs * giga * mem_derate);
+    let t_l1 = mem.l1_bytes as f64 / (arch.l1_gbs * giga * mem_derate);
+
+    let flops = k.exec_flops_per_block as f64 * num_blocks as f64;
+    let t_fp64 = flops / (arch.fp64_gflops * giga * cm.issue_efficiency);
+
+    let instrs = k.instrs_per_block * num_blocks as f64;
+    let issue_rate = arch.issue_per_cycle
+        * arch.clock_ghz
+        * giga
+        * arch.num_sms as f64
+        * cm.issue_efficiency
+        * mem_derate.max(0.25);
+    let t_issue = instrs / issue_rate;
+
+    let time = t_dram.max(t_l2).max(t_l1).max(t_fp64).max(t_issue);
+    TimeBreakdown {
+        t_dram,
+        t_l2,
+        t_l1,
+        t_fp64,
+        t_issue,
+        time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuKind;
+    use crate::progmodel::ProgModel;
+
+    fn toy_kernel(regs: u32, threads: u32, warps: u32) -> CompiledKernel {
+        CompiledKernel {
+            name: "toy".into(),
+            regs_per_thread: regs,
+            threads_per_block: threads,
+            warps_per_block: warps,
+            instrs_per_block: 100.0,
+            exec_flops_per_block: 1000,
+            spill_read_bytes_per_block: 0,
+            spill_write_bytes_per_block: 0,
+        }
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let arch = GpuArch::a100();
+        // 256 regs * 512 threads = 131072 > 65536 regfile -> 0 -> clamp 1
+        let heavy = occupancy(&arch, &toy_kernel(255, 512, 16));
+        assert_eq!(heavy.blocks_per_sm, 1);
+        // 32 regs * 512 threads = 16384 -> 4 blocks by regs, 4 by threads
+        let light = occupancy(&arch, &toy_kernel(32, 512, 16));
+        assert_eq!(light.blocks_per_sm, 4);
+        assert!(light.occupancy > heavy.occupancy);
+    }
+
+    #[test]
+    fn occupancy_limited_by_block_cap_for_tiny_blocks() {
+        let arch = GpuArch::a100();
+        // single-warp blocks hit the 32-blocks/SM cap: 32 warps of 64
+        let o = occupancy(&arch, &toy_kernel(64, 32, 1));
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.resident_warps, 32);
+        assert!((o.occupancy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_kernel_times_by_dram() {
+        let arch = GpuArch::a100();
+        let cm = CompilerModel::resolve(GpuKind::A100, ProgModel::Cuda).unwrap();
+        let k = toy_kernel(32, 512, 16);
+        let mem = MemCounters {
+            l1_bytes: 4 << 30,
+            l2_bytes: 3 << 30,
+            dram_bytes: 2 << 30,
+            ..Default::default()
+        };
+        let t = kernel_time(&arch, &cm, &k, &mem, 1000);
+        assert_eq!(t.limiter(), "DRAM");
+        // 2 GiB over 1555 GB/s at full derate
+        let expect = (2u64 << 30) as f64 / (1555.0 * 1e9);
+        assert!((t.t_dram - expect).abs() / expect < 1e-9);
+        assert_eq!(t.time, t.t_dram);
+    }
+
+    #[test]
+    fn low_occupancy_derates_bandwidth() {
+        let arch = GpuArch::a100();
+        let cm = CompilerModel::resolve(GpuKind::A100, ProgModel::Cuda).unwrap();
+        let mem = MemCounters {
+            l1_bytes: 1 << 30,
+            l2_bytes: 1 << 30,
+            dram_bytes: 1 << 30,
+            ..Default::default()
+        };
+        let well = kernel_time(&arch, &cm, &toy_kernel(32, 512, 16), &mem, 100);
+        // 255 regs force a single resident block; 4 warps of 64 = 6.25%
+        // occupancy, far below the 25% saturation point
+        let poorly = kernel_time(&arch, &cm, &toy_kernel(255, 512, 4), &mem, 100);
+        assert!(poorly.t_dram > well.t_dram);
+    }
+
+    #[test]
+    fn compute_bound_kernel_times_by_fp64() {
+        let arch = GpuArch::a100();
+        let cm = CompilerModel::resolve(GpuKind::A100, ProgModel::Cuda).unwrap();
+        let mut k = toy_kernel(32, 512, 16);
+        k.exec_flops_per_block = 1 << 30;
+        let mem = MemCounters {
+            l1_bytes: 1 << 20,
+            l2_bytes: 1 << 20,
+            dram_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let t = kernel_time(&arch, &cm, &k, &mem, 1000);
+        assert_eq!(t.limiter(), "FP64");
+    }
+
+    #[test]
+    fn issue_bound_kernel() {
+        let arch = GpuArch::a100();
+        let cm = CompilerModel::resolve(GpuKind::A100, ProgModel::Sycl).unwrap();
+        let mut k = toy_kernel(64, 512, 16);
+        k.instrs_per_block = 1e7;
+        let mem = MemCounters {
+            l1_bytes: 1 << 20,
+            l2_bytes: 1 << 20,
+            dram_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let t = kernel_time(&arch, &cm, &k, &mem, 1000);
+        assert_eq!(t.limiter(), "issue");
+    }
+}

@@ -1,0 +1,111 @@
+//! Consistency statistics over per-platform efficiencies.
+//!
+//! The paper's related work (Deakin et al., P3HPC'19; Kwack et al.,
+//! P3HPC'21 — both cited in §2) pairs Pennycook's P with statistics that
+//! capture how *uniform* the efficiency is across platforms: an
+//! application can have a respectable harmonic mean while being carried
+//! by one platform. These helpers quantify that spread.
+
+use serde::{Deserialize, Serialize};
+
+/// Spread statistics for a set of per-platform efficiencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Consistency {
+    /// Smallest efficiency.
+    pub min: f64,
+    /// Largest efficiency.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Coefficient of variation (`stddev / mean`) — Kwack et al.'s
+    /// uniformity statistic; 0 means perfectly consistent.
+    pub cv: f64,
+    /// `min / max` — Deakin et al.'s spread ratio; 1 means perfectly
+    /// consistent.
+    pub min_max_ratio: f64,
+}
+
+/// Compute consistency statistics. Panics on an empty set or
+/// non-positive efficiencies (measurement errors).
+pub fn consistency(efficiencies: &[f64]) -> Consistency {
+    assert!(!efficiencies.is_empty(), "no efficiencies");
+    let n = efficiencies.len() as f64;
+    let mut min = f64::MAX;
+    let mut max = 0.0f64;
+    let mut sum = 0.0;
+    for &e in efficiencies {
+        assert!(e > 0.0, "efficiency must be positive, got {e}");
+        min = min.min(e);
+        max = max.max(e);
+        sum += e;
+    }
+    let mean = sum / n;
+    let var = efficiencies
+        .iter()
+        .map(|e| (e - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let stddev = var.sqrt();
+    Consistency {
+        min,
+        max,
+        mean,
+        stddev,
+        cv: stddev / mean,
+        min_max_ratio: min / max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_efficiencies_are_perfectly_consistent() {
+        let c = consistency(&[0.7, 0.7, 0.7]);
+        assert!(c.cv < 1e-12);
+        assert_eq!(c.min_max_ratio, 1.0);
+        assert!(c.stddev < 1e-12);
+        assert!((c.mean - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spread_detected() {
+        let c = consistency(&[0.9, 0.3]);
+        assert!((c.min - 0.3).abs() < 1e-15);
+        assert!((c.max - 0.9).abs() < 1e-15);
+        assert!((c.min_max_ratio - 1.0 / 3.0).abs() < 1e-12);
+        assert!(c.cv > 0.4);
+    }
+
+    #[test]
+    fn paper_table3_7pt_row_consistency() {
+        // 95, 84, 66, 68, 77 % — consistent enough that P ≈ mean
+        let c = consistency(&[0.95, 0.84, 0.66, 0.68, 0.77]);
+        assert!(c.min_max_ratio > 0.65);
+        assert!(c.cv < 0.2);
+        let p = crate::pennycook_p(&[Some(0.95), Some(0.84), Some(0.66), Some(0.68), Some(0.77)]);
+        assert!((p - c.mean).abs() < 0.05, "harmonic ≈ arithmetic when consistent");
+    }
+
+    #[test]
+    fn single_platform() {
+        let c = consistency(&[0.5]);
+        assert_eq!(c.min_max_ratio, 1.0);
+        assert_eq!(c.cv, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no efficiencies")]
+    fn empty_panics() {
+        let _ = consistency(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_panics() {
+        let _ = consistency(&[0.5, 0.0]);
+    }
+}

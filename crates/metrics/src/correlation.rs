@@ -1,0 +1,148 @@
+//! The paper's correlation model (contribution 3, Figs. 5 and 6):
+//! scatter one programming model's metric against another's on the same
+//! GPU, measurement by measurement, and summarise the relationship.
+//!
+//! Points above the `y = x` diagonal mean the y-axis model wins; the
+//! distance from the diagonal is the per-configuration ratio; a high
+//! Pearson correlation in log space means the two models respond to the
+//! same bottlenecks even when one is uniformly slower.
+
+use serde::{Deserialize, Serialize};
+
+/// One paired measurement: the same `(stencil, kernel)` configuration
+/// under two programming models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairedPoint {
+    /// Configuration label, e.g. `"13pt bricks-codegen"`.
+    pub label: String,
+    /// Metric under the y-axis model (e.g. CUDA GFLOP/s).
+    pub y: f64,
+    /// Metric under the x-axis model (e.g. SYCL GFLOP/s).
+    pub x: f64,
+}
+
+/// Summary of a correlation plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationSummary {
+    /// Number of points.
+    pub n: usize,
+    /// Fraction of points strictly above the diagonal (y wins).
+    pub frac_y_wins: f64,
+    /// Geometric mean of `y / x` — the typical ratio between the models.
+    pub geomean_ratio: f64,
+    /// Largest `y / x` over the points.
+    pub max_ratio: f64,
+    /// Smallest `y / x` over the points.
+    pub min_ratio: f64,
+    /// Pearson correlation of `(log x, log y)`.
+    pub log_pearson: f64,
+}
+
+/// Correlate paired measurements. Panics on non-positive metrics (both
+/// axes are rates or byte counts).
+pub fn correlate(points: &[PairedPoint]) -> CorrelationSummary {
+    assert!(!points.is_empty(), "no points to correlate");
+    let n = points.len();
+    let mut wins = 0usize;
+    let mut log_ratio_sum = 0.0;
+    let mut max_ratio = f64::MIN;
+    let mut min_ratio = f64::MAX;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for p in points {
+        assert!(p.x > 0.0 && p.y > 0.0, "metrics must be positive: {p:?}");
+        if p.y > p.x {
+            wins += 1;
+        }
+        let r = p.y / p.x;
+        log_ratio_sum += r.ln();
+        max_ratio = max_ratio.max(r);
+        min_ratio = min_ratio.min(r);
+        let (lx, ly) = (p.x.ln(), p.y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        syy += ly * ly;
+        sxy += lx * ly;
+    }
+    let nf = n as f64;
+    let cov = sxy - sx * sy / nf;
+    let vx = sxx - sx * sx / nf;
+    let vy = syy - sy * sy / nf;
+    let log_pearson = if vx <= 0.0 || vy <= 0.0 {
+        // a degenerate (constant) axis carries no correlation signal
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    };
+    CorrelationSummary {
+        n,
+        frac_y_wins: wins as f64 / nf,
+        geomean_ratio: (log_ratio_sum / nf).exp(),
+        max_ratio,
+        min_ratio,
+        log_pearson,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(y: f64, x: f64) -> PairedPoint {
+        PairedPoint {
+            label: String::new(),
+            y,
+            x,
+        }
+    }
+
+    #[test]
+    fn identical_models_sit_on_diagonal() {
+        let s = correlate(&[pt(1.0, 1.0), pt(5.0, 5.0), pt(100.0, 100.0)]);
+        assert_eq!(s.frac_y_wins, 0.0);
+        assert!((s.geomean_ratio - 1.0).abs() < 1e-12);
+        assert!((s.log_pearson - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_advantage_detected() {
+        // y model is uniformly 2x the x model: perfectly correlated,
+        // geomean ratio 2
+        let s = correlate(&[pt(2.0, 1.0), pt(20.0, 10.0), pt(60.0, 30.0)]);
+        assert_eq!(s.frac_y_wins, 1.0);
+        assert!((s.geomean_ratio - 2.0).abs() < 1e-12);
+        assert!((s.log_pearson - 1.0).abs() < 1e-9);
+        assert!((s.max_ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_wins() {
+        let s = correlate(&[pt(2.0, 1.0), pt(1.0, 2.0)]);
+        assert!((s.frac_y_wins - 0.5).abs() < 1e-12);
+        assert!((s.geomean_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anticorrelated_models() {
+        let s = correlate(&[pt(1.0, 8.0), pt(2.0, 4.0), pt(4.0, 2.0), pt(8.0, 1.0)]);
+        assert!(s.log_pearson < -0.99);
+    }
+
+    #[test]
+    fn degenerate_axis_yields_zero_correlation() {
+        let s = correlate(&[pt(1.0, 3.0), pt(2.0, 3.0), pt(4.0, 3.0)]);
+        assert_eq!(s.log_pearson, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_metric_panics() {
+        let _ = correlate(&[pt(0.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_panics() {
+        let _ = correlate(&[]);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # perf-portability
+//!
+//! The performance-portability analysis tools of the paper's §5.2:
+//!
+//! * [`pennycook`] — the Pennycook/Sewall/Lee metric **P** (harmonic mean
+//!   of per-platform efficiencies, zero if any platform is unsupported),
+//!   with the paper's two efficiency definitions: fraction of the
+//!   Roofline and fraction of theoretical arithmetic intensity;
+//! * [`correlation`] — the paper's *correlation model*: paired
+//!   measurements of two programming models on one GPU (Figs. 5–6),
+//!   summarised by diagonal position, geometric-mean ratio and Pearson
+//!   correlation;
+//! * [`speedup`] — the *potential speed-up* plot (Fig. 7): fraction of
+//!   theoretical AI × fraction of Roofline, with iso-speed-up curves;
+//! * [`consistency`] — the efficiency-spread statistics of the related
+//!   P3HPC literature the paper cites (min/max ratio, coefficient of
+//!   variation).
+
+pub mod consistency;
+pub mod correlation;
+pub mod pennycook;
+pub mod speedup;
+
+pub use consistency::{consistency, Consistency};
+pub use correlation::{correlate, CorrelationSummary, PairedPoint};
+pub use pennycook::{pennycook_p, Efficiency};
+pub use speedup::{iso_speedup_curve, potential_speedup, SpeedupPoint};

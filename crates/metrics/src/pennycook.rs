@@ -1,0 +1,112 @@
+//! The Pennycook performance-portability metric.
+//!
+//! For an application `a` solving problem `p` on a platform set `H`:
+//!
+//! ```text
+//!            |H|
+//! P = ─────────────────     if a is supported on every i ∈ H, else 0
+//!      Σ_{i∈H} 1 / e_i(a,p)
+//! ```
+//!
+//! The paper instantiates the efficiency `e_i` two ways: *fraction of the
+//! Roofline at the empirical AI* (Table 3) and *fraction of theoretical
+//! arithmetic intensity* (Table 5).
+
+use serde::{Deserialize, Serialize};
+
+/// A per-platform efficiency observation in `[0, 1]`-ish space (values
+/// slightly above 1 can occur with empirical ceilings and are accepted).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Efficiency {
+    /// Platform label (e.g. `"A100 CUDA"`).
+    pub platform: &'static str,
+    /// Efficiency `e_i(a, p)`, or `None` when the application does not
+    /// run on the platform.
+    pub value: Option<f64>,
+}
+
+/// Harmonic-mean performance portability over a platform set.
+///
+/// Returns 0 when any platform is unsupported (per the metric's
+/// definition) or when the set is empty. Panics on non-positive
+/// efficiencies, which are measurement errors.
+pub fn pennycook_p(efficiencies: &[Option<f64>]) -> f64 {
+    if efficiencies.is_empty() {
+        return 0.0;
+    }
+    let mut inv_sum = 0.0;
+    for e in efficiencies {
+        match e {
+            None => return 0.0,
+            Some(v) => {
+                assert!(*v > 0.0, "efficiency must be positive, got {v}");
+                inv_sum += 1.0 / v;
+            }
+        }
+    }
+    efficiencies.len() as f64 / inv_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_efficiencies_pass_through() {
+        let p = pennycook_p(&[Some(0.8), Some(0.8), Some(0.8)]);
+        assert!((p - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_below_arithmetic() {
+        let p = pennycook_p(&[Some(0.9), Some(0.3)]);
+        let harmonic: f64 = 2.0 / (1.0 / 0.9 + 1.0 / 0.3);
+        assert!((p - harmonic).abs() < 1e-12);
+        assert!(p < 0.6); // arithmetic mean
+        assert!(p > 0.3); // min
+    }
+
+    #[test]
+    fn unsupported_platform_zeroes_p() {
+        assert_eq!(pennycook_p(&[Some(0.9), None, Some(0.8)]), 0.0);
+    }
+
+    #[test]
+    fn empty_set_is_zero() {
+        assert_eq!(pennycook_p(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_platform_is_its_efficiency() {
+        assert!((pennycook_p(&[Some(0.66)]) - 0.66).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_by_min_and_max() {
+        let es = [0.47, 0.69, 0.79, 0.92, 0.53];
+        let p = pennycook_p(&es.iter().map(|e| Some(*e)).collect::<Vec<_>>());
+        let min = es.iter().cloned().fold(f64::MAX, f64::min);
+        let max = es.iter().cloned().fold(0.0f64, f64::max);
+        assert!(p >= min && p <= max);
+    }
+
+    #[test]
+    fn paper_table3_7pt_row_reproduces() {
+        // Table 3, 7pt row: 95%, 84%, 66%, 68%, 77% -> P = 77%
+        let p = pennycook_p(&[Some(0.95), Some(0.84), Some(0.66), Some(0.68), Some(0.77)]);
+        assert!((p - 0.77).abs() < 0.005, "{p}");
+    }
+
+    #[test]
+    fn paper_table5_13pt_row_reproduces() {
+        // Table 5, 13pt row: 92%, 88%, 66%, 48%, 92% -> P = 72%
+        let p = pennycook_p(&[Some(0.92), Some(0.88), Some(0.66), Some(0.48), Some(0.92)]);
+        assert!((p - 0.72).abs() < 0.005, "{p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_efficiency_panics() {
+        let _ = pennycook_p(&[Some(0.0)]);
+    }
+}

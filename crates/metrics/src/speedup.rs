@@ -1,0 +1,111 @@
+//! The potential speed-up plot (paper Fig. 7, contribution 3).
+//!
+//! Each configuration is placed at `(fraction of theoretical AI, fraction
+//! of Roofline)`. A point at `(fai, fr)` could in principle speed up by
+//! `1 / (fai · fr)` through any mix of improved data locality (move right)
+//! and improved code generation / bandwidth utilisation (move up);
+//! iso-curves of constant product are the guide lines of the figure.
+
+use serde::{Deserialize, Serialize};
+
+/// One configuration on the potential speed-up plane.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Configuration label, e.g. `"125pt MI250X HIP"`.
+    pub label: String,
+    /// Fraction of theoretical arithmetic intensity (x-axis).
+    pub frac_ai: f64,
+    /// Fraction of the Roofline (y-axis).
+    pub frac_roofline: f64,
+}
+
+impl SpeedupPoint {
+    /// Potential speed-up of this configuration.
+    pub fn potential(&self) -> f64 {
+        potential_speedup(self.frac_ai, self.frac_roofline)
+    }
+}
+
+/// Potential speed-up from improving locality and/or code generation:
+/// `1 / (frac_ai × frac_roofline)`.
+pub fn potential_speedup(frac_ai: f64, frac_roofline: f64) -> f64 {
+    assert!(
+        frac_ai > 0.0 && frac_roofline > 0.0,
+        "fractions must be positive"
+    );
+    1.0 / (frac_ai * frac_roofline)
+}
+
+/// Sample the iso-curve of constant potential speed-up `s` over
+/// `frac_ai ∈ (0, 1]`: returns `(frac_ai, frac_roofline)` pairs with
+/// `frac_ai · frac_roofline = 1/s`, clipped to the unit square.
+pub fn iso_speedup_curve(s: f64, samples: usize) -> Vec<(f64, f64)> {
+    assert!(s >= 1.0, "speed-up below 1 is not an improvement");
+    assert!(samples >= 2);
+    let mut out = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let fai = (i + 1) as f64 / samples as f64;
+        let fr = 1.0 / (s * fai);
+        if fr <= 1.0 {
+            out.push((fai, fr));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_point_has_no_headroom() {
+        assert!((potential_speedup(1.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_quadrant_examples() {
+        // §5.2.2: points at ~50% on both axes have 2x–4x potential
+        let s = potential_speedup(0.5, 0.5);
+        assert!((s - 4.0).abs() < 1e-12);
+        // high AI fraction, half Roofline -> ~2x from code generation
+        let s = potential_speedup(0.95, 0.5);
+        assert!(s > 2.0 && s < 2.2);
+    }
+
+    #[test]
+    fn point_wrapper_consistent() {
+        let p = SpeedupPoint {
+            label: "t".into(),
+            frac_ai: 0.8,
+            frac_roofline: 0.25,
+        };
+        assert!((p.potential() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iso_curve_lies_on_constant_product() {
+        for (fai, fr) in iso_speedup_curve(4.0, 64) {
+            assert!((fai * fr - 0.25).abs() < 1e-12);
+            assert!(fr <= 1.0 && fai <= 1.0);
+        }
+    }
+
+    #[test]
+    fn iso_curve_clips_to_unit_square() {
+        let pts = iso_speedup_curve(2.0, 100);
+        // frac_ai below 0.5 would need frac_roofline > 1: clipped away
+        assert!(pts.iter().all(|(fai, _)| *fai >= 0.5 - 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fraction_panics() {
+        let _ = potential_speedup(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an improvement")]
+    fn sub_unit_speedup_panics() {
+        let _ = iso_speedup_curve(0.5, 10);
+    }
+}

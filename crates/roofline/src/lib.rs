@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! # roofline
+//!
+//! The Roofline performance model (Williams, Waterman, Patterson) and a
+//! mixbench-style microbenchmark that derives *empirical* ceilings from
+//! the GPU simulator — the same method the paper uses to draw its
+//! Roofline plots (§4.4: mixbench for A100/MI250X, Intel Advisor for
+//! PVC).
+
+pub mod mixbench;
+pub mod model;
+
+pub use mixbench::{empirical_roofline, measure, mixbench_sweep, MixbenchPoint};
+pub use model::Roofline;

@@ -1,0 +1,155 @@
+//! A mixbench-style microbenchmark over the simulated GPUs.
+//!
+//! mixbench (Konstantinidis & Cotronis) runs a family of kernels whose
+//! arithmetic intensity is a compile-time parameter — each element is
+//! streamed once and receives `k` fused multiply-adds — and reads the
+//! empirical memory and compute ceilings off the resulting curve. We do
+//! exactly that against the simulator's compiler/occupancy/timing models,
+//! so the "empirical" Roofline reflects what the simulated machine +
+//! programming model can actually deliver, not the vendor datasheet.
+
+use serde::{Deserialize, Serialize};
+
+use gpu_sim::{
+    kernel_time, CompiledKernel, CompilerModel, GpuArch, MemCounters, ProgModel,
+};
+
+use crate::model::Roofline;
+
+/// One point of the mixbench sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixbenchPoint {
+    /// FMAs per element.
+    pub flops_per_element: u32,
+    /// Arithmetic intensity in FLOP/Byte.
+    pub ai: f64,
+    /// Measured GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Synthetic streaming kernel: grid-stride loop, one read + one write per
+/// element, `k` FMAs in between.
+fn streaming_kernel(k: u32, elements: u64, blocks: u64) -> CompiledKernel {
+    let threads = 256u32;
+    let per_block = elements / blocks;
+    CompiledKernel {
+        name: format!("mixbench_k{k}"),
+        regs_per_thread: 40,
+        threads_per_block: threads,
+        warps_per_block: 8,
+        // load + store + k FMAs + loop overhead, per element
+        instrs_per_block: per_block as f64 * (2.0 + k as f64 + 4.0) / 32.0,
+        exec_flops_per_block: 2 * k as u64 * per_block,
+        spill_read_bytes_per_block: 0,
+        spill_write_bytes_per_block: 0,
+    }
+}
+
+/// Run the sweep for one `(architecture, model)` pair; `None` when the
+/// model is unsupported there.
+pub fn mixbench_sweep(arch: &GpuArch, model: ProgModel) -> Option<Vec<MixbenchPoint>> {
+    let cm = CompilerModel::resolve(arch.kind, model)?;
+    // 256 MiB of doubles streamed in and out, like mixbench's buffer.
+    let elements: u64 = 32 * 1024 * 1024;
+    let bytes = elements * 16;
+    let blocks = 16 * arch.num_sms as u64;
+    let mut out = Vec::new();
+    for k in [0u32, 1, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let kern = streaming_kernel(k, elements, blocks);
+        let flops = 2 * k as u64 * elements;
+        let mem = MemCounters {
+            l1_bytes: bytes,
+            l2_bytes: bytes,
+            dram_bytes: bytes,
+            dram_read_bytes: bytes / 2,
+            dram_write_bytes: bytes / 2,
+            // mixbench streams two perfectly contiguous buffers: the row
+            // buffers stay open (one activation per KiB page)
+            pages: gpu_sim::PageStats {
+                hits: bytes / 32 - bytes / 1024,
+                misses: bytes / 1024,
+            },
+        };
+        let t = kernel_time(arch, &cm, &kern, &mem, blocks);
+        let ai = flops as f64 / bytes as f64;
+        out.push(MixbenchPoint {
+            flops_per_element: k,
+            ai,
+            gflops: flops as f64 / t.time / 1e9,
+        });
+    }
+    Some(out)
+}
+
+/// Fit the empirical Roofline from a sweep: bandwidth from the
+/// memory-bound points, peak from the top of the curve.
+pub fn empirical_roofline(points: &[MixbenchPoint]) -> Roofline {
+    let bw = points
+        .iter()
+        .filter(|p| p.ai > 0.0)
+        .map(|p| p.gflops / p.ai)
+        .fold(0.0f64, f64::max);
+    let peak = points.iter().map(|p| p.gflops).fold(0.0f64, f64::max);
+    Roofline::from_ceilings(peak, bw)
+}
+
+/// Convenience: empirical Roofline for `(arch, model)`, `None` when
+/// unsupported.
+pub fn measure(arch: &GpuArch, model: ProgModel) -> Option<Roofline> {
+    mixbench_sweep(arch, model).map(|pts| empirical_roofline(&pts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuKind;
+
+    #[test]
+    fn sweep_is_monotone_then_saturates() {
+        let arch = GpuArch::a100();
+        let pts = mixbench_sweep(&arch, ProgModel::Cuda).unwrap();
+        assert!(pts.len() >= 8);
+        for w in pts.windows(2) {
+            assert!(w[1].gflops >= w[0].gflops * 0.999, "{w:?}");
+        }
+        let last = pts.last().unwrap();
+        let prev = &pts[pts.len() - 2];
+        // compute-bound tail: doubling AI no longer doubles GFLOP/s
+        assert!(last.gflops / prev.gflops < 1.5);
+    }
+
+    #[test]
+    fn empirical_ceilings_below_theoretical() {
+        for arch in GpuArch::all() {
+            let r = measure(&arch, ProgModel::Sycl).unwrap();
+            assert!(r.peak_gflops <= arch.fp64_gflops * 1.001, "{}", arch.name);
+            assert!(r.bandwidth_gbs <= arch.hbm_gbs * 1.001, "{}", arch.name);
+            // and not absurdly low either
+            assert!(r.peak_gflops >= 0.4 * arch.fp64_gflops, "{}", arch.name);
+            assert!(r.bandwidth_gbs >= 0.6 * arch.hbm_gbs, "{}", arch.name);
+        }
+    }
+
+    #[test]
+    fn cuda_ceilings_at_least_sycl_on_a100() {
+        let arch = GpuArch::a100();
+        let cuda = measure(&arch, ProgModel::Cuda).unwrap();
+        let sycl = measure(&arch, ProgModel::Sycl).unwrap();
+        assert!(cuda.peak_gflops >= sycl.peak_gflops);
+        assert!(cuda.bandwidth_gbs >= sycl.bandwidth_gbs * 0.999);
+    }
+
+    #[test]
+    fn unsupported_pair_is_none() {
+        assert!(mixbench_sweep(&GpuArch::pvc_stack(), ProgModel::Cuda).is_none());
+        assert_eq!(GpuArch::pvc_stack().kind, GpuKind::PvcStack);
+    }
+
+    #[test]
+    fn k0_point_has_zero_ai() {
+        let pts = mixbench_sweep(&GpuArch::mi250x_gcd(), ProgModel::Hip).unwrap();
+        assert_eq!(pts[0].flops_per_element, 0);
+        assert_eq!(pts[0].ai, 0.0);
+        assert_eq!(pts[0].gflops, 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The Roofline model: attainable performance as a function of arithmetic
+//! intensity.
+
+use serde::{Deserialize, Serialize};
+
+use gpu_sim::GpuArch;
+
+/// A two-ceiling Roofline: one memory-bandwidth diagonal and one compute
+/// roof.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Compute roof in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Memory ceiling in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl Roofline {
+    /// Theoretical roofline of an architecture (vendor peaks).
+    pub fn theoretical(arch: &GpuArch) -> Self {
+        Roofline {
+            peak_gflops: arch.fp64_gflops,
+            bandwidth_gbs: arch.hbm_gbs,
+        }
+    }
+
+    /// Roofline from explicitly measured ceilings (e.g. a mixbench sweep).
+    pub fn from_ceilings(peak_gflops: f64, bandwidth_gbs: f64) -> Self {
+        assert!(peak_gflops > 0.0 && bandwidth_gbs > 0.0);
+        Roofline {
+            peak_gflops,
+            bandwidth_gbs,
+        }
+    }
+
+    /// Attainable GFLOP/s at arithmetic intensity `ai` (FLOP/Byte).
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (self.bandwidth_gbs * ai).min(self.peak_gflops)
+    }
+
+    /// The ridge point: the AI where the diagonal meets the roof.
+    pub fn ridge_ai(&self) -> f64 {
+        self.peak_gflops / self.bandwidth_gbs
+    }
+
+    /// Fraction of the Roofline achieved by a measurement — the
+    /// performance-efficiency `e_i(a, p)` of the paper's Table 3.
+    pub fn fraction(&self, gflops: f64, ai: f64) -> f64 {
+        gflops / self.attainable(ai)
+    }
+
+    /// True if a kernel at `ai` sits in the memory-bound regime.
+    pub fn memory_bound(&self, ai: f64) -> bool {
+        ai < self.ridge_ai()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rl() -> Roofline {
+        Roofline::from_ceilings(10_000.0, 1_500.0)
+    }
+
+    #[test]
+    fn attainable_is_min_of_ceilings() {
+        let r = rl();
+        assert_eq!(r.attainable(1.0), 1_500.0);
+        assert_eq!(r.attainable(100.0), 10_000.0);
+        let ridge = r.ridge_ai();
+        assert!((r.attainable(ridge) - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_of_roofline() {
+        let r = rl();
+        // memory bound: 750 GFLOP/s at AI 1 is half the 1500 attainable
+        assert!((r.fraction(750.0, 1.0) - 0.5).abs() < 1e-12);
+        // compute bound
+        assert!((r.fraction(5_000.0, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regime_classification() {
+        let r = rl();
+        assert!(r.memory_bound(1.0));
+        assert!(!r.memory_bound(10.0));
+    }
+
+    #[test]
+    fn theoretical_matches_arch() {
+        let arch = GpuArch::a100();
+        let r = Roofline::theoretical(&arch);
+        assert_eq!(r.peak_gflops, arch.fp64_gflops);
+        assert_eq!(r.bandwidth_gbs, arch.hbm_gbs);
+        // paper stencils (AI ≤ 8.375) are memory-bound on every GPU except
+        // near the A100 ridge
+        assert!(r.memory_bound(1.875));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ceiling_rejected() {
+        let _ = Roofline::from_ceilings(0.0, 10.0);
+    }
+}

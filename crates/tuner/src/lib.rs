@@ -1,0 +1,362 @@
+#![warn(missing_docs)]
+
+//! # brick-tuner
+//!
+//! Autotuning over brick dimension, memory ordering and code-generation
+//! strategy. The paper attributes BrickLib's performance portability to
+//! exactly this search ("With the addition of autotuning for brick
+//! dimension, layout, and ordering, BrickLib demonstrates some level of
+//! performance portability", §3) and names brick-size tuning as the path
+//! to the remaining 2–4× of its potential-speed-up plot (§5.2.2).
+//!
+//! The tuner enumerates a [`TuningSpace`], simulates every candidate on
+//! the target GPU/programming model, and ranks by simulated GFLOP/s:
+//!
+//! ```no_run
+//! use brick_tuner::{autotune, TuningSpace};
+//! use brick_dsl::shape::StencilShape;
+//! use gpu_sim::{GpuArch, ProgModel};
+//!
+//! let result = autotune(
+//!     &StencilShape::star(2),
+//!     &GpuArch::a100(),
+//!     ProgModel::Cuda,
+//!     128,
+//!     &TuningSpace::default(),
+//! )
+//! .unwrap();
+//! println!("best: {} at {:.0} GFLOP/s", result.best().0, result.best().1);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use brick_codegen::{generate, CodegenOptions, LayoutKind, Strategy};
+use brick_core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
+use brick_dsl::shape::StencilShape;
+use brick_dsl::StencilAnalysis;
+use brick_vm::{KernelSpec, TraceGeometry};
+use gpu_sim::{simulate, GpuArch, ProgModel, SimResult};
+
+/// One candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TuningPoint {
+    /// Brick `y` extent.
+    pub by: usize,
+    /// Brick `z` extent.
+    pub bz: usize,
+    /// Brick memory ordering.
+    pub ordering: BrickOrdering,
+    /// Codegen scheduling strategy (never `Auto` in results).
+    pub strategy: Strategy,
+}
+
+impl fmt::Display for TuningPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}xW {:?} {}",
+            self.bz, self.by, self.ordering, self.strategy
+        )
+    }
+}
+
+/// The search space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuningSpace {
+    /// Candidate `(by, bz)` brick extents.
+    pub block_yz: Vec<(usize, usize)>,
+    /// Candidate memory orderings.
+    pub orderings: Vec<BrickOrdering>,
+    /// Candidate strategies.
+    pub strategies: Vec<Strategy>,
+}
+
+impl Default for TuningSpace {
+    fn default() -> Self {
+        TuningSpace {
+            block_yz: vec![(2, 2), (4, 2), (2, 4), (4, 4), (8, 4), (4, 8), (8, 8)],
+            orderings: vec![BrickOrdering::Lexicographic, BrickOrdering::Morton],
+            strategies: vec![Strategy::Gather, Strategy::Scatter],
+        }
+    }
+}
+
+impl TuningSpace {
+    /// A minimal space (the paper's fixed 4×4 brick, both strategies).
+    pub fn minimal() -> Self {
+        TuningSpace {
+            block_yz: vec![(4, 4)],
+            orderings: vec![BrickOrdering::Lexicographic],
+            strategies: vec![Strategy::Gather, Strategy::Scatter],
+        }
+    }
+
+    /// Number of raw candidates before feasibility filtering.
+    pub fn len(&self) -> usize {
+        self.block_yz.len() * self.orderings.len() * self.strategies.len()
+    }
+
+    /// True if the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Errors from the tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    /// The programming model is not supported on the GPU.
+    Unsupported(ProgModel),
+    /// No candidate in the space was feasible for the stencil/domain.
+    NoFeasiblePoint,
+    /// Domain extent incompatible with the architecture SIMD width.
+    BadDomain(String),
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Unsupported(m) => write!(f, "{m} unsupported on this GPU"),
+            TuneError::NoFeasiblePoint => f.write_str("no feasible tuning point"),
+            TuneError::BadDomain(e) => write!(f, "bad domain: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Outcome of a search: every evaluated point with its simulation,
+/// sorted best-first.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// `(point, result)` pairs, best GFLOP/s first.
+    pub ranked: Vec<(TuningPoint, SimResult)>,
+    /// Points skipped as infeasible (reach exceeds the brick, indivisible
+    /// domain), with the reason.
+    pub skipped: Vec<(TuningPoint, String)>,
+}
+
+impl TuningResult {
+    /// The winning point and its GFLOP/s.
+    pub fn best(&self) -> (TuningPoint, f64) {
+        let (p, r) = &self.ranked[0];
+        (*p, r.gflops)
+    }
+
+    /// Speed-up of the best point over the worst evaluated one.
+    pub fn spread(&self) -> f64 {
+        let best = self.ranked.first().map(|(_, r)| r.gflops).unwrap_or(0.0);
+        let worst = self.ranked.last().map(|(_, r)| r.gflops).unwrap_or(best);
+        best / worst
+    }
+
+    /// Speed-up of the best point over the paper's fixed `4×4×W` gather
+    /// default, if that point was evaluated.
+    pub fn gain_over_default(&self) -> Option<f64> {
+        let default = self
+            .ranked
+            .iter()
+            .find(|(p, _)| p.by == 4 && p.bz == 4 && p.ordering == BrickOrdering::Lexicographic)
+            .map(|(_, r)| r.gflops)?;
+        Some(self.best().1 / default)
+    }
+}
+
+/// Search the space for the fastest bricks-codegen configuration of
+/// `shape` on `arch` under `model`, over an `n³` domain.
+pub fn autotune(
+    shape: &StencilShape,
+    arch: &GpuArch,
+    model: ProgModel,
+    n: usize,
+    space: &TuningSpace,
+) -> Result<TuningResult, TuneError> {
+    if !model.supports(arch.kind) {
+        return Err(TuneError::Unsupported(model));
+    }
+    let w = arch.simd_width;
+    if n == 0 || !n.is_multiple_of(w) {
+        return Err(TuneError::BadDomain(format!(
+            "extent {n} not a multiple of the SIMD width {w}"
+        )));
+    }
+    let stencil = shape.stencil();
+    let bindings = stencil.default_bindings();
+    let analysis = StencilAnalysis::of_shape(shape);
+    let radius = shape.radius as usize;
+
+    let mut ranked = Vec::new();
+    let mut skipped = Vec::new();
+    for &(by, bz) in &space.block_yz {
+        for &ordering in &space.orderings {
+            for &strategy in &space.strategies {
+                let point = TuningPoint {
+                    by,
+                    bz,
+                    ordering,
+                    strategy,
+                };
+                if !n.is_multiple_of(by) || !n.is_multiple_of(bz) {
+                    skipped.push((point, format!("domain {n} not divisible by {by}x{bz}")));
+                    continue;
+                }
+                let kernel = match generate(
+                    &stencil,
+                    &bindings,
+                    LayoutKind::Brick,
+                    w,
+                    CodegenOptions {
+                        strategy,
+                        block_yz: (by, bz),
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        skipped.push((point, e.to_string()));
+                        continue;
+                    }
+                };
+                let decomp = Arc::new(BrickDecomp::new(
+                    (n, n, n),
+                    BrickDims::new(w, by, bz),
+                    radius,
+                    ordering,
+                ));
+                let geom = TraceGeometry::brick(Arc::new(BrickNav::new(decomp)));
+                let sim = simulate(
+                    &KernelSpec::Vector(kernel),
+                    &geom,
+                    arch,
+                    model,
+                    analysis.flops_per_point,
+                )
+                .expect("support checked above");
+                ranked.push((point, sim));
+            }
+        }
+    }
+    if ranked.is_empty() {
+        return Err(TuneError::NoFeasiblePoint);
+    }
+    ranked.sort_by(|a, b| b.1.gflops.total_cmp(&a.1.gflops));
+    Ok(TuningResult { ranked, skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> TuningSpace {
+        TuningSpace {
+            block_yz: vec![(4, 4), (8, 8)],
+            orderings: vec![BrickOrdering::Lexicographic],
+            strategies: vec![Strategy::Gather, Strategy::Scatter],
+        }
+    }
+
+    #[test]
+    fn tuner_ranks_candidates() {
+        let r = autotune(
+            &StencilShape::star(1),
+            &GpuArch::a100(),
+            ProgModel::Cuda,
+            64,
+            &small_space(),
+        )
+        .unwrap();
+        assert_eq!(r.ranked.len(), 4);
+        // ranking is descending
+        for w in r.ranked.windows(2) {
+            assert!(w[0].1.gflops >= w[1].1.gflops);
+        }
+        assert!(r.spread() >= 1.0);
+    }
+
+    #[test]
+    fn infeasible_points_are_reported_not_fatal() {
+        // radius 4 does not fit a 2x2 brick
+        let space = TuningSpace {
+            block_yz: vec![(2, 2), (4, 4)],
+            orderings: vec![BrickOrdering::Lexicographic],
+            strategies: vec![Strategy::Gather],
+        };
+        let r = autotune(
+            &StencilShape::star(4),
+            &GpuArch::a100(),
+            ProgModel::Cuda,
+            64,
+            &space,
+        )
+        .unwrap();
+        assert_eq!(r.ranked.len(), 1);
+        assert_eq!(r.skipped.len(), 1);
+        assert!(r.skipped[0].1.contains("reach"));
+    }
+
+    #[test]
+    fn unsupported_model_rejected() {
+        assert_eq!(
+            autotune(
+                &StencilShape::star(1),
+                &GpuArch::pvc_stack(),
+                ProgModel::Cuda,
+                64,
+                &TuningSpace::minimal(),
+            )
+            .unwrap_err(),
+            TuneError::Unsupported(ProgModel::Cuda)
+        );
+    }
+
+    #[test]
+    fn bad_domain_rejected() {
+        assert!(matches!(
+            autotune(
+                &StencilShape::star(1),
+                &GpuArch::a100(),
+                ProgModel::Cuda,
+                100,
+                &TuningSpace::minimal(),
+            ),
+            Err(TuneError::BadDomain(_))
+        ));
+    }
+
+    #[test]
+    fn empty_feasible_set_is_an_error() {
+        let space = TuningSpace {
+            block_yz: vec![(2, 2)],
+            orderings: vec![BrickOrdering::Lexicographic],
+            strategies: vec![Strategy::Gather],
+        };
+        // radius 4 exceeds the 2×2 brick on both y and z
+        assert_eq!(
+            autotune(
+                &StencilShape::star(4),
+                &GpuArch::a100(),
+                ProgModel::Cuda,
+                64,
+                &space,
+            )
+            .unwrap_err(),
+            TuneError::NoFeasiblePoint
+        );
+    }
+
+    #[test]
+    fn gain_over_default_present_when_default_in_space() {
+        let r = autotune(
+            &StencilShape::cube(1),
+            &GpuArch::a100(),
+            ProgModel::Cuda,
+            64,
+            &small_space(),
+        )
+        .unwrap();
+        let g = r.gain_over_default().unwrap();
+        assert!(g >= 1.0, "{g}");
+    }
+}

@@ -1,0 +1,600 @@
+//! Execution of generated vector kernels.
+//!
+//! Two modes, matching how the paper's measurements were taken:
+//!
+//! * **numeric** ([`run_vector_brick`], [`run_vector_array`]): interpret
+//!   the IR over real field data, in parallel over blocks, to validate
+//!   that generated code computes the stencil correctly;
+//! * **trace** ([`trace_vector_block`]): replay only the address stream of
+//!   one block into a [`TraceSink`] — no field data, no floating point —
+//!   which is what the GPU simulator consumes at full problem scale.
+
+use brick_codegen::{LayoutKind, VOp, VectorKernel};
+use brick_core::{ArrayGrid, BrickGrid, BrickNav};
+use rayon::prelude::*;
+
+use crate::geom::TraceGeometry;
+use crate::trace::TraceSink;
+
+/// Errors surfaced by the VM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// The kernel failed IR validation.
+    InvalidKernel(String),
+    /// Kernel and grid disagree (layout, block shape, extents, halo).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
+            VmError::Mismatch(e) => write!(f, "kernel/grid mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Per-axis reach a kernel's loads imply: `[x, y, z]` where `x` comes from
+/// its shuffle distances and `y`/`z` from row coordinates outside the home
+/// block.
+pub fn kernel_reach(kernel: &VectorKernel) -> [i64; 3] {
+    let mut r = [0i64; 3];
+    for op in &kernel.ops {
+        match *op {
+            VOp::ShiftX { dx, .. } => r[0] = r[0].max(dx.unsigned_abs() as i64),
+            VOp::LoadRow { ry, rz, .. } => {
+                let by = kernel.block.by as i64;
+                let bz = kernel.block.bz as i64;
+                r[1] = r[1].max((-(ry as i64)).max(ry as i64 - by + 1).max(0));
+                r[2] = r[2].max((-(rz as i64)).max(rz as i64 - bz + 1).max(0));
+            }
+            _ => {}
+        }
+    }
+    r
+}
+
+/// Straight-line IR interpreter over one block.
+///
+/// `read_row(rx, ry, rz, dst)` must fill `dst` with the input row;
+/// `write_row(ry, rz, src)` must store an output row.
+fn exec_block(
+    kernel: &VectorKernel,
+    regs: &mut [f64],
+    scratch: &mut [f64],
+    mut read_row: impl FnMut(i8, i16, i16, usize, &mut [f64]),
+    mut write_row: impl FnMut(i16, i16, &[f64]),
+) {
+    let w = kernel.width;
+    debug_assert_eq!(regs.len(), kernel.num_regs * w);
+    debug_assert_eq!(scratch.len(), w);
+    let row = |r: u16| -> std::ops::Range<usize> {
+        let s = r as usize * w;
+        s..s + w
+    };
+    for op in &kernel.ops {
+        match *op {
+            VOp::LoadRow {
+                dst,
+                rx,
+                ry,
+                rz,
+                lane0,
+                lanes,
+            } => {
+                let r = row(dst);
+                regs[r.clone()].fill(0.0);
+                let s = r.start;
+                read_row(
+                    rx,
+                    ry,
+                    rz,
+                    lane0 as usize,
+                    &mut regs[s + lane0 as usize..s + lane0 as usize + lanes as usize],
+                );
+            }
+            VOp::ShiftX { dst, src, edge, dx } => {
+                // Compute into scratch first: dst may alias src or edge.
+                {
+                    let srcr = &regs[row(src)];
+                    let edger = &regs[row(edge)];
+                    for (i, s) in scratch.iter_mut().enumerate() {
+                        let j = i as i64 + dx as i64;
+                        *s = if j >= 0 && (j as usize) < w {
+                            srcr[j as usize]
+                        } else if j < 0 {
+                            edger[(j + w as i64) as usize]
+                        } else {
+                            edger[(j - w as i64) as usize]
+                        };
+                    }
+                }
+                regs[row(dst)].copy_from_slice(scratch);
+            }
+            VOp::Add { dst, a, b } => {
+                for i in 0..w {
+                    scratch[i] = regs[a as usize * w + i] + regs[b as usize * w + i];
+                }
+                regs[row(dst)].copy_from_slice(scratch);
+            }
+            VOp::Mul { dst, a, coeff } => {
+                let c = kernel.coeffs[coeff as usize];
+                for i in 0..w {
+                    scratch[i] = regs[a as usize * w + i] * c;
+                }
+                regs[row(dst)].copy_from_slice(scratch);
+            }
+            VOp::Fma { dst, acc, a, coeff } => {
+                let c = kernel.coeffs[coeff as usize];
+                for i in 0..w {
+                    scratch[i] = regs[a as usize * w + i].mul_add(c, regs[acc as usize * w + i]);
+                }
+                regs[row(dst)].copy_from_slice(scratch);
+            }
+            VOp::StoreRow { src, ry, rz } => {
+                write_row(ry, rz, &regs[row(src)]);
+            }
+        }
+    }
+}
+
+fn check_brick(kernel: &VectorKernel, input: &BrickGrid, output: &BrickGrid) -> Result<(), VmError> {
+    kernel.validate().map_err(VmError::InvalidKernel)?;
+    if kernel.layout != LayoutKind::Brick {
+        return Err(VmError::Mismatch("array kernel on brick grids".into()));
+    }
+    if kernel.block != input.dims() {
+        return Err(VmError::Mismatch(format!(
+            "kernel block {} != brick dims {}",
+            kernel.block,
+            input.dims()
+        )));
+    }
+    if input.decomp().extents() != output.decomp().extents()
+        || input.decomp().ordering() != output.decomp().ordering()
+    {
+        return Err(VmError::Mismatch("input/output decomposition mismatch".into()));
+    }
+    let reach = kernel_reach(kernel);
+    let ghost = input.decomp().ghost_layers();
+    let d = input.dims();
+    for (axis, (&r, cover)) in reach
+        .iter()
+        .zip([ghost[0] * d.bx, ghost[1] * d.by, ghost[2] * d.bz])
+        .enumerate()
+    {
+        if r > cover as i64 {
+            return Err(VmError::Mismatch(format!(
+                "kernel reach {r} on axis {axis} exceeds ghost coverage {cover}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Execute a brick-layout vector kernel out-of-place over all interior
+/// bricks, in parallel (one Rayon task per brick; output bricks are
+/// disjoint storage chunks, so no synchronisation is needed).
+pub fn run_vector_brick(
+    kernel: &VectorKernel,
+    input: &BrickGrid,
+    output: &mut BrickGrid,
+) -> Result<(), VmError> {
+    check_brick(kernel, input, output)?;
+    let nav = input.nav().clone();
+    let dims = input.dims();
+    let vol = dims.volume();
+    let w = kernel.width;
+    let in_raw = input.raw();
+    let decomp = std::sync::Arc::clone(input.decomp());
+    output
+        .raw_mut()
+        .par_chunks_mut(vol)
+        .enumerate()
+        .for_each(|(id, out_chunk)| {
+            let home = id as u32;
+            if !decomp.is_interior(home) {
+                return;
+            }
+            let mut regs = vec![0.0; kernel.num_regs * w];
+            let mut scratch = vec![0.0; w];
+            exec_block(
+                kernel,
+                &mut regs,
+                &mut scratch,
+                |rx, ry, rz, lane0, dst| {
+                    let (b, off) =
+                        nav.resolve_rel(home, rx as i64 * w as i64, ry as i64, rz as i64);
+                    let s = b as usize * vol + off + lane0;
+                    dst.copy_from_slice(&in_raw[s..s + dst.len()]);
+                },
+                |ry, rz, src| {
+                    let off = dims.row_offset(ry as usize, rz as usize);
+                    out_chunk[off..off + w].copy_from_slice(src);
+                },
+            );
+        });
+    Ok(())
+}
+
+/// Execute an array-layout vector kernel out-of-place over all tiles, in
+/// parallel over z-slabs of tiles (whose output rows are disjoint,
+/// contiguous storage ranges).
+pub fn run_vector_array(
+    kernel: &VectorKernel,
+    input: &ArrayGrid,
+    output: &mut ArrayGrid,
+) -> Result<(), VmError> {
+    kernel.validate().map_err(VmError::InvalidKernel)?;
+    if kernel.layout != LayoutKind::Array {
+        return Err(VmError::Mismatch("brick kernel on array grids".into()));
+    }
+    let (nx, ny, nz) = input.extents();
+    if output.extents() != (nx, ny, nz) {
+        return Err(VmError::Mismatch("input/output extent mismatch".into()));
+    }
+    let block = kernel.block;
+    if nx % block.bx != 0 || ny % block.by != 0 || nz % block.bz != 0 {
+        return Err(VmError::Mismatch(format!(
+            "extents {nx}x{ny}x{nz} not divisible by tile {block}"
+        )));
+    }
+    let halo = input.dense().halo();
+    let reach = kernel_reach(kernel);
+    if reach[1] > halo as i64 || reach[2] > halo as i64 || reach[0] > halo as i64 {
+        return Err(VmError::Mismatch(format!(
+            "kernel reach {reach:?} exceeds array halo {halo}"
+        )));
+    }
+
+    let w = kernel.width;
+    let dense_in = input.dense();
+    let (hx, hy) = (halo as i64, halo as i64);
+    let sx = nx + 2 * halo;
+    let sy = ny + 2 * halo;
+    let plane = sx * sy;
+    let tiles_x = nx / block.bx;
+    let tiles_y = ny / block.by;
+
+    // Interior z planes as disjoint slabs of `bz` planes each.
+    if output.dense().halo() != halo {
+        return Err(VmError::Mismatch(format!(
+            "output halo {} != input halo {halo}",
+            output.dense().halo()
+        )));
+    }
+    let raw_out = output.dense_mut().raw_mut();
+    let body = &mut raw_out[halo * plane..(halo + nz) * plane];
+    body.par_chunks_mut(block.bz * plane)
+        .enumerate()
+        .for_each(|(tz, slab)| {
+            let oz = (tz * block.bz) as i64;
+            let mut regs = vec![0.0; kernel.num_regs * w];
+            let mut scratch = vec![0.0; w];
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    let ox = (tx * block.bx) as i64;
+                    let oy = (ty * block.by) as i64;
+                    exec_block(
+                        kernel,
+                        &mut regs,
+                        &mut scratch,
+                        |rx, ry, rz, lane0, dst| {
+                            let y = oy + ry as i64;
+                            let z = oz + rz as i64;
+                            let x0 = ox + rx as i64 * w as i64 + lane0 as i64;
+                            // Narrowed edge loads stay within the halo as
+                            // long as the kernel's reach does; guard the
+                            // degenerate boundary lanes anyway.
+                            for (i, d) in dst.iter_mut().enumerate() {
+                                let x = x0 + i as i64;
+                                *d = if x >= -hx && x < nx as i64 + hx {
+                                    dense_in.get(x, y, z)
+                                } else {
+                                    0.0
+                                };
+                            }
+                        },
+                        |ry, rz, src| {
+                            // Index within the slab: z-local plane, full row.
+                            let zloc = rz as usize;
+                            let row = ((zloc * sy) as i64 + (oy + ry as i64 + hy)) as usize;
+                            let start = row * sx + (ox + hx) as usize;
+                            slab[start..start + w].copy_from_slice(src);
+                        },
+                    );
+                }
+            }
+        });
+    Ok(())
+}
+
+/// Replay the address stream of launch block `i` of a vector kernel into
+/// `sink`. Loads and stores are full vector transactions (`width × 8`
+/// bytes), in program order — no data is touched.
+pub fn trace_vector_block(
+    kernel: &VectorKernel,
+    geom: &TraceGeometry,
+    i: usize,
+    sink: &mut impl TraceSink,
+) {
+    let w = kernel.width as u64;
+    let bytes = (w * 8) as u32;
+    match kernel.layout {
+        LayoutKind::Brick => {
+            let nav: &BrickNav = geom.nav();
+            let home = geom.home_brick(i);
+            let dims = nav.dims();
+            for op in &kernel.ops {
+                match *op {
+                    VOp::LoadRow {
+                        rx,
+                        ry,
+                        rz,
+                        lane0,
+                        lanes,
+                        ..
+                    } => {
+                        let (b, off) =
+                            nav.resolve_rel(home, rx as i64 * w as i64, ry as i64, rz as i64);
+                        sink.load(
+                            geom.in_base + nav.element_addr(b, off) + lane0 as u64 * 8,
+                            lanes as u32 * 8,
+                        );
+                    }
+                    VOp::StoreRow { ry, rz, .. } => {
+                        let off = dims.row_offset(ry as usize, rz as usize);
+                        sink.store(geom.out_base + nav.element_addr(home, off), bytes);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        LayoutKind::Array => {
+            let [ox, oy, oz] = geom.tile_origin(i);
+            let addr = geom.array_addr();
+            for op in &kernel.ops {
+                match *op {
+                    VOp::LoadRow {
+                        rx,
+                        ry,
+                        rz,
+                        lane0,
+                        lanes,
+                        ..
+                    } => {
+                        let a = addr.addr(
+                            ox + rx as i64 * w as i64 + lane0 as i64,
+                            oy + ry as i64,
+                            oz + rz as i64,
+                        );
+                        sink.load(geom.in_base + a, lanes as u32 * 8);
+                    }
+                    VOp::StoreRow { ry, rz, .. } => {
+                        let a = addr.addr(ox, oy + ry as i64, oz + rz as i64);
+                        sink.store(geom.out_base + a, bytes);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountingSink, RecordingSink};
+    use brick_codegen::{generate, CodegenOptions, Strategy};
+    use brick_core::BrickDims;
+    use brick_dsl::shape::StencilShape;
+    use brick_dsl::{reference, DenseGrid};
+    use std::sync::Arc;
+
+    fn run_brick_case(shape: StencilShape, width: usize, strategy: Strategy, n: usize) {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let kernel = generate(
+            &st,
+            &b,
+            LayoutKind::Brick,
+            width,
+            CodegenOptions {
+                strategy,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        let halo = st.radius() as usize;
+        let mut dense = DenseGrid::new(n.max(width), n, n, halo);
+        dense.fill_test_pattern();
+        let mut expect = DenseGrid::new(n.max(width), n, n, halo);
+        reference::apply(&st, &b, &dense, &mut expect).unwrap();
+
+        let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(width));
+        let mut output = BrickGrid::with_metadata(
+            Arc::clone(input.decomp()),
+            Arc::clone(input.info()),
+        );
+        run_vector_brick(&kernel, &input, &mut output).unwrap();
+        let got = output.to_dense();
+        let diff = got.max_rel_diff(&expect);
+        assert!(diff < 1e-12, "{shape} {strategy} w{width}: rel diff {diff}");
+    }
+
+    fn run_array_case(shape: StencilShape, width: usize, strategy: Strategy, n: usize) {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let kernel = generate(
+            &st,
+            &b,
+            LayoutKind::Array,
+            width,
+            CodegenOptions {
+                strategy,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        let halo = st.radius() as usize;
+        let mut dense = DenseGrid::new(n.max(width), n, n, halo);
+        dense.fill_test_pattern();
+        let mut expect = DenseGrid::new(n.max(width), n, n, halo);
+        reference::apply(&st, &b, &dense, &mut expect).unwrap();
+
+        let input = ArrayGrid::from_dense(&dense);
+        let mut output = ArrayGrid::new(n.max(width), n, n, halo);
+        run_vector_array(&kernel, &input, &mut output).unwrap();
+        let diff = output.to_dense().max_rel_diff(&expect);
+        assert!(diff < 1e-12, "{shape} {strategy} w{width}: rel diff {diff}");
+    }
+
+    #[test]
+    fn brick_gather_matches_reference_all_stencils() {
+        for shape in StencilShape::paper_suite() {
+            run_brick_case(shape, 16, Strategy::Gather, 8);
+        }
+    }
+
+    #[test]
+    fn brick_scatter_matches_reference_all_stencils() {
+        for shape in StencilShape::paper_suite() {
+            run_brick_case(shape, 16, Strategy::Scatter, 8);
+        }
+    }
+
+    #[test]
+    fn brick_width_32_and_64() {
+        run_brick_case(StencilShape::star(2), 32, Strategy::Gather, 8);
+        run_brick_case(StencilShape::cube(1), 64, Strategy::Scatter, 8);
+    }
+
+    #[test]
+    fn array_gather_matches_reference_all_stencils() {
+        for shape in StencilShape::paper_suite() {
+            run_array_case(shape, 16, Strategy::Gather, 8);
+        }
+    }
+
+    #[test]
+    fn array_scatter_matches_reference() {
+        run_array_case(StencilShape::cube(2), 16, Strategy::Scatter, 8);
+        run_array_case(StencilShape::star(4), 32, Strategy::Scatter, 8);
+    }
+
+    #[test]
+    fn kernel_reach_matches_stencil_radius() {
+        for shape in StencilShape::paper_suite() {
+            let st = shape.stencil();
+            let b = st.default_bindings();
+            let k = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+            let r = shape.radius as i64;
+            assert_eq!(kernel_reach(&k), [r, r, r], "{shape}");
+        }
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Array, 16, CodegenOptions::default()).unwrap();
+        let mut dense = DenseGrid::cubic(16, 1);
+        dense.fill_test_pattern();
+        let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(16));
+        let mut output =
+            BrickGrid::with_metadata(Arc::clone(input.decomp()), Arc::clone(input.info()));
+        assert!(matches!(
+            run_vector_brick(&k, &input, &mut output),
+            Err(VmError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn trace_counts_match_kernel_stats() {
+        let st = StencilShape::star(2).stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+        let dense = DenseGrid::cubic(16, 2);
+        let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(16));
+        let geom = TraceGeometry::brick(Arc::new(input.nav().clone()));
+        let mut sink = CountingSink::default();
+        for i in 0..geom.num_blocks() {
+            trace_vector_block(&k, &geom, i, &mut sink);
+        }
+        let blocks = geom.num_blocks() as u64;
+        assert_eq!(sink.loads, k.stats.loads as u64 * blocks);
+        assert_eq!(sink.stores, k.stats.stores as u64 * blocks);
+        // partial edge loads: trace bytes equal the kernel's own account
+        assert_eq!(sink.load_bytes, k.loaded_bytes() * blocks);
+        assert!(sink.load_bytes < sink.loads * 16 * 8);
+        assert_eq!(sink.store_bytes, sink.stores * 16 * 8);
+    }
+
+    #[test]
+    fn brick_trace_addresses_are_slab_aligned_vectors() {
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+        let dense = DenseGrid::cubic(16, 1);
+        let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(16));
+        let geom = TraceGeometry::brick(Arc::new(input.nav().clone()));
+        let mut sink = RecordingSink::default();
+        trace_vector_block(&k, &geom, 0, &mut sink);
+        for (is_store, addr, bytes) in &sink.events {
+            if *is_store || *bytes == 16 * 8 {
+                assert_eq!(addr % (16 * 8), 0, "full rows are row-aligned");
+            } else {
+                // narrowed edge load: at most the stencil reach in lanes
+                assert!(*bytes <= 8, "edge load of {bytes} bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn array_trace_store_addresses_distinct_per_row() {
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Array, 16, CodegenOptions::default()).unwrap();
+        let geom = TraceGeometry::array((16, 16, 16), 1, BrickDims::for_simd_width(16));
+        let mut sink = RecordingSink::default();
+        trace_vector_block(&k, &geom, 0, &mut sink);
+        let stores: Vec<u64> = sink
+            .events
+            .iter()
+            .filter(|(s, _, _)| *s)
+            .map(|(_, a, _)| *a)
+            .collect();
+        assert_eq!(stores.len(), 16);
+        let mut sorted = stores.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+        // all stores land in the output allocation
+        assert!(stores.iter().all(|a| *a >= geom.out_base));
+    }
+
+    #[test]
+    fn multi_iteration_sweep_stays_finite() {
+        // ping-pong two brick grids for several sweeps (as the examples do)
+        let st = StencilShape::star(1).stencil();
+        let b = brick_dsl::CoeffBindings::new()
+            .bind("c0", 0.4)
+            .bind("c1", 0.1);
+        let k = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+        let mut dense = DenseGrid::cubic(16, 1);
+        dense.fill_test_pattern();
+        let mut a = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(16));
+        let mut bgrid =
+            BrickGrid::with_metadata(Arc::clone(a.decomp()), Arc::clone(a.info()));
+        for _ in 0..4 {
+            run_vector_brick(&k, &a, &mut bgrid).unwrap();
+            std::mem::swap(&mut a, &mut bgrid);
+        }
+        let sum = a.to_dense().interior_sum();
+        assert!(sum.is_finite());
+    }
+}

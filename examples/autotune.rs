@@ -1,0 +1,58 @@
+//! Autotune brick shape, memory ordering and codegen strategy for a
+//! stencil on each simulated GPU — the search behind BrickLib's
+//! portability claim (§3) and the "change the size of the brick" speed-up
+//! path of §5.2.2.
+//!
+//! ```text
+//! cargo run --release --example autotune             # 13pt star
+//! cargo run --release --example autotune -- cube 2
+//! ```
+
+use bricks_repro::dsl::shape::StencilShape;
+use bricks_repro::gpu_sim::{GpuArch, ProgModel};
+use bricks_repro::tuner::{autotune, TuningSpace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shape = match args.as_slice() {
+        [] => StencilShape::star(2),
+        [kind, radius] => {
+            let r: u32 = radius.parse().expect("radius");
+            match kind.as_str() {
+                "star" => StencilShape::star(r),
+                "cube" => StencilShape::cube(r),
+                other => panic!("unknown shape {other}"),
+            }
+        }
+        _ => panic!("usage: autotune [star|cube RADIUS]"),
+    };
+    let n = 128;
+    let space = TuningSpace::default();
+    println!(
+        "autotuning {shape} over {} candidates ({n}^3 domain)\n",
+        space.len()
+    );
+
+    for (arch, model) in [
+        (GpuArch::a100(), ProgModel::Cuda),
+        (GpuArch::mi250x_gcd(), ProgModel::Hip),
+        (GpuArch::pvc_stack(), ProgModel::Sycl),
+    ] {
+        let result = autotune(&shape, &arch, model, n, &space).expect("tunable");
+        let (best, gflops) = result.best();
+        println!("{} / {model}:", arch.name);
+        println!("  best     : {best}  ->  {gflops:.0} GFLOP/s");
+        for (point, sim) in result.ranked.iter().take(4).skip(1) {
+            println!("  runner-up: {point}  ->  {:.0} GFLOP/s", sim.gflops);
+        }
+        if let Some(gain) = result.gain_over_default() {
+            println!("  gain over the paper's fixed 4x4xW gather default: {gain:.2}x");
+        }
+        println!(
+            "  spread best/worst: {:.2}x over {} feasible points ({} skipped)\n",
+            result.spread(),
+            result.ranked.len(),
+            result.skipped.len()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Heat equation on bricks: the PDE workload the paper's introduction
+//! motivates (stencils "used to solve partial differential equations
+//! using the finite difference method").
+//!
+//! Solves `∂u/∂t = α ∇²u` on a cube with an explicit 7-point scheme,
+//! ping-ponging two brick grids through the generated vector kernel, and
+//! checks the numerical decay rate of a sine mode against the analytic
+//! solution of the discrete operator.
+//!
+//! ```text
+//! cargo run --release --example heat_equation
+//! ```
+
+use bricks_repro::codegen::{generate, CodegenOptions, LayoutKind};
+use bricks_repro::core::{BrickDims, BrickGrid};
+use bricks_repro::dsl::{CoeffBindings, DenseGrid, GridRef, Stencil};
+use bricks_repro::vm::run_vector_brick;
+use std::f64::consts::PI;
+use std::sync::Arc;
+
+fn main() {
+    let n = 64usize;
+    let alpha_dt = 0.1; // α·Δt/Δx², stable for the explicit scheme (< 1/6)
+
+    // u_new = u + α·Δt·∇²u  as a single 7-point stencil:
+    //   center 1 − 6·c, neighbours c.
+    let u = GridRef::new("u");
+    let c = alpha_dt;
+    let expr = (1.0 - 6.0 * c) * u.center()
+        + c * u.offset(1, 0, 0)
+        + c * u.offset(-1, 0, 0)
+        + c * u.offset(0, 1, 0)
+        + c * u.offset(0, -1, 0)
+        + c * u.offset(0, 0, 1)
+        + c * u.offset(0, 0, -1);
+    let stencil = Stencil::assign("u_new", expr).expect("linear");
+    let bindings = CoeffBindings::new(); // weights are numeric already
+
+    let kernel = generate(&stencil, &bindings, LayoutKind::Brick, 32, CodegenOptions::default())
+        .expect("codegen");
+    println!(
+        "heat kernel: {} ({} ops/brick, {} regs)",
+        kernel.name,
+        kernel.stats.total_instructions(),
+        kernel.num_regs
+    );
+
+    // Initial condition: the (1,1,1) sine mode with periodic images
+    // emulated by refreshing the halo each step from the interior (the
+    // mode is periodic with the domain).
+    let k = 2.0 * PI / n as f64;
+    let mode = |x: i64, y: i64, z: i64| {
+        (k * x as f64).sin() * (k * y as f64).sin() * (k * z as f64).sin()
+    };
+    let mut dense = DenseGrid::cubic(n, 1);
+    dense.fill_with(|x, y, z| mode(x.rem_euclid(n as i64), y.rem_euclid(n as i64), z.rem_euclid(n as i64)));
+
+    let dims = BrickDims::for_simd_width(32);
+    let mut cur = BrickGrid::from_dense(&dense, dims);
+    let mut next = BrickGrid::with_metadata(Arc::clone(cur.decomp()), Arc::clone(cur.info()));
+
+    // Discrete decay factor of the mode under the 7-point operator:
+    // λ = 1 − 2c·(3 − cos(kx) − cos(ky) − cos(kz)) per step.
+    let lambda = 1.0 - 2.0 * c * (3.0 - 3.0 * (k).cos());
+    println!("expected per-step decay factor λ = {lambda:.6}");
+
+    let probe = (n as i64 / 4, n as i64 / 4, n as i64 / 4);
+    let u0 = cur.get(probe.0, probe.1, probe.2);
+    let steps = 20;
+    for step in 0..steps {
+        run_vector_brick(&kernel, &cur, &mut next).expect("step");
+        std::mem::swap(&mut cur, &mut next);
+        // refresh the periodic halo from the new interior
+        let interior = cur.to_dense();
+        let mut refreshed = DenseGrid::cubic(n, 1);
+        refreshed.fill_with(|x, y, z| {
+            interior.get(
+                x.rem_euclid(n as i64),
+                y.rem_euclid(n as i64),
+                z.rem_euclid(n as i64),
+            )
+        });
+        cur.copy_from_dense(&refreshed);
+        if (step + 1) % 5 == 0 {
+            let ut = cur.get(probe.0, probe.1, probe.2);
+            let measured = (ut / u0).powf(1.0 / (step as f64 + 1.0));
+            println!(
+                "step {:3}: u(probe) = {ut:+.6}, measured decay/step = {measured:.6}",
+                step + 1
+            );
+        }
+    }
+
+    let ut = cur.get(probe.0, probe.1, probe.2);
+    let expected = u0 * lambda.powi(steps);
+    let rel = ((ut - expected) / expected).abs();
+    println!("after {steps} steps: measured {ut:+.6e}, analytic {expected:+.6e} (rel err {rel:.2e})");
+    assert!(rel < 1e-9, "discrete decay must match the analytic factor");
+    println!("heat equation OK: brick kernel reproduces the discrete dispersion relation.");
+}

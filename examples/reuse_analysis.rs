@@ -1,0 +1,103 @@
+//! Reuse-distance analysis of the kernel address streams: computes the
+//! LRU miss-ratio curve of each configuration's trace and reads off why
+//! the three GPUs' L2 capacities (8 MB MI250X GCD, 40 MB A100, 208 MB
+//! PVC stack) behave so differently in the study.
+//!
+//! ```text
+//! cargo run --release --example reuse_analysis            # 13pt star
+//! cargo run --release --example reuse_analysis -- cube 2
+//! ```
+
+use bricks_repro::codegen::{generate, CodegenOptions, LayoutKind};
+use bricks_repro::core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
+use bricks_repro::dsl::shape::StencilShape;
+use bricks_repro::gpu_sim::ReuseAnalyzer;
+use bricks_repro::vm::{KernelSpec, ScalarKernel, TraceGeometry};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shape = match args.as_slice() {
+        [] => StencilShape::star(2),
+        [kind, radius] => {
+            let r: u32 = radius.parse().expect("radius");
+            match kind.as_str() {
+                "star" => StencilShape::star(r),
+                "cube" => StencilShape::cube(r),
+                other => panic!("unknown shape {other}"),
+            }
+        }
+        _ => panic!("usage: reuse_analysis [star|cube RADIUS]"),
+    };
+    let n = 128;
+    let w = 32;
+    let radius = shape.radius as usize;
+    let st = shape.stencil();
+    let b = st.default_bindings();
+
+    let configs: Vec<(&str, KernelSpec, TraceGeometry)> = vec![
+        (
+            "array (scalar)",
+            KernelSpec::Scalar(ScalarKernel::new(&st, &b, LayoutKind::Array, w).unwrap()),
+            TraceGeometry::array((n, n, n), radius, BrickDims::for_simd_width(w)),
+        ),
+        (
+            "array codegen",
+            KernelSpec::Vector(
+                generate(&st, &b, LayoutKind::Array, w, CodegenOptions::default()).unwrap(),
+            ),
+            TraceGeometry::array((n, n, n), radius, BrickDims::for_simd_width(w)),
+        ),
+        (
+            "bricks codegen",
+            KernelSpec::Vector(
+                generate(&st, &b, LayoutKind::Brick, w, CodegenOptions::default()).unwrap(),
+            ),
+            TraceGeometry::brick(Arc::new(BrickNav::new(Arc::new(BrickDecomp::new(
+                (n, n, n),
+                BrickDims::for_simd_width(w),
+                radius,
+                BrickOrdering::Lexicographic,
+            ))))),
+        ),
+    ];
+
+    // MRC sampled at the study's three L2 capacities plus context points.
+    let sizes: Vec<(usize, &str)> = vec![
+        (512 * 1024, "0.5 MB"),
+        (2 << 20, "2 MB"),
+        (8 << 20, "8 MB (MI250X GCD L2)"),
+        (40 << 20, "40 MB (A100 L2)"),
+        (208 << 20, "208 MB (PVC L3)"),
+    ];
+
+    println!(
+        "reuse-distance analysis: {shape} over {n}^3 (block-launch-order trace, 128 B lines)\n"
+    );
+    for (name, spec, geom) in configs {
+        let mut analyzer = ReuseAnalyzer::new(128);
+        for i in 0..geom.num_blocks() {
+            spec.trace_block(&geom, i, &mut analyzer);
+        }
+        let p = analyzer.profile();
+        println!(
+            "{name}: {:.1} GB touched as {:.1} M line-accesses, footprint {:.1} MB, cold {:.1}%",
+            p.total as f64 * 128.0 / 1e9,
+            p.total as f64 / 1e6,
+            p.footprint_bytes() as f64 / 1e6,
+            100.0 * p.cold as f64 / p.total as f64
+        );
+        for &(size, label) in &sizes {
+            println!(
+                "    LRU {label:<22} miss ratio {:5.1}%",
+                100.0 * p.miss_ratio(size)
+            );
+        }
+        println!();
+    }
+    println!(
+        "reading: the scalar array kernel re-touches every halo line once per tap, so its\n\
+         curve needs far more capacity to flatten; the generated kernels' register reuse\n\
+         removes those re-touches before the cache ever sees them (paper Fig. 4)."
+    );
+}

@@ -1,0 +1,248 @@
+//! `bricks` — the umbrella CLI of the reproduction.
+//!
+//! ```text
+//! bricks inspect  star 2 32          # DSL, analysis, generated kernels
+//! bricks simulate cube 2 a100 cuda   # one simulated measurement
+//! bricks tune     star 2 a100 cuda   # autotune brick shape/ordering
+//! bricks reuse    star 2 32          # reuse-distance / MRC analysis
+//! ```
+//!
+//! Each subcommand is a thin veneer over the library crates; the full
+//! table/figure harness lives in the `experiments` binary.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bricks_repro::codegen::{
+    emit_cpu_vector, emit_vector, generate, CodegenOptions, CpuIsa, Dialect, LayoutKind,
+};
+use bricks_repro::core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
+use bricks_repro::dsl::shape::StencilShape;
+use bricks_repro::dsl::StencilAnalysis;
+use bricks_repro::gpu_sim::{simulate, GpuArch, ProgModel, ReuseAnalyzer};
+use bricks_repro::metrics::potential_speedup;
+use bricks_repro::roofline::measure;
+use bricks_repro::tuner::{autotune, TuningSpace};
+use bricks_repro::vm::{KernelSpec, ScalarKernel, TraceGeometry};
+
+const HELP: &str = "bricks — BrickLib reproduction toolkit
+
+usage:
+  bricks inspect  <star|cube> <radius> <width>          kernel inspection
+  bricks simulate <star|cube> <radius> <gpu> <model>    one measurement
+  bricks tune     <star|cube> <radius> <gpu> <model>    autotune bricks
+  bricks reuse    <star|cube> <radius> <width>          reuse distances
+
+  gpu   = a100 | mi250x | pvc
+  model = cuda | hip | sycl
+
+For the paper's tables and figures use:
+  cargo run -p experiments --release -- --all";
+
+fn shape_of(kind: &str, radius: &str) -> Result<StencilShape, String> {
+    let r: u32 = radius.parse().map_err(|e| format!("radius: {e}"))?;
+    match kind {
+        "star" => Ok(StencilShape::star(r)),
+        "cube" => Ok(StencilShape::cube(r)),
+        other => Err(format!("unknown shape {other} (star|cube)")),
+    }
+}
+
+fn arch_of(name: &str) -> Result<GpuArch, String> {
+    match name {
+        "a100" => Ok(GpuArch::a100()),
+        "mi250x" => Ok(GpuArch::mi250x_gcd()),
+        "pvc" => Ok(GpuArch::pvc_stack()),
+        other => Err(format!("unknown gpu {other} (a100|mi250x|pvc)")),
+    }
+}
+
+fn model_of(name: &str) -> Result<ProgModel, String> {
+    match name {
+        "cuda" => Ok(ProgModel::Cuda),
+        "hip" => Ok(ProgModel::Hip),
+        "sycl" => Ok(ProgModel::Sycl),
+        other => Err(format!("unknown model {other} (cuda|hip|sycl)")),
+    }
+}
+
+fn inspect(shape: StencilShape, width: usize) -> Result<(), String> {
+    let st = shape.stencil();
+    let b = st.default_bindings();
+    let a = StencilAnalysis::of_shape(&shape);
+    println!("{st}");
+    println!(
+        "points {}  classes {}  flops/point {}  theoretical AI {:.4} FLOP/B\n",
+        a.points, a.classes, a.flops_per_point, a.theoretical_ai
+    );
+    let k = generate(&st, &b, LayoutKind::Brick, width, CodegenOptions::default())
+        .map_err(|e| e.to_string())?;
+    let s = &k.stats;
+    println!(
+        "generated {} — strategy {}, {} regs/thread",
+        k.name, k.strategy, k.num_regs
+    );
+    println!(
+        "per brick: {} loads ({} B), {} shuffles, {} FMA, {} add, {} mul, {} stores\n",
+        s.loads,
+        k.loaded_bytes(),
+        s.shifts,
+        s.fmas,
+        s.adds,
+        s.muls,
+        s.stores
+    );
+    println!("--- CUDA rendering (first 16 lines) ---");
+    for line in emit_vector(&k, Dialect::Cuda).lines().take(16) {
+        println!("{line}");
+    }
+    if width % 8 == 0 {
+        println!("\n--- AVX-512 rendering (first 10 lines) ---");
+        for line in emit_cpu_vector(&k, CpuIsa::Avx512).lines().take(10) {
+            println!("{line}");
+        }
+    }
+    Ok(())
+}
+
+fn simulate_cmd(shape: StencilShape, arch: GpuArch, model: ProgModel) -> Result<(), String> {
+    let n = 256;
+    let st = shape.stencil();
+    let b = st.default_bindings();
+    let a = StencilAnalysis::of_shape(&shape);
+    let w = arch.simd_width;
+    let kernel = generate(&st, &b, LayoutKind::Brick, w, CodegenOptions::default())
+        .map_err(|e| e.to_string())?;
+    let decomp = Arc::new(BrickDecomp::new(
+        (n, n, n),
+        BrickDims::for_simd_width(w),
+        shape.radius as usize,
+        BrickOrdering::Lexicographic,
+    ));
+    let geom = TraceGeometry::brick(Arc::new(BrickNav::new(decomp)));
+    let sim = simulate(&KernelSpec::Vector(kernel), &geom, &arch, model, a.flops_per_point)
+        .ok_or_else(|| format!("{model} is not supported on {}", arch.name))?;
+    let rl = measure(&arch, model).expect("support checked");
+    let frac = rl.fraction(sim.gflops, sim.ai);
+    let frac_ai = sim.ai / a.theoretical_ai;
+    println!("bricks codegen, {}^3 on {} / {model}", n, arch.name);
+    println!("  performance : {:8.0} GFLOP/s  ({:.0}% of roofline)", sim.gflops, frac * 100.0);
+    println!("  arith. int. : {:8.3} FLOP/B   ({:.0}% of theoretical)", sim.ai, frac_ai * 100.0);
+    println!(
+        "  data moved  : DRAM {:.2} GB | L2 {:.2} GB | L1 {:.2} GB",
+        sim.mem.dram_bytes as f64 / 1e9,
+        sim.mem.l2_bytes as f64 / 1e9,
+        sim.mem.l1_bytes as f64 / 1e9
+    );
+    println!(
+        "  kernel      : {:.3} ms, limiter {}, occupancy {:.0}%, {} regs/thread{}",
+        sim.time_s * 1e3,
+        sim.breakdown.limiter(),
+        sim.occupancy.occupancy * 100.0,
+        sim.regs_per_thread,
+        if sim.spilled { " (spilled)" } else { "" }
+    );
+    println!(
+        "  potential   : {:.1}x (speed-up headroom, Fig. 7 metric)",
+        potential_speedup(frac_ai.min(1.0), frac.min(1.0))
+    );
+    Ok(())
+}
+
+fn tune_cmd(shape: StencilShape, arch: GpuArch, model: ProgModel) -> Result<(), String> {
+    let n = 128;
+    let result = autotune(&shape, &arch, model, n, &TuningSpace::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "autotuning {shape} on {} / {model} ({n}^3, {} feasible / {} skipped)",
+        arch.name,
+        result.ranked.len(),
+        result.skipped.len()
+    );
+    for (i, (point, sim)) in result.ranked.iter().take(6).enumerate() {
+        println!("  #{:<2} {point:32} {:8.0} GFLOP/s", i + 1, sim.gflops);
+    }
+    if let Some(gain) = result.gain_over_default() {
+        println!("  gain over fixed 4x4xW gather default: {gain:.2}x");
+    }
+    Ok(())
+}
+
+fn reuse_cmd(shape: StencilShape, width: usize) -> Result<(), String> {
+    let n = 128;
+    let st = shape.stencil();
+    let b = st.default_bindings();
+    let radius = shape.radius as usize;
+    for (name, spec, geom) in [
+        (
+            "array (scalar)",
+            KernelSpec::Scalar(
+                ScalarKernel::new(&st, &b, LayoutKind::Array, width).map_err(|e| e.to_string())?,
+            ),
+            TraceGeometry::array((n, n, n), radius, BrickDims::for_simd_width(width)),
+        ),
+        (
+            "bricks codegen",
+            KernelSpec::Vector(
+                generate(&st, &b, LayoutKind::Brick, width, CodegenOptions::default())
+                    .map_err(|e| e.to_string())?,
+            ),
+            TraceGeometry::brick(Arc::new(BrickNav::new(Arc::new(BrickDecomp::new(
+                (n, n, n),
+                BrickDims::for_simd_width(width),
+                radius,
+                BrickOrdering::Lexicographic,
+            ))))),
+        ),
+    ] {
+        let mut an = ReuseAnalyzer::new(128);
+        for i in 0..geom.num_blocks() {
+            spec.trace_block(&geom, i, &mut an);
+        }
+        let p = an.profile();
+        println!(
+            "{name:15} footprint {:6.1} MB, cold {:5.1}%, miss@8MB {:5.1}%, miss@40MB {:5.1}%",
+            p.footprint_bytes() as f64 / 1e6,
+            100.0 * p.cold as f64 / p.total as f64,
+            100.0 * p.miss_ratio(8 << 20),
+            100.0 * p.miss_ratio(40 << 20)
+        );
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["inspect", kind, radius, width] => {
+            let w: usize = width.parse().map_err(|e| format!("width: {e}"))?;
+            inspect(shape_of(kind, radius)?, w)
+        }
+        ["simulate", kind, radius, gpu, model] => {
+            simulate_cmd(shape_of(kind, radius)?, arch_of(gpu)?, model_of(model)?)
+        }
+        ["tune", kind, radius, gpu, model] => {
+            tune_cmd(shape_of(kind, radius)?, arch_of(gpu)?, model_of(model)?)
+        }
+        ["reuse", kind, radius, width] => {
+            let w: usize = width.parse().map_err(|e| format!("width: {e}"))?;
+            reuse_cmd(shape_of(kind, radius)?, w)
+        }
+        [] | ["--help"] | ["-h"] | ["help"] => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{HELP}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

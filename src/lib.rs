@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # bricks-repro
+//!
+//! Umbrella crate for the Rust reproduction of *"Performance Portability
+//! Evaluation of Blocked Stencil Computations on GPUs"* (SC-W 2023).
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! integration tests can use a single dependency.
+
+pub use brick_codegen as codegen;
+pub use brick_core as core;
+pub use brick_tuner as tuner;
+pub use brick_dsl as dsl;
+pub use brick_vm as vm;
+pub use experiments;
+pub use gpu_sim;
+pub use perf_portability as metrics;
+pub use roofline;
