@@ -22,12 +22,7 @@ use brick_dsl::StencilAnalysis;
 use brick_vm::{KernelSpec, ScalarKernel, TraceGeometry};
 use gpu_sim::{simulate, GpuArch, ProgModel};
 
-fn geom(
-    n: usize,
-    dims: BrickDims,
-    radius: usize,
-    ordering: BrickOrdering,
-) -> TraceGeometry {
+fn geom(n: usize, dims: BrickDims, radius: usize, ordering: BrickOrdering) -> TraceGeometry {
     let d = Arc::new(BrickDecomp::new((n, n, n), dims, radius, ordering));
     TraceGeometry::brick(Arc::new(BrickNav::new(d)))
 }
@@ -37,12 +32,18 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(128);
-    assert!(n.is_multiple_of(64), "BRICKS_BENCH_N must be a multiple of 64");
+    assert!(
+        n.is_multiple_of(64),
+        "BRICKS_BENCH_N must be a multiple of 64"
+    );
     let arch = GpuArch::a100();
     let w = arch.simd_width;
 
     println!("== ablation 1: brick memory ordering (A100 CUDA, {n}^3) ==");
-    println!("{:8} {:14} {:>9} {:>9} {:>8}", "stencil", "ordering", "GFLOP/s", "DRAM GB", "pagehit");
+    println!(
+        "{:8} {:14} {:>9} {:>9} {:>8}",
+        "stencil", "ordering", "GFLOP/s", "DRAM GB", "pagehit"
+    );
     for shape in [StencilShape::star(2), StencilShape::cube(2)] {
         let st = shape.stencil();
         let b = st.default_bindings();
@@ -51,7 +52,12 @@ fn main() {
             generate(&st, &b, LayoutKind::Brick, w, CodegenOptions::default()).unwrap(),
         );
         for ordering in [BrickOrdering::Lexicographic, BrickOrdering::Morton] {
-            let g = geom(n, BrickDims::for_simd_width(w), shape.radius as usize, ordering);
+            let g = geom(
+                n,
+                BrickDims::for_simd_width(w),
+                shape.radius as usize,
+                ordering,
+            );
             let r = simulate(&spec, &g, &arch, ProgModel::Cuda, a.flops_per_point).unwrap();
             println!(
                 "{:8} {:14} {:>9.0} {:>9.3} {:>8.2}",
@@ -107,7 +113,10 @@ fn main() {
     }
 
     println!("\n== ablation 3: brick shape by x bz at width {w} (13pt, A100 CUDA, {n}^3) ==");
-    println!("{:8} {:>9} {:>9} {:>7}", "shape", "GFLOP/s", "DRAM GB", "regs");
+    println!(
+        "{:8} {:>9} {:>9} {:>7}",
+        "shape", "GFLOP/s", "DRAM GB", "regs"
+    );
     let shape = StencilShape::star(2);
     let st = shape.stencil();
     let b = st.default_bindings();
@@ -141,8 +150,13 @@ fn main() {
         );
     }
 
-    println!("\n== ablation 5: Fig. 2 scalar kernels, bricks vs array layout (A100 CUDA, {n}^3) ==");
-    println!("{:8} {:8} {:>9} {:>9} {:>9}", "stencil", "layout", "GFLOP/s", "DRAM GB", "L1 GB");
+    println!(
+        "\n== ablation 5: Fig. 2 scalar kernels, bricks vs array layout (A100 CUDA, {n}^3) =="
+    );
+    println!(
+        "{:8} {:8} {:>9} {:>9} {:>9}",
+        "stencil", "layout", "GFLOP/s", "DRAM GB", "L1 GB"
+    );
     for shape in [StencilShape::star(1), StencilShape::cube(2)] {
         let st = shape.stencil();
         let b = st.default_bindings();
@@ -150,9 +164,11 @@ fn main() {
         for layout in [LayoutKind::Array, LayoutKind::Brick] {
             let spec = KernelSpec::Scalar(ScalarKernel::new(&st, &b, layout, w).unwrap());
             let g = match layout {
-                LayoutKind::Array => {
-                    TraceGeometry::array((n, n, n), shape.radius as usize, BrickDims::for_simd_width(w))
-                }
+                LayoutKind::Array => TraceGeometry::array(
+                    (n, n, n),
+                    shape.radius as usize,
+                    BrickDims::for_simd_width(w),
+                ),
                 LayoutKind::Brick => geom(
                     n,
                     BrickDims::for_simd_width(w),
@@ -173,7 +189,10 @@ fn main() {
     }
 
     println!("\n== ablation 4: edge-load narrowing (loaded bytes per block) ==");
-    println!("{:8} {:>12} {:>14}", "stencil", "loaded bytes", "full-row bytes");
+    println!(
+        "{:8} {:>12} {:>14}",
+        "stencil", "loaded bytes", "full-row bytes"
+    );
     for shape in StencilShape::paper_suite() {
         let st = shape.stencil();
         let b = st.default_bindings();

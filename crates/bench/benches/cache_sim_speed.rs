@@ -69,9 +69,7 @@ fn bench_hierarchy(c: &mut Criterion) {
             },
         );
 
-        let scalar = KernelSpec::Scalar(
-            ScalarKernel::new(&st, &b, LayoutKind::Array, 32).unwrap(),
-        );
+        let scalar = KernelSpec::Scalar(ScalarKernel::new(&st, &b, LayoutKind::Array, 32).unwrap());
         let ageom = TraceGeometry::array((n, n, n), radius, BrickDims::for_simd_width(32));
         group.bench_with_input(
             BenchmarkId::new("array_scalar", shape.label()),

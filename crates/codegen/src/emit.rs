@@ -339,7 +339,10 @@ pub fn emit_vector(kernel: &VectorKernel, dialect: Dialect) -> String {
                 let _ = writeln!(s, "  r[{dst}] = fma(r[{a}], coeff[{coeff}], r[{acc}]);");
             }
             VOp::StoreRow { src, ry, rz } => {
-                let _ = writeln!(s, "  row_store(bOut, b, /*ry*/{ry}, /*rz*/{rz}, lane, r[{src}]);");
+                let _ = writeln!(
+                    s,
+                    "  row_store(bOut, b, /*ry*/{ry}, /*rz*/{rz}, lane, r[{src}]);"
+                );
             }
         }
     }

@@ -220,11 +220,7 @@ pub fn emit_cpu_vector(kernel: &VectorKernel, isa: CpuIsa) -> String {
                     let _ = writeln!(
                         s,
                         "  r[{dst}][{ch}] = {};",
-                        isa.fma_bcast(
-                            &format!("r[{acc}][{ch}]"),
-                            &format!("r[{a}][{ch}]"),
-                            &c
-                        )
+                        isa.fma_bcast(&format!("r[{acc}][{ch}]"), &format!("r[{a}][{ch}]"), &c)
                     );
                 }
             }
@@ -279,7 +275,7 @@ mod tests {
     }
 
     #[test]
-    fn sve_is_predicated(){
+    fn sve_is_predicated() {
         let src = emit_cpu_vector(&kernel(16), CpuIsa::Sve);
         assert!(src.contains("svbool_t pg = svptrue_b64();"));
         assert!(src.contains("svld1_f64(pg,"));

@@ -95,13 +95,10 @@ pub fn generate(
     width: usize,
     opts: CodegenOptions,
 ) -> Result<VectorKernel, CodegenError> {
+    let _span = brick_obs::span_cat(format!("codegen:{}", stencil.name()), "codegen");
     let block = BrickDims::new(width, opts.block_yz.0, opts.block_yz.1);
     let reach = stencil.reach();
-    for (axis, (&r, max)) in reach
-        .iter()
-        .zip([block.bx, block.by, block.bz])
-        .enumerate()
-    {
+    for (axis, (&r, max)) in reach.iter().zip([block.bx, block.by, block.bz]).enumerate() {
         if r as usize > max {
             return Err(CodegenError::ReachTooLarge {
                 axis,
@@ -111,7 +108,10 @@ pub fn generate(
         }
     }
 
-    let classes = group_classes(stencil, bindings)?;
+    let classes = {
+        let _s = brick_obs::span_cat("group-classes", "codegen");
+        group_classes(stencil, bindings)?
+    };
     if classes.len() > u16::MAX as usize {
         return Err(CodegenError::TooManyClasses(classes.len()));
     }
@@ -135,10 +135,7 @@ struct Class {
     taps: Vec<[i32; 3]>,
 }
 
-fn group_classes(
-    stencil: &Stencil,
-    bindings: &CoeffBindings,
-) -> Result<Vec<Class>, CodegenError> {
+fn group_classes(stencil: &Stencil, bindings: &CoeffBindings) -> Result<Vec<Class>, CodegenError> {
     let mut keys: Vec<&LinCoeff> = Vec::new();
     let mut classes: Vec<Class> = Vec::new();
     for t in stencil.taps() {
@@ -164,14 +161,24 @@ fn build(
     strategy: Strategy,
 ) -> VectorKernel {
     let mut b = Builder::new(block.bx);
-    match strategy {
-        Strategy::Gather => schedule_gather(&mut b, classes, block),
-        Strategy::Scatter => schedule_scatter(&mut b, classes, block),
-        Strategy::Auto => unreachable!("Auto resolved by generate()"),
+    {
+        let _s = brick_obs::span_cat("schedule", "codegen");
+        match strategy {
+            Strategy::Gather => schedule_gather(&mut b, classes, block),
+            Strategy::Scatter => schedule_scatter(&mut b, classes, block),
+            Strategy::Auto => unreachable!("Auto resolved by generate()"),
+        }
+        narrow_edge_loads(&mut b.ops, block.bx);
     }
-    narrow_edge_loads(&mut b.ops, block.bx);
-    let alloc = regalloc::allocate(&b.ops);
+    let alloc = {
+        let _s = brick_obs::span_cat("regalloc", "codegen");
+        regalloc::allocate(&b.ops)
+    };
     let stats = KernelStats::from_ops(&alloc.ops, alloc.max_live);
+    brick_obs::counter_add("codegen.kernels", 1);
+    brick_obs::counter_add("codegen.ops", alloc.ops.len() as u64);
+    brick_obs::histogram_record("codegen.regalloc.max_live", alloc.max_live as f64);
+    brick_obs::histogram_record("codegen.regalloc.num_regs", alloc.num_regs as f64);
     VectorKernel {
         name: format!("{}_{}_cg_{}", stencil.name(), layout, strategy),
         width: block.bx,
@@ -267,12 +274,7 @@ impl Builder {
 
     fn fma(&mut self, acc: Reg, a: Reg, coeff: CoeffIdx) -> Reg {
         let dst = self.fresh();
-        self.ops.push(VOp::Fma {
-            dst,
-            acc,
-            a,
-            coeff,
-        });
+        self.ops.push(VOp::Fma { dst, acc, a, coeff });
         dst
     }
 
@@ -303,10 +305,9 @@ fn narrow_edge_loads(ops: &mut [VOp], width: usize) {
     let mut range: Map<usize, (u16, u16)> = Map::new(); // op idx -> lane span
     for (i, op) in ops.iter().enumerate() {
         match *op {
-            VOp::LoadRow { dst, rx, .. }
-                if rx != 0 => {
-                    def_load.insert(dst, i);
-                }
+            VOp::LoadRow { dst, rx, .. } if rx != 0 => {
+                def_load.insert(dst, i);
+            }
             VOp::ShiftX { edge, dx, .. } => {
                 if let Some(&li) = def_load.get(&edge) {
                     let (lo, hi) = if dx > 0 {
@@ -494,14 +495,28 @@ mod tests {
         for shape in StencilShape::paper_suite() {
             let k = gen(shape, LayoutKind::Brick, 32, Strategy::Scatter);
             let outputs = (k.block.by * k.block.bz) as u64;
-            assert_eq!(k.stats.flops(), 2 * shape.points() as u64 * outputs - outputs, "{shape}");
+            assert_eq!(
+                k.stats.flops(),
+                2 * shape.points() as u64 * outputs - outputs,
+                "{shape}"
+            );
         }
     }
 
     #[test]
     fn scatter_pressure_bounded_gather_grows() {
-        let g125 = gen(StencilShape::cube(2), LayoutKind::Brick, 32, Strategy::Gather);
-        let s125 = gen(StencilShape::cube(2), LayoutKind::Brick, 32, Strategy::Scatter);
+        let g125 = gen(
+            StencilShape::cube(2),
+            LayoutKind::Brick,
+            32,
+            Strategy::Gather,
+        );
+        let s125 = gen(
+            StencilShape::cube(2),
+            LayoutKind::Brick,
+            32,
+            Strategy::Scatter,
+        );
         assert!(
             s125.stats.max_live < g125.stats.max_live,
             "scatter {} !< gather {}",
@@ -522,8 +537,18 @@ mod tests {
 
     #[test]
     fn shuffle_counts_scale_with_x_reach() {
-        let k7 = gen(StencilShape::star(1), LayoutKind::Brick, 32, Strategy::Gather);
-        let k25 = gen(StencilShape::star(4), LayoutKind::Brick, 32, Strategy::Gather);
+        let k7 = gen(
+            StencilShape::star(1),
+            LayoutKind::Brick,
+            32,
+            Strategy::Gather,
+        );
+        let k25 = gen(
+            StencilShape::star(4),
+            LayoutKind::Brick,
+            32,
+            Strategy::Gather,
+        );
         // star r: 2r shifted variants per output row, 16 rows
         assert_eq!(k7.stats.shifts, 2 * 16);
         assert_eq!(k25.stats.shifts, 8 * 16);
@@ -531,7 +556,12 @@ mod tests {
 
     #[test]
     fn store_count_equals_block_rows() {
-        let k = gen(StencilShape::cube(1), LayoutKind::Array, 16, Strategy::Gather);
+        let k = gen(
+            StencilShape::cube(1),
+            LayoutKind::Array,
+            16,
+            Strategy::Gather,
+        );
         assert_eq!(k.stats.stores, 16);
     }
 
@@ -541,7 +571,12 @@ mod tests {
         // edges: 32 edge rows), plus y-halo rows 2·4... distinct rows:
         // rx=0: (ry∈[0,4),rz∈[-1,5)) ∪ (ry∈[-1,5),rz∈[0,4)) = 24+24-16=32;
         // rx=±1: home rows only = 16 each.
-        let k = gen(StencilShape::star(1), LayoutKind::Brick, 32, Strategy::Gather);
+        let k = gen(
+            StencilShape::star(1),
+            LayoutKind::Brick,
+            32,
+            Strategy::Gather,
+        );
         assert_eq!(k.stats.loads, 32 + 32);
     }
 
@@ -565,7 +600,12 @@ mod tests {
 
     #[test]
     fn kernel_name_encodes_config() {
-        let k = gen(StencilShape::star(2), LayoutKind::Brick, 32, Strategy::Gather);
+        let k = gen(
+            StencilShape::star(2),
+            LayoutKind::Brick,
+            32,
+            Strategy::Gather,
+        );
         assert!(k.name.contains("brick"));
         assert!(k.name.contains("gather"));
     }

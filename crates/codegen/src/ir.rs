@@ -65,7 +65,12 @@ pub enum VOp {
     /// `dst[i] ← sel(i + dx)` where `sel(j)` reads lane `j` of `src` for
     /// `0 ≤ j < width` and the wrapped lane of `edge` otherwise — the
     /// register-file data exchange done with `shfl_up/down` on GPUs.
-    ShiftX { dst: Reg, src: Reg, edge: Reg, dx: i16 },
+    ShiftX {
+        dst: Reg,
+        src: Reg,
+        edge: Reg,
+        dx: i16,
+    },
     /// `dst ← a + b`.
     Add { dst: Reg, a: Reg, b: Reg },
     /// `dst ← a · coeffs[coeff]`.
@@ -287,7 +292,9 @@ impl VectorKernel {
                 defined[d as usize] = true;
             }
             match *op {
-                VOp::LoadRow { rx, lane0, lanes, .. } => {
+                VOp::LoadRow {
+                    rx, lane0, lanes, ..
+                } => {
                     if !(-1..=1).contains(&rx) {
                         return Err(format!("op {i}: load rx {rx} outside one block"));
                     }
@@ -298,13 +305,12 @@ impl VectorKernel {
                         ));
                     }
                 }
-                VOp::ShiftX { dx, .. }
-                    if (dx == 0 || dx.unsigned_abs() as usize >= self.width) => {
-                        return Err(format!(
-                            "op {i}: shift dx {dx} invalid for width {}",
-                            self.width
-                        ));
-                    }
+                VOp::ShiftX { dx, .. } if (dx == 0 || dx.unsigned_abs() as usize >= self.width) => {
+                    return Err(format!(
+                        "op {i}: shift dx {dx} invalid for width {}",
+                        self.width
+                    ));
+                }
                 VOp::StoreRow { ry, rz, .. } => {
                     if ry < 0
                         || ry as usize >= self.block.by

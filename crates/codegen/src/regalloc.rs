@@ -201,7 +201,15 @@ mod tests {
 
     #[test]
     fn unread_definition_dies_immediately() {
-        let ops = vec![load(0), load(1), VOp::StoreRow { src: 1, ry: 0, rz: 0 }];
+        let ops = vec![
+            load(0),
+            load(1),
+            VOp::StoreRow {
+                src: 1,
+                ry: 0,
+                rz: 0,
+            },
+        ];
         let a = allocate(&ops);
         // v0 never read: its register frees instantly, v1 reuses it
         assert_eq!(a.num_regs, 1);

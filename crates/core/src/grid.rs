@@ -94,8 +94,7 @@ impl BrickGrid {
                                 && y < ny + halo
                                 && z >= -halo
                                 && z < nz + halo;
-                            let off =
-                                dims.element_offset(lx as usize, ly as usize, lz as usize);
+                            let off = dims.element_offset(lx as usize, ly as usize, lz as usize);
                             chunk[off] = if inside { dense.get(x, y, z) } else { 0.0 };
                         }
                     }
@@ -252,7 +251,8 @@ mod tests {
     #[test]
     fn dense_roundtrip_morton() {
         let dense = test_dense(8, 1);
-        let g = BrickGrid::from_dense_ordered(&dense, BrickDims::new(4, 4, 4), BrickOrdering::Morton);
+        let g =
+            BrickGrid::from_dense_ordered(&dense, BrickDims::new(4, 4, 4), BrickOrdering::Morton);
         assert_eq!(g.to_dense().max_abs_diff(&dense), 0.0);
     }
 

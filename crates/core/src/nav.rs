@@ -96,7 +96,10 @@ mod tests {
         let nav = BrickNav::new(Arc::clone(&decomp));
         let home = decomp.brick_at(1, 1, 1);
         // in-brick
-        assert_eq!(nav.resolve_rel(home, 1, 2, 3), (home, nav.dims().element_offset(1, 2, 3)));
+        assert_eq!(
+            nav.resolve_rel(home, 1, 2, 3),
+            (home, nav.dims().element_offset(1, 2, 3))
+        );
         // +x neighbour
         let (b, off) = nav.resolve_rel(home, 5, 0, 0);
         assert_eq!(b, decomp.brick_at(2, 1, 1));

@@ -118,7 +118,9 @@ impl DenseGrid {
     /// data.
     pub fn fill_test_pattern(&mut self) {
         self.fill_with(|x, y, z| {
-            0.1 + 0.01 * x as f64 + 0.02 * y as f64 + 0.03 * z as f64
+            0.1 + 0.01 * x as f64
+                + 0.02 * y as f64
+                + 0.03 * z as f64
                 + 1e-4 * ((x * 7 + y * 13 + z * 29) % 97) as f64
         });
     }

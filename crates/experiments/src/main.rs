@@ -19,6 +19,7 @@ use experiments::{figures, tables, ExperimentParams};
 struct Args {
     n: usize,
     out: PathBuf,
+    trace: bool,
     table1: bool,
     table2: bool,
     table3: bool,
@@ -50,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         n: ExperimentParams::default().n,
         out: PathBuf::from("artifacts"),
+        trace: false,
         table1: false,
         table2: false,
         table3: false,
@@ -94,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
             "--fig6" => args.fig6 = true,
             "--fig7" => args.fig7 = true,
             "--listings" => args.listings = true,
+            "--trace" => args.trace = true,
             "--full" => args.n = ExperimentParams::paper_full().n,
             "--n" => {
                 args.n = it
@@ -116,14 +119,22 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const HELP: &str = "usage: experiments [--all] [--table1..5] [--compare] [--fig3..7] [--listings]
-                   [--n N] [--full] [--out DIR]
+                   [--n N] [--full] [--out DIR] [--trace]
 
 Regenerates the tables and figures of 'Performance Portability Evaluation
 of Blocked Stencil Computations on GPUs' (SC-W 2023) on the simulated
 GPU substrate. --full runs the paper's 512^3 grid (slow); the default is
-256^3. Artifacts are written to DIR (default ./artifacts).";
+256^3. Artifacts are written to DIR (default ./artifacts).
+
+--trace records hierarchical spans of the run and writes DIR/trace.json
+(Chrome trace_event format, loadable in chrome://tracing or Perfetto) and
+DIR/spans.jsonl. Sweeps always write DIR/metrics.json and
+DIR/manifest.json; inspect any of them with `bricks obs <file>`.
+BRICK_LOG=info (or debug/trace, with module=level filters) enables
+progress and diagnostic logging.";
 
 fn main() -> ExitCode {
+    brick_obs::init();
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -131,6 +142,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.trace {
+        brick_obs::set_tracing(true);
+    }
     let params = ExperimentParams { n: args.n };
     if let Err(e) = params.validate() {
         eprintln!("{e}");
@@ -170,6 +184,23 @@ fn main() -> ExitCode {
     eprintln!("sweep done in {:.1}s", t0.elapsed().as_secs_f64());
     if let Err(e) = write_sweep_csv(&sweep, &args.out.join("sweep.csv")) {
         eprintln!("warning: could not write sweep.csv: {e}");
+    }
+    let _ = write_json(&sweep.manifest, &args.out.join("manifest.json"));
+    let _ = write_json(
+        &brick_obs::metrics::snapshot(),
+        &args.out.join("metrics.json"),
+    );
+    if brick_obs::tracing_enabled() {
+        for (name, text) in [
+            ("trace.json", brick_obs::trace::chrome_trace_json()),
+            ("spans.jsonl", brick_obs::trace::spans_jsonl()),
+        ] {
+            let path = args.out.join(name);
+            match std::fs::write(&path, text) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {name}: {e}"),
+            }
+        }
     }
 
     if args.table3 {

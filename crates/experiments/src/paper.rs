@@ -122,7 +122,11 @@ pub fn compare_all(sweep: &Sweep) -> (TableComparison, TableComparison) {
 pub fn render_comparison(c: &TableComparison) -> String {
     use std::fmt::Write;
     let mut out = format!("--- {} vs paper ---\n", c.table);
-    let _ = writeln!(out, "{:>8} {:>10} {:>8} {:>7}", "stencil", "measured", "paper", "diff");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>8} {:>7}",
+        "stencil", "measured", "paper", "diff"
+    );
     for (stencil, m, p) in &c.rows {
         let _ = writeln!(
             out,
@@ -154,9 +158,8 @@ mod tests {
         // row P must be the harmonic mean of its efficiencies (validates
         // our transcription of the paper's tables)
         for (stencil, effs, p) in paper_table3().iter().chain(paper_table5().iter()) {
-            let hm = perf_portability::pennycook_p(
-                &effs.iter().map(|e| Some(*e)).collect::<Vec<_>>(),
-            );
+            let hm =
+                perf_portability::pennycook_p(&effs.iter().map(|e| Some(*e)).collect::<Vec<_>>());
             assert!(
                 (hm - p).abs() < 0.012,
                 "{stencil}: harmonic {hm:.3} vs published {p:.3}"

@@ -141,9 +141,8 @@ pub fn speedup_ascii(points: &[SpeedupPoint]) -> String {
         };
     }
 
-    let mut out = String::from(
-        "potential speed-up plane (A=A100 M=MI250X P=PVC, '.' = 2x/4x iso-curves)\n",
-    );
+    let mut out =
+        String::from("potential speed-up plane (A=A100 M=MI250X P=PVC, '.' = 2x/4x iso-curves)\n");
     for (i, row) in grid.iter().enumerate() {
         let label = if i == 0 {
             "frac 1.0 |".to_string()

@@ -34,7 +34,11 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         &mut out,
         &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
     );
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         line(&mut out, row);
     }

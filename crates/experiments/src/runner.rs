@@ -11,9 +11,7 @@ use brick_core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
 use brick_dsl::shape::StencilShape;
 use brick_dsl::StencilAnalysis;
 use brick_vm::{KernelSpec, ScalarKernel, TraceGeometry};
-use gpu_sim::{
-    assemble, compile_only, simulate_memory, GpuArch, GpuKind, MemCounters, ProgModel,
-};
+use gpu_sim::{assemble, compile_only, simulate_memory, GpuArch, GpuKind, MemCounters, ProgModel};
 use roofline::{measure, Roofline};
 
 use crate::config::{ExperimentParams, KernelConfig};
@@ -60,7 +58,8 @@ pub struct Record {
 }
 
 /// A complete sweep: all records plus the per-platform empirical
-/// Rooflines they were scored against.
+/// Rooflines they were scored against, and the provenance manifest of
+/// the run that produced them.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sweep {
     /// Parameters the sweep ran with.
@@ -69,6 +68,8 @@ pub struct Sweep {
     pub records: Vec<Record>,
     /// Empirical Roofline per platform.
     pub rooflines: Vec<((GpuKind, ProgModel), Roofline)>,
+    /// Provenance: git SHA, config hash, wall times, obs summary.
+    pub manifest: brick_obs::RunManifest,
 }
 
 impl Sweep {
@@ -127,12 +128,7 @@ pub fn build_spec(shape: &StencilShape, config: KernelConfig, width: usize) -> K
 }
 
 /// Build the trace geometry for a layout at a domain size.
-pub fn build_geometry(
-    layout: LayoutKind,
-    n: usize,
-    width: usize,
-    radius: usize,
-) -> TraceGeometry {
+pub fn build_geometry(layout: LayoutKind, n: usize, width: usize, radius: usize) -> TraceGeometry {
     let dims = BrickDims::for_simd_width(width);
     match layout {
         LayoutKind::Brick => {
@@ -156,21 +152,37 @@ pub fn build_geometry(
 /// so the matrix costs 3 GPUs' worth of traces, not 6.
 pub fn sweep(params: ExperimentParams) -> Sweep {
     params.validate().expect("invalid experiment parameters");
+    let sweep_start = std::time::Instant::now();
+    let manifest =
+        brick_obs::RunManifest::begin(&serde_json::to_string(&params).expect("params serialize"));
+    let _span = brick_obs::span_cat(format!("sweep:{}^3", params.n), "sweep");
     let n = params.n;
     let archs: Vec<GpuArch> = GpuArch::all();
     let matrix = ProgModel::paper_matrix();
 
     let mut rooflines = Vec::new();
-    for &(gpu, model) in &matrix {
-        let arch = archs.iter().find(|a| a.kind == gpu).unwrap();
-        if let Some(r) = measure(arch, model) {
-            rooflines.push(((gpu, model), r));
+    {
+        let _s = brick_obs::span_cat("rooflines", "sweep");
+        for &(gpu, model) in &matrix {
+            let arch = archs.iter().find(|a| a.kind == gpu).unwrap();
+            if let Some(r) = measure(arch, model) {
+                rooflines.push(((gpu, model), r));
+            }
         }
     }
+    brick_obs::info!("measured {} rooflines, sweeping at n={n}", rooflines.len());
+
+    let total_points =
+        (StencilShape::paper_suite().len() * KernelConfig::all().len() * matrix.len()) as u64;
+    let progress = brick_obs::Progress::new(
+        "sweep",
+        total_points,
+        brick_obs::log_level_enabled(brick_obs::Level::Info),
+    );
+    let mut record_wall_s: Vec<f64> = Vec::new();
 
     // trace cache: (gpu, stencil, config, blocks_per_sm) -> counters
-    let mut mem_cache: HashMap<(GpuKind, String, KernelConfig, u32), MemCounters> =
-        HashMap::new();
+    let mut mem_cache: HashMap<(GpuKind, String, KernelConfig, u32), MemCounters> = HashMap::new();
     // geometry cache: (layout, width, radius) -> geometry
     let mut geom_cache: HashMap<(LayoutKind, usize, usize), TraceGeometry> = HashMap::new();
 
@@ -189,8 +201,14 @@ pub fn sweep(params: ExperimentParams) -> Sweep {
                     continue;
                 }
                 for config in KernelConfig::all() {
+                    let record_start = std::time::Instant::now();
+                    let _rec_span = brick_obs::span_cat(
+                        format!("{}/{config}/{gpu}/{model}", shape.label()),
+                        "record",
+                    );
                     let spec = &specs[&config];
                     let Some((cm, compiled, occ)) = compile_only(spec, arch, model) else {
+                        progress.tick();
                         continue;
                     };
                     let geom = geom_cache
@@ -234,15 +252,20 @@ pub fn sweep(params: ExperimentParams) -> Sweep {
                         spilled: sim.spilled,
                         limiter: sim.breakdown.limiter().to_string(),
                     });
+                    record_wall_s.push(record_start.elapsed().as_secs_f64());
+                    progress.tick();
                 }
             }
         }
+        brick_obs::debug!("finished stencil {}", shape.label());
     }
 
+    let manifest = manifest.finish(sweep_start.elapsed().as_secs_f64(), record_wall_s);
     Sweep {
         params,
         records,
         rooflines,
+        manifest,
     }
 }
 

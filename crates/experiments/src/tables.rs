@@ -124,10 +124,7 @@ fn portability_table(
     pick: impl Fn(&crate::runner::Record) -> f64,
 ) -> PortabilityTable {
     let columns = ProgModel::portability_columns();
-    let labels: Vec<String> = columns
-        .iter()
-        .map(|(g, m)| format!("{g} {m}"))
-        .collect();
+    let labels: Vec<String> = columns.iter().map(|(g, m)| format!("{g} {m}")).collect();
     let mut rows = Vec::new();
     for shape in StencilShape::paper_suite() {
         let label = shape.label();
@@ -140,9 +137,7 @@ fn portability_table(
                 pick(r)
             })
             .collect();
-        let p = perf_portability::pennycook_p(
-            &effs.iter().map(|e| Some(*e)).collect::<Vec<_>>(),
-        );
+        let p = perf_portability::pennycook_p(&effs.iter().map(|e| Some(*e)).collect::<Vec<_>>());
         rows.push((label, effs, p));
     }
     let overall_p = rows.iter().map(|(_, _, p)| *p).sum::<f64>() / rows.len() as f64;

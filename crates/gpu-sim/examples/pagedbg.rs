@@ -8,20 +8,48 @@ use std::sync::Arc;
 
 fn main() {
     let n = 256;
-    for (arch, model) in [(GpuArch::a100(), ProgModel::Cuda), (GpuArch::a100(), ProgModel::Sycl), (GpuArch::mi250x_gcd(), ProgModel::Hip), (GpuArch::pvc_stack(), ProgModel::Sycl)] {
+    for (arch, model) in [
+        (GpuArch::a100(), ProgModel::Cuda),
+        (GpuArch::a100(), ProgModel::Sycl),
+        (GpuArch::mi250x_gcd(), ProgModel::Hip),
+        (GpuArch::pvc_stack(), ProgModel::Sycl),
+    ] {
         let w = arch.simd_width;
         println!("== {} {} ==", arch.kind, model);
-        for shape in [StencilShape::star(1), StencilShape::star(4), StencilShape::cube(2)] {
-            let st = shape.stencil(); let b = st.default_bindings();
+        for shape in [
+            StencilShape::star(1),
+            StencilShape::star(4),
+            StencilShape::cube(2),
+        ] {
+            let st = shape.stencil();
+            let b = st.default_bindings();
             let r = shape.radius as usize;
             let a = StencilAnalysis::of_shape(&shape);
             let configs: Vec<(&str, KernelSpec, TraceGeometry)> = vec![
-                ("array", KernelSpec::Scalar(ScalarKernel::new(&st,&b,LayoutKind::Array,w).unwrap()),
-                    TraceGeometry::array((n,n,n), r, BrickDims::for_simd_width(w))),
-                ("array-cg", KernelSpec::Vector(generate(&st,&b,LayoutKind::Array,w,CodegenOptions::default()).unwrap()),
-                    TraceGeometry::array((n,n,n), r, BrickDims::for_simd_width(w))),
-                ("bricks-cg", KernelSpec::Vector(generate(&st,&b,LayoutKind::Brick,w,CodegenOptions::default()).unwrap()),
-                    TraceGeometry::brick(Arc::new(BrickNav::new(Arc::new(BrickDecomp::new((n,n,n),BrickDims::for_simd_width(w),r,BrickOrdering::Lexicographic)))))),
+                (
+                    "array",
+                    KernelSpec::Scalar(ScalarKernel::new(&st, &b, LayoutKind::Array, w).unwrap()),
+                    TraceGeometry::array((n, n, n), r, BrickDims::for_simd_width(w)),
+                ),
+                (
+                    "array-cg",
+                    KernelSpec::Vector(
+                        generate(&st, &b, LayoutKind::Array, w, CodegenOptions::default()).unwrap(),
+                    ),
+                    TraceGeometry::array((n, n, n), r, BrickDims::for_simd_width(w)),
+                ),
+                (
+                    "bricks-cg",
+                    KernelSpec::Vector(
+                        generate(&st, &b, LayoutKind::Brick, w, CodegenOptions::default()).unwrap(),
+                    ),
+                    TraceGeometry::brick(Arc::new(BrickNav::new(Arc::new(BrickDecomp::new(
+                        (n, n, n),
+                        BrickDims::for_simd_width(w),
+                        r,
+                        BrickOrdering::Lexicographic,
+                    ))))),
+                ),
             ];
             for (name, spec, geom) in configs {
                 let sim = simulate(&spec, &geom, &arch, model, a.flops_per_point).unwrap();

@@ -226,11 +226,7 @@ mod tests {
 
     #[test]
     fn paper_peak_ratios_hold() {
-        let (a, m, p) = (
-            GpuArch::a100(),
-            GpuArch::mi250x_gcd(),
-            GpuArch::pvc_stack(),
-        );
+        let (a, m, p) = (GpuArch::a100(), GpuArch::mi250x_gcd(), GpuArch::pvc_stack());
         // §4.1: MI250X GCD ≈ 2.5x A100 FP64; PVC ≈ 1.6x A100 and ≈ 0.6x
         // of MI250X; HBM within ~5% of each other.
         assert!(m.fp64_gflops / a.fp64_gflops > 2.0);

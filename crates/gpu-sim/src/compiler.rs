@@ -61,11 +61,11 @@ pub fn compile(spec: &KernelSpec, arch: &GpuArch, cm: &CompilerModel) -> Compile
             let w = k.width as u32;
             // A vector register is one f64 per lane = 2 architectural
             // 32-bit registers per thread.
-            let demand = (2.0 * k.num_regs as f64 * cm.reg_inflation).ceil() as u32 + cm.reg_overhead;
+            let demand =
+                (2.0 * k.num_regs as f64 * cm.reg_inflation).ceil() as u32 + cm.reg_overhead;
             let regs = demand.min(arch.max_regs_per_thread);
-            let spilled_f64 = demand.saturating_sub(cm.spill_ceiling.min(arch.max_regs_per_thread))
-                as u64
-                / 2;
+            let spilled_f64 =
+                demand.saturating_sub(cm.spill_ceiling.min(arch.max_regs_per_thread)) as u64 / 2;
             // Spill traffic: each spilled value is stored once and
             // reloaded SPILL_USES times per block, lane-wide.
             let spill_write = spilled_f64 * 8 * w as u64;
@@ -75,8 +75,7 @@ pub fn compile(spec: &KernelSpec, arch: &GpuArch, cm: &CompilerModel) -> Compile
             // One ShiftX = two shuffle primitives (up+down halves) plus a
             // lane select.
             let shift_instrs = s.shifts as f64 * (2.0 * cm.shuffle_instrs + 1.0);
-            let mem_instrs =
-                (s.loads + s.stores) as f64 * (1.0 + cm.addr_instrs_per_access * 0.5);
+            let mem_instrs = (s.loads + s.stores) as f64 * (1.0 + cm.addr_instrs_per_access * 0.5);
             let alu_instrs = (s.fmas + s.adds + s.muls) as f64;
             let spill_instrs = (spilled_f64 * (1 + SPILL_USES)) as f64;
             let instrs =
@@ -107,9 +106,8 @@ pub fn compile(spec: &KernelSpec, arch: &GpuArch, cm: &CompilerModel) -> Compile
             let live_f64 = classes + live_factor * points + 6.0;
             let demand = (2.0 * live_f64 * cm.reg_inflation).ceil() as u32 + cm.reg_overhead;
             let regs = demand.min(arch.max_regs_per_thread);
-            let spilled_f64 = demand.saturating_sub(cm.spill_ceiling.min(arch.max_regs_per_thread))
-                as u64
-                / 2;
+            let spilled_f64 =
+                demand.saturating_sub(cm.spill_ceiling.min(arch.max_regs_per_thread)) as u64 / 2;
             let spill_write = spilled_f64 * 8 * threads as u64;
             let spill_read = spilled_f64 * 8 * threads as u64 * SPILL_USES;
 
@@ -243,8 +241,7 @@ mod tests {
             },
         )
         .unwrap();
-        let auto =
-            generate(&st, &b, LayoutKind::Brick, 32, CodegenOptions::default()).unwrap();
+        let auto = generate(&st, &b, LayoutKind::Brick, 32, CodegenOptions::default()).unwrap();
         let cg = compile(&KernelSpec::Vector(gather), &arch, &model);
         let ca = compile(&KernelSpec::Vector(auto), &arch, &model);
         assert!(cg.spills());

@@ -110,6 +110,7 @@ pub fn simulate_memory(
     arch: &GpuArch,
     blocks_per_sm: u32,
 ) -> MemoryReport {
+    let _span = brick_obs::span_cat(format!("memory-sim:{}", spec.name()), "memory-sim");
     let num_blocks = geom.num_blocks();
     let num_sms = arch.num_sms;
     let active = num_sms * blocks_per_sm.max(1) as usize;
@@ -229,9 +230,7 @@ mod tests {
     fn vector_spec(shape: StencilShape, layout: LayoutKind, width: usize) -> KernelSpec {
         let st = shape.stencil();
         let b = st.default_bindings();
-        KernelSpec::Vector(
-            generate(&st, &b, layout, width, CodegenOptions::default()).unwrap(),
-        )
+        KernelSpec::Vector(generate(&st, &b, layout, width, CodegenOptions::default()).unwrap())
     }
 
     #[test]
@@ -279,9 +278,7 @@ mod tests {
         let shape = StencilShape::cube(2);
         let st = shape.stencil();
         let b = st.default_bindings();
-        let scalar = KernelSpec::Scalar(
-            ScalarKernel::new(&st, &b, LayoutKind::Array, 32).unwrap(),
-        );
+        let scalar = KernelSpec::Scalar(ScalarKernel::new(&st, &b, LayoutKind::Array, 32).unwrap());
         let codegen = vector_spec(shape, LayoutKind::Array, 32);
         let geom = TraceGeometry::array((64, 64, 64), 2, BrickDims::for_simd_width(32));
         let arch = GpuArch::a100();

@@ -159,8 +159,7 @@ impl ReuseAnalyzer {
             }
             Some(prev) => {
                 // distinct lines touched in (prev, now) = stack distance
-                let dist =
-                    self.live.prefix(self.clock) - self.live.prefix(prev);
+                let dist = self.live.prefix(self.clock) - self.live.prefix(prev);
                 let position = dist + 1; // hit iff capacity >= position
                 let bucket = (64 - position.leading_zeros() as usize - 1).min(39);
                 self.buckets[bucket] += 1;

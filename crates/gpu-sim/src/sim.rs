@@ -53,8 +53,13 @@ pub struct SimResult {
 }
 
 impl SimResult {
-    /// Bytes moved per interior point at the DRAM level.
+    /// Bytes moved per interior point at the DRAM level. A degenerate
+    /// geometry with no interior points reports 0.0 rather than NaN/inf,
+    /// so downstream averages and serialized artifacts stay finite.
     pub fn dram_bytes_per_point(&self) -> f64 {
+        if self.points == 0 {
+            return 0.0;
+        }
         self.mem.dram_bytes as f64 / self.points as f64
     }
 }
@@ -80,9 +85,17 @@ pub fn simulate(
         spec.block().bx,
         arch.name
     );
-    let compiled = compile(spec, arch, &cm);
+    let _span = brick_obs::span_cat(
+        format!("simulate:{}:{}/{model}", spec.name(), arch.kind),
+        "simulate",
+    );
+    let compiled = {
+        let _s = brick_obs::span_cat("compile", "compile");
+        compile(spec, arch, &cm)
+    };
     let occ = occupancy(arch, &compiled);
     let report = simulate_memory(spec, geom, arch, occ.blocks_per_sm);
+    record_cache_metrics(arch.kind, &report);
     Some(assemble(
         spec,
         geom,
@@ -92,6 +105,35 @@ pub fn simulate(
         report.counters(),
         normalized_flops_per_point,
     ))
+}
+
+/// Tally per-level cache behaviour into the global metrics registry (one
+/// update per simulated kernel, tagged by GPU).
+fn record_cache_metrics(gpu: GpuKind, report: &crate::hierarchy::MemoryReport) {
+    for (level, stats) in [("l1", &report.l1), ("l2", &report.l2)] {
+        brick_obs::counter_add(&format!("sim.{gpu}.{level}.hit_sectors"), stats.hit_sectors);
+        brick_obs::counter_add(
+            &format!("sim.{gpu}.{level}.miss_sectors"),
+            stats.miss_sectors,
+        );
+        let total = stats.hit_sectors + stats.miss_sectors;
+        if total > 0 {
+            brick_obs::histogram_record(
+                &format!("sim.{gpu}.{level}.hit_pct"),
+                100.0 * stats.hit_sectors as f64 / total as f64,
+            );
+        }
+    }
+    brick_obs::counter_add(
+        &format!("sim.{gpu}.dram.read_bytes"),
+        report.dram_read_bytes,
+    );
+    brick_obs::counter_add(
+        &format!("sim.{gpu}.dram.write_bytes"),
+        report.dram_write_bytes,
+    );
+    brick_obs::counter_add(&format!("sim.{gpu}.dram.page_hits"), report.pages.hits);
+    brick_obs::counter_add(&format!("sim.{gpu}.dram.page_misses"), report.pages.misses);
 }
 
 /// Assemble a [`SimResult`] from precomputed memory counters (lets
@@ -110,13 +152,23 @@ pub fn assemble(
     let spill = compiled.spill_bytes_per_block() * num_blocks;
     mem.l1_bytes += spill;
     mem.l2_bytes += (spill as f64 * SPILL_L2_FRACTION) as u64;
+    if spill > 0 {
+        brick_obs::counter_add("sim.spill.kernels", 1);
+        brick_obs::counter_add("sim.spill.bytes", spill);
+    }
 
     let points = geom.interior_points();
     let normalized_flops = normalized_flops_per_point * points;
     let executed_flops = compiled.exec_flops_per_block * num_blocks;
 
-    let breakdown = kernel_time(arch, cm, compiled, &mem, num_blocks);
+    let breakdown = {
+        let _s = brick_obs::span_cat("timing", "timing");
+        kernel_time(arch, cm, compiled, &mem, num_blocks)
+    };
     let occ = occupancy(arch, compiled);
+    brick_obs::counter_add(&format!("sim.limiter.{}", breakdown.limiter()), 1);
+    brick_obs::histogram_record("sim.regs_per_thread", compiled.regs_per_thread as f64);
+    brick_obs::histogram_record("sim.occupancy_pct", occ.occupancy * 100.0);
     SimResult {
         kernel: spec.name().to_string(),
         gpu: arch.kind,
@@ -223,10 +275,8 @@ mod tests {
             (GpuArch::pvc_stack().scaled_down(64), ProgModel::Sycl),
         ] {
             let shape = StencilShape::cube(1);
-            let bricks =
-                run(shape, LayoutKind::Brick, true, &arch, model, 64).unwrap();
-            let array =
-                run(shape, LayoutKind::Array, false, &arch, model, 64).unwrap();
+            let bricks = run(shape, LayoutKind::Brick, true, &arch, model, 64).unwrap();
+            let array = run(shape, LayoutKind::Array, false, &arch, model, 64).unwrap();
             assert!(
                 bricks.gflops > array.gflops,
                 "{}: bricks {:.0} !> array {:.0} GFLOP/s",
@@ -250,11 +300,9 @@ mod tests {
         // SYCL for the high-order stencils
         let arch = GpuArch::a100();
         let shape = StencilShape::cube(2);
-        let cuda_scalar = run(shape, LayoutKind::Array, false, &arch, ProgModel::Cuda, 64)
-            .unwrap();
+        let cuda_scalar = run(shape, LayoutKind::Array, false, &arch, ProgModel::Cuda, 64).unwrap();
         let cuda_cg = run(shape, LayoutKind::Array, true, &arch, ProgModel::Cuda, 64).unwrap();
-        let sycl_scalar = run(shape, LayoutKind::Array, false, &arch, ProgModel::Sycl, 64)
-            .unwrap();
+        let sycl_scalar = run(shape, LayoutKind::Array, false, &arch, ProgModel::Sycl, 64).unwrap();
         let sycl_cg = run(shape, LayoutKind::Array, true, &arch, ProgModel::Sycl, 64).unwrap();
         let cuda_gap = cuda_cg.gflops / cuda_scalar.gflops;
         let sycl_gap = sycl_cg.gflops / sycl_scalar.gflops;
@@ -277,7 +325,11 @@ mod tests {
                 "{shape}: AI {:.3} > theory {theory:.3}",
                 r.ai
             );
-            assert!(r.ai > 0.2 * theory, "{shape}: AI {:.3} way below theory", r.ai);
+            assert!(
+                r.ai > 0.2 * theory,
+                "{shape}: AI {:.3} way below theory",
+                r.ai
+            );
         }
     }
 

@@ -29,6 +29,14 @@ pub fn occupancy(arch: &GpuArch, k: &CompiledKernel) -> Occupancy {
     let by_regs = arch.regfile_per_sm / regs_per_block;
     let by_threads = arch.max_threads_per_sm / k.threads_per_block.max(1);
     let blocks = by_regs.min(by_threads).min(arch.max_blocks_per_sm).max(1);
+    let occ_limiter = if by_regs <= by_threads && by_regs <= arch.max_blocks_per_sm {
+        "registers"
+    } else if by_threads <= arch.max_blocks_per_sm {
+        "threads"
+    } else {
+        "blocks"
+    };
+    brick_obs::counter_add(&format!("sim.occupancy_limited_by.{occ_limiter}"), 1);
     let resident_warps = (blocks * k.warps_per_block).min(arch.max_warps_per_sm());
     Occupancy {
         blocks_per_sm: blocks,

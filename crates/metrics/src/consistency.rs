@@ -42,11 +42,7 @@ pub fn consistency(efficiencies: &[f64]) -> Consistency {
         sum += e;
     }
     let mean = sum / n;
-    let var = efficiencies
-        .iter()
-        .map(|e| (e - mean).powi(2))
-        .sum::<f64>()
-        / n;
+    let var = efficiencies.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n;
     let stddev = var.sqrt();
     Consistency {
         min,
@@ -87,7 +83,10 @@ mod tests {
         assert!(c.min_max_ratio > 0.65);
         assert!(c.cv < 0.2);
         let p = crate::pennycook_p(&[Some(0.95), Some(0.84), Some(0.66), Some(0.68), Some(0.77)]);
-        assert!((p - c.mean).abs() < 0.05, "harmonic ≈ arithmetic when consistent");
+        assert!(
+            (p - c.mean).abs() < 0.05,
+            "harmonic ≈ arithmetic when consistent"
+        );
     }
 
     #[test]

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # brick-obs
+//!
+//! Observability for the reproduction pipeline. Four pieces, all
+//! dependency-free beyond the workspace serde shim:
+//!
+//! * **Spans** ([`span`], [`span_cat`]) — hierarchical RAII tracing on a
+//!   monotonic clock. Disabled by default; a single atomic load when off.
+//!   Enabled spans land in a global, thread-safe span tree exportable as
+//!   Chrome `trace_event` JSON ([`trace::chrome_trace_json`], loadable in
+//!   `chrome://tracing` or Perfetto) or JSONL ([`trace::spans_jsonl`]).
+//! * **Metrics** ([`counter_add`], [`gauge_set`], [`histogram_record`]) —
+//!   a global registry of named counters, gauges and log-linear
+//!   histograms, snapshotted with [`metrics::snapshot`].
+//! * **Logging** — `BRICK_LOG`-filtered leveled logging
+//!   (`BRICK_LOG=debug`, `BRICK_LOG=info,gpu_sim=trace`) through the
+//!   [`error!`]/[`warn!`]/[`info!`]/[`debug!`]/[`trace!`] macros, plus
+//!   [`progress::Progress`] rate/ETA reporting for long sweeps.
+//! * **Provenance** ([`manifest::RunManifest`]) — git SHA, config hash,
+//!   per-record wall time and an observability summary, serialized
+//!   alongside sweep artifacts.
+//!
+//! Binaries call [`init`] once; library crates just emit — everything is
+//! quiet and near-free until an environment variable or the caller turns
+//! it on.
+
+pub mod logging;
+pub mod manifest;
+pub mod metrics;
+pub mod progress;
+pub mod span;
+pub mod trace;
+
+pub use logging::{log_emit, log_level_enabled, parse_filter, set_filter, EnvFilter, Level};
+pub use manifest::RunManifest;
+pub use metrics::{counter_add, gauge_set, histogram_record, MetricsSnapshot};
+pub use progress::Progress;
+pub use span::{set_tracing, span, span_cat, tracing_enabled, SpanGuard, SpanRecord};
+
+/// Initialise observability from the environment: `BRICK_LOG` selects the
+/// log filter (default `warn`), `BRICK_TRACE=1` enables span tracing.
+/// Idempotent; binaries call it first thing in `main`.
+pub fn init() {
+    if let Ok(spec) = std::env::var("BRICK_LOG") {
+        match parse_filter(&spec) {
+            Ok(f) => set_filter(f),
+            Err(e) => eprintln!("brick-obs: ignoring invalid BRICK_LOG ({e})"),
+        }
+    }
+    if std::env::var("BRICK_TRACE").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        set_tracing(true);
+    }
+}

@@ -1,0 +1,258 @@
+//! `BRICK_LOG`-style env-filtered leveled logging.
+//!
+//! Filter syntax mirrors `env_logger`: a bare level (`debug`) sets the
+//! default; comma-separated `module=level` entries override it per module
+//! path prefix (`info,gpu_sim=trace,brick_codegen=off`). The hot check is
+//! one relaxed atomic load of the maximum enabled level, so disabled call
+//! sites cost nothing measurable.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Log verbosity, ordered from silent to chattiest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is emitted.
+    Off = 0,
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Suspicious but non-fatal conditions (the default).
+    Warn = 2,
+    /// Progress and lifecycle events.
+    Info = 3,
+    /// Per-stage detail.
+    Debug = 4,
+    /// Per-item detail.
+    Trace = 5,
+}
+
+impl Level {
+    fn parse(s: &str) -> Result<Level, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(Level::Off),
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown log level {other:?}")),
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// A parsed `BRICK_LOG` filter: default level plus per-module overrides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFilter {
+    /// Level for modules with no matching override.
+    pub default: Level,
+    /// `(module path prefix, level)` overrides; the longest matching
+    /// prefix wins.
+    pub modules: Vec<(String, Level)>,
+}
+
+impl Default for EnvFilter {
+    fn default() -> Self {
+        EnvFilter {
+            default: Level::Warn,
+            modules: Vec::new(),
+        }
+    }
+}
+
+impl EnvFilter {
+    /// Effective level for a module path like `gpu_sim::hierarchy`.
+    pub fn level_for(&self, module: &str) -> Level {
+        self.modules
+            .iter()
+            .filter(|(prefix, _)| {
+                module == prefix
+                    || (module.starts_with(prefix.as_str())
+                        && module[prefix.len()..].starts_with("::"))
+            })
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|&(_, level)| level)
+            .unwrap_or(self.default)
+    }
+
+    /// The chattiest level any module can reach — the fast-path gate.
+    pub fn max_level(&self) -> Level {
+        self.modules
+            .iter()
+            .map(|&(_, l)| l)
+            .fold(self.default, Level::max)
+    }
+}
+
+/// Parse a `BRICK_LOG` specification.
+///
+/// ```
+/// use brick_obs::{parse_filter, Level};
+/// let f = parse_filter("info,gpu_sim=trace").unwrap();
+/// assert_eq!(f.level_for("experiments"), Level::Info);
+/// assert_eq!(f.level_for("gpu_sim::cache"), Level::Trace);
+/// ```
+pub fn parse_filter(spec: &str) -> Result<EnvFilter, String> {
+    let mut filter = EnvFilter::default();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('=') {
+            Some((module, level)) => {
+                let module = module.trim();
+                if module.is_empty() {
+                    return Err(format!("empty module name in {part:?}"));
+                }
+                filter
+                    .modules
+                    .push((module.to_string(), Level::parse(level)?));
+            }
+            None => filter.default = Level::parse(part)?,
+        }
+    }
+    Ok(filter)
+}
+
+/// Fast gate: max enabled level across all modules.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+static FILTER: Mutex<Option<EnvFilter>> = Mutex::new(None);
+
+/// Install `filter` as the process-wide log filter.
+pub fn set_filter(filter: EnvFilter) {
+    MAX_LEVEL.store(filter.max_level() as u8, Ordering::Relaxed);
+    *FILTER.lock().unwrap() = Some(filter);
+}
+
+/// Cheap pre-check used by the log macros: could *any* module log at
+/// `level`?
+#[inline]
+pub fn log_level_enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Slow path behind [`log_level_enabled`]: apply the module filter and
+/// write the line to stderr.
+pub fn log_emit(level: Level, module: &str, message: &str) {
+    let allowed = {
+        let guard = FILTER.lock().unwrap();
+        guard
+            .as_ref()
+            .map(|f| f.level_for(module))
+            .unwrap_or(EnvFilter::default().default)
+    };
+    if level <= allowed {
+        eprintln!("[{:5} {module}] {message}", level.tag());
+    }
+}
+
+/// Log at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log_level_enabled($crate::Level::Error) {
+            $crate::log_emit($crate::Level::Error, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log_level_enabled($crate::Level::Warn) {
+            $crate::log_emit($crate::Level::Warn, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log_level_enabled($crate::Level::Info) {
+            $crate::log_emit($crate::Level::Info, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log_level_enabled($crate::Level::Debug) {
+            $crate::log_emit($crate::Level::Debug, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if $crate::log_level_enabled($crate::Level::Trace) {
+            $crate::log_emit($crate::Level::Trace, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = parse_filter("debug").unwrap();
+        assert_eq!(f.default, Level::Debug);
+        assert!(f.modules.is_empty());
+        assert_eq!(f.level_for("anything"), Level::Debug);
+        assert_eq!(f.max_level(), Level::Debug);
+    }
+
+    #[test]
+    fn module_overrides_and_prefix_matching() {
+        let f = parse_filter("info,gpu_sim=trace,gpu_sim::cache=off").unwrap();
+        assert_eq!(f.level_for("experiments::runner"), Level::Info);
+        assert_eq!(f.level_for("gpu_sim"), Level::Trace);
+        assert_eq!(f.level_for("gpu_sim::hierarchy"), Level::Trace);
+        // longest prefix wins
+        assert_eq!(f.level_for("gpu_sim::cache"), Level::Off);
+        assert_eq!(f.level_for("gpu_sim::cache::sector"), Level::Off);
+        // prefix must end at a path boundary
+        assert_eq!(f.level_for("gpu_simulator"), Level::Info);
+        assert_eq!(f.max_level(), Level::Trace);
+    }
+
+    #[test]
+    fn whitespace_and_empties_tolerated() {
+        let f = parse_filter(" warn , vm = debug ,, ").unwrap();
+        assert_eq!(f.default, Level::Warn);
+        assert_eq!(f.level_for("vm"), Level::Debug);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(parse_filter("loud").is_err());
+        assert!(parse_filter("gpu_sim=verbose").is_err());
+        assert!(parse_filter("=debug").is_err());
+    }
+
+    #[test]
+    fn level_ordering_drives_the_gate() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+        let f = parse_filter("off,vm=error").unwrap();
+        assert_eq!(f.max_level(), Level::Error);
+    }
+}

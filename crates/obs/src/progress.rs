@@ -1,0 +1,107 @@
+//! Rate/ETA progress reporting for long sweeps.
+//!
+//! A [`Progress`] counts completed items and, when reporting is enabled
+//! (the log filter allows `info` for its creator's module, or the caller
+//! forces it), prints `done/total`, items/sec and an ETA to stderr —
+//! throttled so even a tight loop prints at most about twice a second.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const PRINT_EVERY: Duration = Duration::from_millis(500);
+
+/// A throttled progress reporter.
+pub struct Progress {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+    enabled: bool,
+    last_print: Mutex<Instant>,
+}
+
+impl Progress {
+    /// A reporter for `total` items, printing only when `enabled`.
+    pub fn new(label: impl Into<String>, total: u64, enabled: bool) -> Progress {
+        let now = Instant::now();
+        Progress {
+            label: label.into(),
+            total,
+            done: AtomicU64::new(0),
+            started: now,
+            enabled,
+            // Backdate so the first tick after the throttle window prints.
+            last_print: Mutex::new(now - PRINT_EVERY),
+        }
+    }
+
+    /// Record one completed item; returns the new completion count.
+    pub fn tick(&self) -> u64 {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.enabled {
+            let mut last = self.last_print.lock().unwrap();
+            if last.elapsed() >= PRINT_EVERY || done == self.total {
+                *last = Instant::now();
+                drop(last);
+                eprintln!("{}", self.line(done));
+            }
+        }
+        done
+    }
+
+    /// Items completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the reporter was created.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The status line for a completion count (exposed for tests).
+    pub fn line(&self, done: u64) -> String {
+        let elapsed = self.elapsed_s().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            100.0 * done as f64 / self.total as f64
+        };
+        let eta = if rate > 0.0 && done < self.total {
+            format!("{:.1}s", (self.total - done) as f64 / rate)
+        } else {
+            "0.0s".to_string()
+        };
+        format!(
+            "[{}] {done}/{} ({pct:.0}%) {rate:.1}/s ETA {eta}",
+            self.label, self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_formats() {
+        let p = Progress::new("sweep", 10, false);
+        for _ in 0..4 {
+            p.tick();
+        }
+        assert_eq!(p.done(), 4);
+        let line = p.line(4);
+        assert!(line.starts_with("[sweep] 4/10 (40%)"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn finished_eta_is_zero() {
+        let p = Progress::new("x", 2, false);
+        p.tick();
+        p.tick();
+        assert!(p.line(2).contains("ETA 0.0s"));
+    }
+}

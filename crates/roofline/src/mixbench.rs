@@ -10,9 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use gpu_sim::{
-    kernel_time, CompiledKernel, CompilerModel, GpuArch, MemCounters, ProgModel,
-};
+use gpu_sim::{kernel_time, CompiledKernel, CompilerModel, GpuArch, MemCounters, ProgModel};
 
 use crate::model::Roofline;
 

@@ -140,7 +140,11 @@ fn exec_block(
     }
 }
 
-fn check_brick(kernel: &VectorKernel, input: &BrickGrid, output: &BrickGrid) -> Result<(), VmError> {
+fn check_brick(
+    kernel: &VectorKernel,
+    input: &BrickGrid,
+    output: &BrickGrid,
+) -> Result<(), VmError> {
     kernel.validate().map_err(VmError::InvalidKernel)?;
     if kernel.layout != LayoutKind::Brick {
         return Err(VmError::Mismatch("array kernel on brick grids".into()));
@@ -155,7 +159,9 @@ fn check_brick(kernel: &VectorKernel, input: &BrickGrid, output: &BrickGrid) -> 
     if input.decomp().extents() != output.decomp().extents()
         || input.decomp().ordering() != output.decomp().ordering()
     {
-        return Err(VmError::Mismatch("input/output decomposition mismatch".into()));
+        return Err(VmError::Mismatch(
+            "input/output decomposition mismatch".into(),
+        ));
     }
     let reach = kernel_reach(kernel);
     let ghost = input.decomp().ghost_layers();
@@ -415,10 +421,8 @@ mod tests {
         reference::apply(&st, &b, &dense, &mut expect).unwrap();
 
         let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(width));
-        let mut output = BrickGrid::with_metadata(
-            Arc::clone(input.decomp()),
-            Arc::clone(input.info()),
-        );
+        let mut output =
+            BrickGrid::with_metadata(Arc::clone(input.decomp()), Arc::clone(input.info()));
         run_vector_brick(&kernel, &input, &mut output).unwrap();
         let got = output.to_dense();
         let diff = got.max_rel_diff(&expect);
@@ -588,8 +592,7 @@ mod tests {
         let mut dense = DenseGrid::cubic(16, 1);
         dense.fill_test_pattern();
         let mut a = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(16));
-        let mut bgrid =
-            BrickGrid::with_metadata(Arc::clone(a.decomp()), Arc::clone(a.info()));
+        let mut bgrid = BrickGrid::with_metadata(Arc::clone(a.decomp()), Arc::clone(a.info()));
         for _ in 0..4 {
             run_vector_brick(&k, &a, &mut bgrid).unwrap();
             std::mem::swap(&mut a, &mut bgrid);

@@ -8,8 +8,8 @@
 
 use std::sync::Arc;
 
-use brick_core::{BrickDims, BrickNav, TileIter};
 use brick_codegen::LayoutKind;
+use brick_core::{BrickDims, BrickNav, TileIter};
 
 /// Default base address of the input allocation (arbitrary, distinct from
 /// the output so the cache simulator never aliases them).
@@ -157,12 +157,16 @@ impl TraceGeometry {
 
     /// Brick navigation (panics on array geometry).
     pub fn nav(&self) -> &BrickNav {
-        self.nav.as_ref().expect("brick navigation on array geometry")
+        self.nav
+            .as_ref()
+            .expect("brick navigation on array geometry")
     }
 
     /// Array addressing (panics on brick geometry).
     pub fn array_addr(&self) -> &ArrayAddr {
-        self.array.as_ref().expect("array addressing on brick geometry")
+        self.array
+            .as_ref()
+            .expect("array addressing on brick geometry")
     }
 
     /// Home brick id of launch block `i` (brick layout).

@@ -19,9 +19,7 @@ pub mod geom;
 pub mod scalar;
 pub mod trace;
 
-pub use exec::{
-    kernel_reach, run_vector_array, run_vector_brick, trace_vector_block, VmError,
-};
+pub use exec::{kernel_reach, run_vector_array, run_vector_brick, trace_vector_block, VmError};
 pub use geom::{ArrayAddr, TraceGeometry, DEFAULT_IN_BASE, DEFAULT_OUT_BASE};
 pub use scalar::{run_scalar_array, run_scalar_brick, trace_scalar_block, ScalarKernel};
 pub use trace::{CountingSink, NullSink, RecordingSink, TraceSink};

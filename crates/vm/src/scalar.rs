@@ -138,8 +138,7 @@ pub fn run_scalar_brick(
                 for ly in 0..dims.by as i64 {
                     for lx in 0..dims.bx as i64 {
                         let v = point_value_brick(kernel, input, home, lx, ly, lz);
-                        let off =
-                            dims.element_offset(lx as usize, ly as usize, lz as usize);
+                        let off = dims.element_offset(lx as usize, ly as usize, lz as usize);
                         out_chunk[off] = v;
                     }
                 }
@@ -239,10 +238,7 @@ pub fn trace_scalar_block(
                         }
                     }
                     let off = dims.row_offset(ry as usize, rz as usize);
-                    sink.store(
-                        geom.out_base + nav.element_addr(home, off),
-                        (w * 8) as u32,
-                    );
+                    sink.store(geom.out_base + nav.element_addr(home, off), (w * 8) as u32);
                 }
             }
         }

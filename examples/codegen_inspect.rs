@@ -38,7 +38,10 @@ fn main() {
     println!("==== scalar kernels on bricks (paper Fig. 2) ====");
     for dialect in [Dialect::Cuda, Dialect::Hip, Dialect::Sycl] {
         println!("---- {} ----", dialect.name());
-        println!("{}", emit_scalar(&stencil, &bindings, LayoutKind::Brick, dialect));
+        println!(
+            "{}",
+            emit_scalar(&stencil, &bindings, LayoutKind::Brick, dialect)
+        );
     }
 
     println!("==== vector code generation (width {width}) ====");

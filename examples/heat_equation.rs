@@ -36,8 +36,14 @@ fn main() {
     let stencil = Stencil::assign("u_new", expr).expect("linear");
     let bindings = CoeffBindings::new(); // weights are numeric already
 
-    let kernel = generate(&stencil, &bindings, LayoutKind::Brick, 32, CodegenOptions::default())
-        .expect("codegen");
+    let kernel = generate(
+        &stencil,
+        &bindings,
+        LayoutKind::Brick,
+        32,
+        CodegenOptions::default(),
+    )
+    .expect("codegen");
     println!(
         "heat kernel: {} ({} ops/brick, {} regs)",
         kernel.name,
@@ -49,11 +55,16 @@ fn main() {
     // emulated by refreshing the halo each step from the interior (the
     // mode is periodic with the domain).
     let k = 2.0 * PI / n as f64;
-    let mode = |x: i64, y: i64, z: i64| {
-        (k * x as f64).sin() * (k * y as f64).sin() * (k * z as f64).sin()
-    };
+    let mode =
+        |x: i64, y: i64, z: i64| (k * x as f64).sin() * (k * y as f64).sin() * (k * z as f64).sin();
     let mut dense = DenseGrid::cubic(n, 1);
-    dense.fill_with(|x, y, z| mode(x.rem_euclid(n as i64), y.rem_euclid(n as i64), z.rem_euclid(n as i64)));
+    dense.fill_with(|x, y, z| {
+        mode(
+            x.rem_euclid(n as i64),
+            y.rem_euclid(n as i64),
+            z.rem_euclid(n as i64),
+        )
+    });
 
     let dims = BrickDims::for_simd_width(32);
     let mut cur = BrickGrid::from_dense(&dense, dims);
@@ -94,7 +105,9 @@ fn main() {
     let ut = cur.get(probe.0, probe.1, probe.2);
     let expected = u0 * lambda.powi(steps);
     let rel = ((ut - expected) / expected).abs();
-    println!("after {steps} steps: measured {ut:+.6e}, analytic {expected:+.6e} (rel err {rel:.2e})");
+    println!(
+        "after {steps} steps: measured {ut:+.6e}, analytic {expected:+.6e} (rel err {rel:.2e})"
+    );
     assert!(rel < 1e-9, "discrete decay must match the analytic factor");
     println!("heat equation OK: brick kernel reproduces the discrete dispersion relation.");
 }

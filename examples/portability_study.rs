@@ -32,10 +32,7 @@ fn main() {
     let analysis = StencilAnalysis::of_shape(&shape);
     println!(
         "stencil: {} ({} points, {} coefficient classes, theoretical AI {:.3})",
-        shape,
-        analysis.points,
-        analysis.classes,
-        analysis.theoretical_ai
+        shape, analysis.points, analysis.classes, analysis.theoretical_ai
     );
 
     let n = 256;
@@ -61,8 +58,8 @@ fn main() {
             shape.radius as usize,
         );
         let rl = measure(&arch, model).expect("supported pair");
-        let sim = simulate(&spec, &geom, &arch, model, analysis.flops_per_point)
-            .expect("supported pair");
+        let sim =
+            simulate(&spec, &geom, &arch, model, analysis.flops_per_point).expect("supported pair");
         let frac = rl.fraction(sim.gflops, sim.ai);
         let frac_ai = sim.ai / analysis.theoretical_ai;
         println!(

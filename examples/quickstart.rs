@@ -32,8 +32,14 @@ fn main() {
         .bind("MPI_B1", 0.1);
 
     // 3. Generate vector code for an A100-shaped brick (4x4x32).
-    let kernel = generate(&stencil, &bindings, LayoutKind::Brick, 32, CodegenOptions::default())
-        .expect("codegen");
+    let kernel = generate(
+        &stencil,
+        &bindings,
+        LayoutKind::Brick,
+        32,
+        CodegenOptions::default(),
+    )
+    .expect("codegen");
     println!(
         "generated {}: {} vector ops, {} registers/thread, strategy {}",
         kernel.name,

@@ -1,0 +1,234 @@
+//! Offline stand-in for `criterion` covering the API subset this
+//! workspace's benches use: benchmark groups with `sample_size` /
+//! `measurement_time` / `throughput`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each sample times a batch of
+//! iterations sized so one sample lasts roughly `measurement_time /
+//! sample_size`, and the reported figure is the median sample. No HTML
+//! reports, no statistics beyond median and min/max.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, `function/parameter` style.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the closure of `bench_function`; runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    sample_target: Duration,
+    /// Median seconds per iteration, set by [`Bencher::iter`].
+    median_s: f64,
+    min_s: f64,
+    max_s: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing median/min/max seconds per iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // calibrate: how many iterations fit one sample target
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (self.sample_target.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_secs_f64() / per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.median_s = per_iter[per_iter.len() / 2];
+        self.min_s = per_iter[0];
+        self.max_s = *per_iter.last().unwrap();
+    }
+}
+
+fn human_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Total time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark. The shim's calibration pass already
+    /// warms the code under test, so this only records intent.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            sample_target: self.measurement_time / self.sample_size as u32,
+            median_s: f64::NAN,
+            min_s: f64::NAN,
+            max_s: f64::NAN,
+        };
+        f(&mut b);
+        let mut line = format!(
+            "{}/{}  time: [{} .. {} .. {}]",
+            self.name,
+            id.0,
+            human_time(b.min_s),
+            human_time(b.median_s),
+            human_time(b.max_s),
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                line += &format!("  thrpt: {:.3} Melem/s", n as f64 / b.median_s / 1e6);
+            }
+            Some(Throughput::Bytes(n)) => {
+                line += &format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 / b.median_s / (1 << 20) as f64
+                );
+            }
+            None => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.benchmark_group(id.0.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

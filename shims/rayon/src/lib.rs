@@ -1,0 +1,133 @@
+//! Offline stand-in for `rayon` covering the API subset this workspace
+//! uses: `par_iter_mut` / `par_chunks_mut` on slices followed by
+//! `enumerate` / `map` / `for_each` / `collect`.
+//!
+//! Work items are materialised eagerly and evaluated on `std::thread`
+//! scoped workers pulling from an atomic cursor (dynamic scheduling, like
+//! rayon's work stealing at this granularity). `map` is eager — it
+//! evaluates in parallel immediately and yields an ordered result — which
+//! is observationally equivalent for the pipelines here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::ParallelSliceMut;
+}
+
+/// Evaluate `f` over `items` on scoped worker threads; results keep the
+/// input order.
+fn par_eval<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item taken once");
+                let r = f(item);
+                *out[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker wrote result"))
+        .collect()
+}
+
+/// A materialised parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel map (eager); result order matches input order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_eval(self.items, f),
+        }
+    }
+
+    /// Run `f` over every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_eval(self.items, f);
+    }
+
+    /// Collect the (already ordered) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Parallel mutable iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel counterpart of `iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Parallel counterpart of `chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_for_each_touches_everything() {
+        let mut v = vec![0u64; 10_000];
+        v.par_chunks_mut(17).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64 + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[0], 1);
+        assert_eq!(v[17], 2);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let mut v: Vec<u32> = (0..1000).collect();
+        let out: Vec<u64> = v
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, x)| (*x as u64) * 2 + i as u64)
+            .collect();
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, i as u64 * 3);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace serde shim.
+//!
+//! Parses the derive input token stream directly (no syn/quote — the
+//! build container has no network access to fetch them) and emits impls
+//! of the shim's `to_value`/`from_value` traits. Supported shapes are
+//! exactly what the workspace uses:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit or have named fields,
+//! * no generic parameters, no `#[serde(...)]` attributes.
+//!
+//! Anything else panics at expansion time with a clear message, which is
+//! the desired failure mode for a shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Vec<Field>)>,
+    },
+}
+
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // the [...] group of the attribute
+                match it.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                // optional (crate)/(super)/(in ...) restriction
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip tokens up to (and including) the next top-level `,`, tracking
+/// `<...>` nesting so commas inside generic arguments don't terminate
+/// the field. Returns false when the stream ended.
+fn skip_type(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut depth = 0i32;
+    for tok in it.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive shim: expected `:` after field `{name}`, got {other:?} \
+                 (tuple structs are not supported)"
+            ),
+        }
+        fields.push(Field { name });
+        if !skip_type(&mut it) {
+            break;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<(String, Vec<Field>)> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match it.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde_derive shim: tuple variant `{name}` is not supported \
+                 (use named fields)"
+            ),
+            _ => Vec::new(),
+        };
+        variants.push((name, fields));
+        // skip an optional discriminant and the trailing comma
+        let mut depth = 0i32;
+        loop {
+            match it.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let kind = loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `union`, or modifiers we don't care about
+                if s == "union" {
+                    panic!("serde_derive shim: unions are not supported");
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive shim: no struct/enum in derive input"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde_derive shim: tuple struct `{name}` is not supported")
+        }
+        other => panic!("serde_derive shim: expected {{...}} body for `{name}`, got {other:?}"),
+    };
+    if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_enum_variants(body),
+        }
+    }
+}
+
+/// Derive the shim's `Serialize` (a `to_value(&self) -> Value` impl).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Obj(__obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!(
+                            "{name}::{v} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{v}\")),\n"
+                        )
+                    } else {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__inner.push((::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0})));\n",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                                     ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Obj(vec![(\
+                                     ::std::string::String::from(\"{v}\"), \
+                                     ::serde::Value::Obj(__inner))])\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+/// Derive the shim's `Deserialize` (a `from_value(&Value)` impl).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{0}: ::serde::Deserialize::from_value(__v.field(\"{0}\")?)?,\n",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_empty())
+                .map(|(v, _)| {
+                    format!("\"{v}\" => return ::std::result::Result::Ok({name}::{v}),\n")
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| !fields.is_empty())
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{0}: ::serde::Deserialize::from_value(\
+                                 __inner.field(\"{0}\")?)?,\n",
+                                f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if let ::std::option::Option::Some(__inner) = __v.variant(\"{v}\") {{\n\
+                             return ::std::result::Result::Ok({name}::{v} {{\n{inits}}});\n\
+                         }}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                             match __s {{\n{unit_arms}_ => {{}}\n}}\n\
+                         }}\n\
+                         {struct_arms}\
+                         ::std::result::Result::Err(::serde::Error::msg(format!(\
+                             \"no variant of {name} matches {{:?}}\", __v)))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim: generated impl must parse")
+}

@@ -32,9 +32,16 @@ usage:
   bricks simulate <star|cube> <radius> <gpu> <model>    one measurement
   bricks tune     <star|cube> <radius> <gpu> <model>    autotune bricks
   bricks reuse    <star|cube> <radius> <width>          reuse distances
+  bricks obs      <file>                                inspect saved observability
 
   gpu   = a100 | mi250x | pvc
   model = cuda | hip | sycl
+
+`bricks obs` summarizes observability artifacts written by the
+experiments binary: trace.json (top spans by self-time), metrics.json
+(counter/gauge/histogram summaries) and manifest.json (run provenance).
+Set BRICK_LOG=info|debug|trace (with optional module=level filters) for
+diagnostic logging in any subcommand.
 
 For the paper's tables and figures use:
   cargo run -p experiments --release -- --all";
@@ -96,7 +103,7 @@ fn inspect(shape: StencilShape, width: usize) -> Result<(), String> {
     for line in emit_vector(&k, Dialect::Cuda).lines().take(16) {
         println!("{line}");
     }
-    if width % 8 == 0 {
+    if width.is_multiple_of(8) {
         println!("\n--- AVX-512 rendering (first 10 lines) ---");
         for line in emit_cpu_vector(&k, CpuIsa::Avx512).lines().take(10) {
             println!("{line}");
@@ -120,14 +127,28 @@ fn simulate_cmd(shape: StencilShape, arch: GpuArch, model: ProgModel) -> Result<
         BrickOrdering::Lexicographic,
     ));
     let geom = TraceGeometry::brick(Arc::new(BrickNav::new(decomp)));
-    let sim = simulate(&KernelSpec::Vector(kernel), &geom, &arch, model, a.flops_per_point)
-        .ok_or_else(|| format!("{model} is not supported on {}", arch.name))?;
+    let sim = simulate(
+        &KernelSpec::Vector(kernel),
+        &geom,
+        &arch,
+        model,
+        a.flops_per_point,
+    )
+    .ok_or_else(|| format!("{model} is not supported on {}", arch.name))?;
     let rl = measure(&arch, model).expect("support checked");
     let frac = rl.fraction(sim.gflops, sim.ai);
     let frac_ai = sim.ai / a.theoretical_ai;
     println!("bricks codegen, {}^3 on {} / {model}", n, arch.name);
-    println!("  performance : {:8.0} GFLOP/s  ({:.0}% of roofline)", sim.gflops, frac * 100.0);
-    println!("  arith. int. : {:8.3} FLOP/B   ({:.0}% of theoretical)", sim.ai, frac_ai * 100.0);
+    println!(
+        "  performance : {:8.0} GFLOP/s  ({:.0}% of roofline)",
+        sim.gflops,
+        frac * 100.0
+    );
+    println!(
+        "  arith. int. : {:8.3} FLOP/B   ({:.0}% of theoretical)",
+        sim.ai,
+        frac_ai * 100.0
+    );
     println!(
         "  data moved  : DRAM {:.2} GB | L2 {:.2} GB | L1 {:.2} GB",
         sim.mem.dram_bytes as f64 / 1e9,
@@ -151,8 +172,8 @@ fn simulate_cmd(shape: StencilShape, arch: GpuArch, model: ProgModel) -> Result<
 
 fn tune_cmd(shape: StencilShape, arch: GpuArch, model: ProgModel) -> Result<(), String> {
     let n = 128;
-    let result = autotune(&shape, &arch, model, n, &TuningSpace::default())
-        .map_err(|e| e.to_string())?;
+    let result =
+        autotune(&shape, &arch, model, n, &TuningSpace::default()).map_err(|e| e.to_string())?;
     println!(
         "autotuning {shape} on {} / {model} ({n}^3, {} feasible / {} skipped)",
         arch.name,
@@ -211,6 +232,72 @@ fn reuse_cmd(shape: StencilShape, width: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Summarize a saved observability artifact: a Chrome trace, a metrics
+/// snapshot, or a run manifest (or a sweep JSON embedding one). The kind
+/// is detected from the JSON shape, not the file name.
+fn obs_cmd(path: &str) -> Result<(), String> {
+    use bricks_repro::obs::trace::{parse_chrome_trace, render_span_stats, span_stats};
+    use bricks_repro::obs::{metrics::render_snapshot, MetricsSnapshot, RunManifest};
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value = serde_json::parse(&text).map_err(|e| format!("{path}: not JSON: {e}"))?;
+
+    if value.get("traceEvents").is_some() {
+        let events = parse_chrome_trace(&text)?;
+        let stats = span_stats(&events);
+        println!(
+            "{path}: Chrome trace, {} events, {} distinct spans\n",
+            events.len(),
+            stats.len()
+        );
+        print!("{}", render_span_stats(&stats, 20));
+        return Ok(());
+    }
+    if value.get("counters").is_some() || value.get("histograms").is_some() {
+        let snap: MetricsSnapshot =
+            serde_json::from_value(&value).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: metrics snapshot\n");
+        print!("{}", render_snapshot(&snap));
+        return Ok(());
+    }
+    // a bare manifest, or a sweep with one embedded
+    let manifest_value = if value.get("config_hash").is_some() {
+        &value
+    } else {
+        value
+            .get("manifest")
+            .ok_or_else(|| format!("{path}: not a trace, metrics snapshot, or manifest"))?
+    };
+    let m: RunManifest =
+        serde_json::from_value(manifest_value).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: run manifest");
+    println!(
+        "  git sha      : {}",
+        m.git_sha.as_deref().unwrap_or("(not a checkout)")
+    );
+    println!("  config hash  : {:016x}", m.config_hash);
+    println!("  started      : unix {}", m.started_unix);
+    println!(
+        "  wall time    : {:.2}s total, {} records, {:.3}s/record mean",
+        m.wall_s,
+        m.record_wall_s.len(),
+        m.mean_record_s()
+    );
+    println!(
+        "  observability: {} spans, {} metrics recorded",
+        m.spans_recorded, m.metrics_recorded
+    );
+    if let Some(slowest) = m
+        .record_wall_s
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.total_cmp(b))
+    {
+        println!("  slowest rec  : {slowest:.3}s");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
@@ -229,6 +316,7 @@ fn run() -> Result<(), String> {
             let w: usize = width.parse().map_err(|e| format!("width: {e}"))?;
             reuse_cmd(shape_of(kind, radius)?, w)
         }
+        ["obs", path] => obs_cmd(path),
         [] | ["--help"] | ["-h"] | ["help"] => {
             println!("{HELP}");
             Ok(())
@@ -238,6 +326,7 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    bricks_repro::obs::init();
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

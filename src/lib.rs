@@ -10,8 +10,9 @@
 
 pub use brick_codegen as codegen;
 pub use brick_core as core;
-pub use brick_tuner as tuner;
 pub use brick_dsl as dsl;
+pub use brick_obs as obs;
+pub use brick_tuner as tuner;
 pub use brick_vm as vm;
 pub use experiments;
 pub use gpu_sim;

@@ -92,6 +92,11 @@ fn sweep_point_lookup_consistent_with_records() {
         assert_eq!(found.dram_bytes, r.dram_bytes);
     }
     assert!(s
-        .point(GpuKind::PvcStack, ProgModel::Cuda, KernelConfig::Array, "7pt")
+        .point(
+            GpuKind::PvcStack,
+            ProgModel::Cuda,
+            KernelConfig::Array,
+            "7pt"
+        )
         .is_none());
 }

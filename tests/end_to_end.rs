@@ -107,9 +107,8 @@ fn asymmetric_stencil_round_trips() {
     reference::apply(&st, &b, &input, &mut expect).unwrap();
 
     for layout in [LayoutKind::Brick, LayoutKind::Array] {
-        let spec = KernelSpec::Vector(
-            generate(&st, &b, layout, 16, CodegenOptions::default()).unwrap(),
-        );
+        let spec =
+            KernelSpec::Vector(generate(&st, &b, layout, 16, CodegenOptions::default()).unwrap());
         let got = run_numeric_dense(&spec, &input).unwrap();
         assert!(
             got.max_rel_diff(&expect) < 1e-12,
@@ -133,9 +132,8 @@ fn non_cubic_domains_work() {
     let mut expect = DenseGrid::new(64, 12, 20, 2);
     reference::apply(&st, &b, &input, &mut expect).unwrap();
     for layout in [LayoutKind::Brick, LayoutKind::Array] {
-        let spec = KernelSpec::Vector(
-            generate(&st, &b, layout, 16, CodegenOptions::default()).unwrap(),
-        );
+        let spec =
+            KernelSpec::Vector(generate(&st, &b, layout, 16, CodegenOptions::default()).unwrap());
         let got = run_numeric_dense(&spec, &input).unwrap();
         assert!(got.max_rel_diff(&expect) < 1e-12, "{layout}");
     }

@@ -96,8 +96,14 @@ fn simulated_points_never_beat_their_roofline() {
         for shape in [StencilShape::star(2), StencilShape::cube(2)] {
             let a = StencilAnalysis::of_shape(&shape);
             let geom = brick_geom(2 * w.max(64), w, shape.radius as usize);
-            let sim = simulate(&bricks_spec(&shape, w), &geom, &arch, model, a.flops_per_point)
-                .unwrap();
+            let sim = simulate(
+                &bricks_spec(&shape, w),
+                &geom,
+                &arch,
+                model,
+                a.flops_per_point,
+            )
+            .unwrap();
             assert!(
                 sim.gflops <= rl.attainable(sim.ai) * 1.05,
                 "{} {shape}: {:.0} above roofline {:.0}",
@@ -122,8 +128,14 @@ fn portability_metric_end_to_end() {
     ] {
         let w = arch.simd_width;
         let geom = brick_geom(128, w, shape.radius as usize);
-        let sim = simulate(&bricks_spec(&shape, w), &geom, &arch, model, a.flops_per_point)
-            .unwrap();
+        let sim = simulate(
+            &bricks_spec(&shape, w),
+            &geom,
+            &arch,
+            model,
+            a.flops_per_point,
+        )
+        .unwrap();
         let rl = measure(&arch, model).unwrap();
         effs.push(Some(rl.fraction(sim.gflops, sim.ai)));
     }
@@ -176,7 +188,11 @@ fn morton_and_lexicographic_orderings_agree_on_compulsory_writes() {
         ));
         let geom = TraceGeometry::brick(Arc::new(BrickNav::new(d)));
         let rep = simulate_memory(&spec, &geom, &arch, 8);
-        assert_eq!(rep.dram_write_bytes, geom.interior_points() * 8, "{ordering:?}");
+        assert_eq!(
+            rep.dram_write_bytes,
+            geom.interior_points() * 8,
+            "{ordering:?}"
+        );
     }
 }
 
@@ -195,6 +211,11 @@ fn spilled_sycl_kernel_is_slower_than_cuda_same_trace() {
     let sycl = simulate(&spec, &geom, &arch, ProgModel::Sycl, a.flops_per_point).unwrap();
     assert!(!cuda.spilled);
     assert!(sycl.spilled);
-    assert!(sycl.gflops < cuda.gflops * 0.7, "{} !< {}", sycl.gflops, cuda.gflops);
+    assert!(
+        sycl.gflops < cuda.gflops * 0.7,
+        "{} !< {}",
+        sycl.gflops,
+        cuda.gflops
+    );
     assert!(sycl.mem.l1_bytes > cuda.mem.l1_bytes);
 }
