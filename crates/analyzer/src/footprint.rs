@@ -1,0 +1,542 @@
+//! Pass 2 — footprint abstract interpretation.
+//!
+//! Interprets the kernel over *symbolic* rows instead of data: every lane
+//! of every register carries the set of input points it linearly combines,
+//! `{(x, y, z) → weight}`, with coordinates relative to the home block's
+//! origin. `LoadRow` introduces unit provenance, `ShiftX` permutes lanes
+//! exactly as the VM's shuffle semantics do, and `Add`/`Mul`/`Fma` combine
+//! and scale weights. At each `StoreRow` the per-lane provenance is
+//! re-expressed as offsets from the output point — which must be the same
+//! stencil for every lane of every stored row, and must equal the declared
+//! [`ExpectedStencil`] when one is supplied.
+//!
+//! The same interpretation yields the kernel's *load reach*: how far its
+//! memory addresses stray outside the home block per axis, which is what
+//! ghost-zone coverage checks need (and what `crates/vm` previously
+//! re-derived ad hoc from shift distances).
+
+use std::collections::BTreeMap;
+
+use brick_codegen::{VOp, VectorKernel};
+use brick_dsl::stencil::StencilError;
+use brick_dsl::{CoeffBindings, Stencil};
+
+use crate::diag::{Diagnostic, LintCode, Report};
+
+/// Relative weight tolerance when comparing floating-point tap weights:
+/// generated kernels evaluate the same products the resolver does, so the
+/// slack only absorbs benign re-association.
+const WEIGHT_RTOL: f64 = 1e-9;
+
+/// A stencil resolved to numeric taps, as the footprint pass expects to
+/// find it in the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedStencil {
+    /// `offset → weight`, offsets relative to the output point.
+    pub taps: BTreeMap<[i64; 3], f64>,
+    /// Display name used in diagnostics.
+    pub name: String,
+}
+
+impl ExpectedStencil {
+    /// Resolve `stencil` under `bindings` into an expected tap set.
+    pub fn resolve(stencil: &Stencil, bindings: &CoeffBindings) -> Result<Self, StencilError> {
+        let mut taps = BTreeMap::new();
+        for (off, w) in stencil.resolve(bindings)? {
+            taps.insert([off[0] as i64, off[1] as i64, off[2] as i64], w);
+        }
+        Ok(ExpectedStencil {
+            taps,
+            name: stencil.name().to_string(),
+        })
+    }
+}
+
+/// The proven memory behaviour of a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Footprint {
+    /// The stencil every output lane computes: `offset → weight`.
+    pub taps: BTreeMap<[i64; 3], f64>,
+    /// Per-axis distance the kernel's *loads* reach outside the home
+    /// block — the ghost/halo coverage it requires.
+    pub reach: [i64; 3],
+}
+
+/// One lane's provenance: the input points it combines, as a sorted
+/// `(packed coordinate, weight)` vector. Coordinates are packed into one
+/// `i64` (21 bits per axis, biased) so the hot merge loop compares single
+/// integers; packing is order-preserving per axis and linear, so a uniform
+/// coordinate translation is a single integer subtraction on the key.
+type Key = i64;
+type Lane = Vec<(Key, f64)>;
+
+/// Per-axis bias; coordinates are block-relative and bounded by a few
+/// SIMD widths, far inside ±2²⁰.
+const BIAS: i64 = 1 << 20;
+
+fn pack(x: i64, y: i64, z: i64) -> Key {
+    ((x + BIAS) << 42) | ((y + BIAS) << 21) | (z + BIAS)
+}
+
+fn unpack(k: Key) -> [i64; 3] {
+    const MASK: i64 = (1 << 21) - 1;
+    [
+        (k >> 42) - BIAS,
+        ((k >> 21) & MASK) - BIAS,
+        (k & MASK) - BIAS,
+    ]
+}
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= WEIGHT_RTOL * scale
+}
+
+fn lanes_equal(a: &Lane, b: &Lane) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((oa, wa), (ob, wb))| oa == ob && approx_eq(*wa, *wb))
+}
+
+/// A register's abstract value.
+///
+/// Generated kernels are almost entirely *lane-uniform*: lane `i` of a
+/// register combines exactly the points lane 0 does, translated by `i`
+/// along x (rows load contiguously, shifts realign whole rows, FMA chains
+/// preserve the property). `Uniform` exploits that: one tap set stands
+/// for all lanes, so the arithmetic ops cost `O(taps)` instead of
+/// `O(width · taps)`. Anything the fast path cannot prove uniform falls
+/// back to the explicit `PerLane` form — the fallback is the definition,
+/// the fast path only a compressed encoding of it.
+#[derive(Clone)]
+enum RegVal {
+    /// `provenance(lane) = taps translated by +lane in x`.
+    Uniform(Lane),
+    /// Explicit provenance per lane.
+    PerLane(Vec<Lane>),
+}
+
+/// Translate every tap of `t` by `dx` along x (packing is linear per
+/// axis, so this is one integer add per key; sort order is preserved).
+fn translate(t: &Lane, dx: i64) -> Lane {
+    t.iter().map(|&(k, w)| (k + (dx << 42), w)).collect()
+}
+
+/// Bit-exact lane equality — used only to *detect* uniformity, where a
+/// false negative merely costs speed, never soundness.
+fn lanes_exact_eq(a: &Lane, b: &Lane) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.0 == y.0 && x.1.to_bits() == y.1.to_bits())
+}
+
+fn materialize(v: &RegVal, w: usize) -> Vec<Lane> {
+    match v {
+        RegVal::PerLane(l) => l.clone(),
+        RegVal::Uniform(t) => (0..w).map(|i| translate(t, i as i64)).collect(),
+    }
+}
+
+/// Compress an explicit value back to `Uniform` when every lane is the
+/// base lane translated by its index (bit-exact), else keep it explicit.
+fn uniformize(v: Vec<Lane>) -> RegVal {
+    let base = &v[0];
+    for (i, lane) in v.iter().enumerate().skip(1) {
+        let shifted = (i as i64) << 42;
+        if !(lane.len() == base.len()
+            && lane
+                .iter()
+                .zip(base)
+                .all(|(l, b)| l.0 == b.0 + shifted && l.1.to_bits() == b.1.to_bits()))
+        {
+            return RegVal::PerLane(v);
+        }
+    }
+    RegVal::Uniform(v.into_iter().next().expect("width > 0"))
+}
+
+/// `a + c·b`, merging two sorted lanes in one linear pass.
+fn merge_scaled(a: &Lane, b: &Lane, c: f64) -> Lane {
+    let mut out = Lane::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((b[j].0, b[j].1 * c));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1 * c));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend(b[j..].iter().map(|&(k, w)| (k, w * c)));
+    out
+}
+
+/// Per-axis distance the kernel's load addresses stray outside the home
+/// block `[0, bx) × [0, by) × [0, bz)`.
+pub fn load_reach(kernel: &VectorKernel) -> [i64; 3] {
+    let w = kernel.width as i64;
+    let (by, bz) = (kernel.block.by as i64, kernel.block.bz as i64);
+    let outside = |lo: i64, hi: i64, extent: i64| (-lo).max(hi - extent + 1).max(0);
+    let mut r = [0i64; 3];
+    for op in &kernel.ops {
+        if let VOp::LoadRow {
+            rx,
+            ry,
+            rz,
+            lane0,
+            lanes,
+            ..
+        } = *op
+        {
+            let x0 = rx as i64 * w + lane0 as i64;
+            let x1 = x0 + lanes as i64 - 1;
+            r[0] = r[0].max(outside(x0, x1, w));
+            r[1] = r[1].max(outside(ry as i64, ry as i64, by));
+            r[2] = r[2].max(outside(rz as i64, rz as i64, bz));
+        }
+    }
+    r
+}
+
+/// Run the footprint interpretation. Returns the proven footprint when
+/// every stored lane agrees (and matches `expected`, if supplied); on any
+/// disagreement the diagnostics land in `report` and `None` is returned.
+///
+/// Precondition: the verifier pass found no errors (register and
+/// coefficient indices are in range).
+pub fn run(
+    kernel: &VectorKernel,
+    expected: Option<&ExpectedStencil>,
+    report: &mut Report,
+) -> Option<Footprint> {
+    let _span = brick_obs::span_cat("lint:footprint", "lint");
+    let w = kernel.width;
+    let mut regs: Vec<RegVal> = vec![RegVal::Uniform(Lane::new()); kernel.num_regs];
+    // The stencil proven so far (offsets packed, sorted): set at the first
+    // stored lane, must match everywhere after.
+    let mut proven: Option<(Lane, usize)> = None;
+    let errors_before = report.error_count();
+
+    for (i, op) in kernel.ops.iter().enumerate() {
+        match *op {
+            VOp::LoadRow {
+                dst,
+                rx,
+                ry,
+                rz,
+                lane0,
+                lanes,
+            } => {
+                let x0 = rx as i64 * w as i64;
+                regs[dst as usize] = if lane0 == 0 && lanes as usize == w {
+                    RegVal::Uniform(vec![(pack(x0, ry as i64, rz as i64), 1.0)])
+                } else {
+                    let mut v = vec![Lane::new(); w];
+                    for (lane, slot) in v.iter_mut().enumerate().skip(lane0 as usize) {
+                        if lane >= (lane0 + lanes) as usize {
+                            break;
+                        }
+                        *slot = vec![(pack(x0 + lane as i64, ry as i64, rz as i64), 1.0)];
+                    }
+                    RegVal::PerLane(v)
+                };
+            }
+            VOp::ShiftX { dst, src, edge, dx } => {
+                let fast = match (&regs[src as usize], &regs[edge as usize]) {
+                    _ if dx == 0 => Some(regs[src as usize].clone()),
+                    (RegVal::Uniform(ts), RegVal::Uniform(te)) => {
+                        // Wrapped lanes read `edge` where uniform lanes
+                        // read `src ∓ width`; when those coincide the
+                        // whole result is the uniform translate by dx.
+                        let wrap = if dx < 0 { w as i64 } else { -(w as i64) };
+                        if lanes_exact_eq(&translate(te, wrap), ts) {
+                            Some(RegVal::Uniform(translate(ts, dx as i64)))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                regs[dst as usize] = fast.unwrap_or_else(|| {
+                    let vs = materialize(&regs[src as usize], w);
+                    let ve = materialize(&regs[edge as usize], w);
+                    let mut out = vec![Lane::new(); w];
+                    for (lane, slot) in out.iter_mut().enumerate() {
+                        let j = lane as i64 + dx as i64;
+                        *slot = if j >= 0 && (j as usize) < w {
+                            vs[j as usize].clone()
+                        } else if j < 0 {
+                            ve[(j + w as i64) as usize].clone()
+                        } else {
+                            ve[(j - w as i64) as usize].clone()
+                        };
+                    }
+                    uniformize(out)
+                });
+            }
+            VOp::Add { dst, a, b } => {
+                regs[dst as usize] = combine(&regs[a as usize], &regs[b as usize], 1.0, w);
+            }
+            VOp::Mul { dst, a, coeff } => {
+                let c = kernel.coeffs[coeff as usize];
+                let scale =
+                    |lane: &Lane| -> Lane { lane.iter().map(|&(k, wt)| (k, wt * c)).collect() };
+                regs[dst as usize] = match &regs[a as usize] {
+                    RegVal::Uniform(t) => RegVal::Uniform(scale(t)),
+                    RegVal::PerLane(v) => RegVal::PerLane(v.iter().map(scale).collect()),
+                };
+            }
+            VOp::Fma { dst, acc, a, coeff } => {
+                let c = kernel.coeffs[coeff as usize];
+                regs[dst as usize] = combine(&regs[acc as usize], &regs[a as usize], c, w);
+            }
+            VOp::StoreRow { src, ry, rz } => {
+                // Re-express provenance as offsets from the output point
+                // (lane, ry, rz) — a uniform translation, i.e. a single
+                // subtraction on the packed key — and drop cancelled
+                // terms. For a Uniform register the lane index cancels, so
+                // one check covers every lane of the row.
+                let offsets_of = |prov: &Lane, lane: usize| -> Lane {
+                    let delta = pack(lane as i64, ry as i64, rz as i64) - pack(0, 0, 0);
+                    prov.iter()
+                        .filter(|(_, wt)| !approx_eq(*wt, 0.0))
+                        .map(|&(k, wt)| (k - delta, wt))
+                        .collect()
+                };
+                let ctx = StoreCtx { op: i, ry, rz };
+                match &regs[src as usize] {
+                    RegVal::Uniform(t) => {
+                        let offs = offsets_of(t, 0);
+                        check_stored_lane(offs, 0, ctx, expected, &mut proven, report);
+                    }
+                    RegVal::PerLane(v) => {
+                        for (lane, prov) in v.iter().enumerate() {
+                            let offs = offsets_of(prov, lane);
+                            check_stored_lane(offs, lane, ctx, expected, &mut proven, report);
+                        }
+                    }
+                }
+            }
+        }
+        // Fail fast on the first inconsistent row: later rows would repeat
+        // the same mismatch once per lane and drown the report.
+        if report.error_count() > errors_before {
+            break;
+        }
+    }
+
+    if report.error_count() > errors_before {
+        return None;
+    }
+    proven.map(|(taps, _)| Footprint {
+        taps: taps.into_iter().map(|(k, wt)| (unpack(k), wt)).collect(),
+        reach: load_reach(kernel),
+    })
+}
+
+/// `a + c·b` over whole registers, staying in the compressed form when
+/// both operands are uniform.
+fn combine(a: &RegVal, b: &RegVal, c: f64, w: usize) -> RegVal {
+    match (a, b) {
+        (RegVal::Uniform(ta), RegVal::Uniform(tb)) => RegVal::Uniform(merge_scaled(ta, tb, c)),
+        _ => {
+            let va = materialize(a, w);
+            let vb = materialize(b, w);
+            uniformize(
+                va.iter()
+                    .zip(&vb)
+                    .map(|(la, lb)| merge_scaled(la, lb, c))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Location of the `StoreRow` op whose lanes are being checked.
+#[derive(Clone, Copy)]
+struct StoreCtx {
+    op: usize,
+    ry: i16,
+    rz: i16,
+}
+
+/// Record one stored lane's offset set against the proof state: the first
+/// stored lane fixes the stencil (and is checked against the declaration
+/// when one is supplied); every later lane must match it exactly.
+fn check_stored_lane(
+    offs: Lane,
+    lane: usize,
+    ctx: StoreCtx,
+    expected: Option<&ExpectedStencil>,
+    proven: &mut Option<(Lane, usize)>,
+    report: &mut Report,
+) {
+    let StoreCtx { op: i, ry, rz } = ctx;
+    match (&*proven, expected) {
+        (None, Some(exp)) => {
+            check_against_expected(&offs, exp, ctx, lane, report);
+            *proven = Some((offs, i));
+        }
+        (None, None) => *proven = Some((offs, i)),
+        (Some((first, first_op)), _) => {
+            if !lanes_equal(first, &offs) {
+                report.push(
+                    Diagnostic::at(
+                        LintCode::InconsistentFootprint,
+                        i,
+                        format!(
+                            "lane {lane} of stored row ({ry},{rz}) computes a different \
+                             stencil than the first stored lane (op {first_op})"
+                        ),
+                    )
+                    .with_help(format!(
+                        "first lane reads {} tap(s), this lane {}",
+                        first.len(),
+                        offs.len()
+                    )),
+                );
+            }
+        }
+    }
+}
+
+fn check_against_expected(
+    offs: &Lane,
+    exp: &ExpectedStencil,
+    ctx: StoreCtx,
+    lane: usize,
+    report: &mut Report,
+) {
+    let StoreCtx { op, ry, rz } = ctx;
+    let got: BTreeMap<[i64; 3], f64> = offs.iter().map(|&(k, wt)| (unpack(k), wt)).collect();
+    for (o, wt) in &got {
+        match exp.taps.get(o) {
+            None => {
+                report.push(
+                    Diagnostic::at(
+                        LintCode::FootprintMismatch,
+                        op,
+                        format!(
+                            "lane {lane} of stored row ({ry},{rz}) reads offset \
+                             [{},{},{}] which stencil {} does not contain",
+                            o[0], o[1], o[2], exp.name
+                        ),
+                    )
+                    .with_help(format!("declared footprint has {} tap(s)", exp.taps.len())),
+                );
+            }
+            Some(want) if !approx_eq(*wt, *want) => {
+                report.push(Diagnostic::at(
+                    LintCode::CoeffValueMismatch,
+                    op,
+                    format!(
+                        "lane {lane} of stored row ({ry},{rz}) weights offset \
+                         [{},{},{}] with {wt} but stencil {} declares {want}",
+                        o[0], o[1], o[2], exp.name
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for o in exp.taps.keys() {
+        if !got.contains_key(o) {
+            report.push(Diagnostic::at(
+                LintCode::FootprintMismatch,
+                op,
+                format!(
+                    "lane {lane} of stored row ({ry},{rz}) never reads offset \
+                     [{},{},{}] required by stencil {}",
+                    o[0], o[1], o[2], exp.name
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::tiny_kernel;
+
+    fn tiny_expected() -> ExpectedStencil {
+        // tiny_kernel computes out = 2·in at offset [0,0,0].
+        ExpectedStencil {
+            taps: [([0, 0, 0], 2.0)].into_iter().collect(),
+            name: "1pt".into(),
+        }
+    }
+
+    #[test]
+    fn tiny_kernel_footprint_proven() {
+        let k = tiny_kernel();
+        let mut r = Report::new(&k.name);
+        let fp = run(&k, Some(&tiny_expected()), &mut r).unwrap();
+        assert!(!r.has_errors(), "{r}");
+        assert_eq!(fp.taps.len(), 1);
+        assert_eq!(fp.taps[&[0, 0, 0]], 2.0);
+        assert_eq!(fp.reach, [0, 0, 0]);
+    }
+
+    #[test]
+    fn wrong_coefficient_rejected_with_op_index() {
+        let mut k = tiny_kernel();
+        k.coeffs[0] = 3.0; // kernel now computes 3·in, stencil says 2·in
+        let mut r = Report::new(&k.name);
+        assert!(run(&k, Some(&tiny_expected()), &mut r).is_none());
+        let hits = r.with_code(LintCode::CoeffValueMismatch);
+        assert!(!hits.is_empty(), "{r}");
+        assert_eq!(hits[0].op, Some(2), "anchored at the store");
+    }
+
+    #[test]
+    fn wrong_offset_rejected() {
+        let mut k = tiny_kernel();
+        if let VOp::LoadRow { ry, .. } = &mut k.ops[0] {
+            *ry = 1; // reads the +y neighbour instead of the centre
+        }
+        let mut r = Report::new(&k.name);
+        assert!(run(&k, Some(&tiny_expected()), &mut r).is_none());
+        assert!(!r.with_code(LintCode::FootprintMismatch).is_empty(), "{r}");
+    }
+
+    #[test]
+    fn self_consistency_without_expected() {
+        let k = tiny_kernel();
+        let mut r = Report::new(&k.name);
+        let fp = run(&k, None, &mut r).unwrap();
+        assert!(!r.has_errors());
+        assert_eq!(fp.taps[&[0, 0, 0]], 2.0);
+    }
+
+    #[test]
+    fn load_reach_counts_addresses_not_shifts() {
+        let mut k = tiny_kernel();
+        if let VOp::LoadRow { rz, .. } = &mut k.ops[0] {
+            *rz = -1;
+        }
+        assert_eq!(load_reach(&k), [0, 0, 1]);
+        if let VOp::LoadRow {
+            rx, lane0, lanes, ..
+        } = &mut k.ops[0]
+        {
+            *rx = 1;
+            *lane0 = 0;
+            *lanes = 2;
+        }
+        // x addresses [4, 6) with width 4: reach 2 beyond the block.
+        assert_eq!(load_reach(&k), [2, 0, 1]);
+    }
+}

@@ -1,0 +1,250 @@
+//! # brick-lint
+//!
+//! Static kernel verifier and lint pipeline over the vector IR.
+//!
+//! The code generator (paper §3) is trusted to emit correct blocked
+//! stencil kernels; this crate makes that trust machine-checkable.
+//! [`analyze`] runs four passes over a [`VectorKernel`] and collects
+//! structured diagnostics ([`Report`]) with stable `BLxxx` codes, op-index
+//! spans, rustc-style rendering and JSON output:
+//!
+//! 1. **verifier** ([`verifier`]) — structural dataflow: def-before-use,
+//!    register/lane/coefficient bounds, shift distances, store coverage,
+//!    and row-coordinate legality against the one-block adjacency reach;
+//! 2. **footprint** ([`footprint`]) — abstract interpretation proving each
+//!    stored output lane combines exactly the declared stencil's taps with
+//!    the declared weights, without executing the kernel;
+//! 3. **reuse** ([`reuse`]) — duplicate row loads and redundant shifts the
+//!    generator's §3 register-reuse optimization should have eliminated;
+//! 4. **occupancy** ([`occupancy`]) — register liveness priced against
+//!    per-architecture budgets ([`ArchBudget`]): spill and occupancy
+//!    warnings for A100/MI250X/PVC-class register files.
+//!
+//! Passes 2–4 only run when the verifier finds no errors, so they may
+//! assume in-range indices. Each pass runs under a `brick-obs` span
+//! (category `lint`) for timing.
+
+pub mod diag;
+pub mod footprint;
+pub mod occupancy;
+pub mod reuse;
+pub mod verifier;
+
+pub use diag::{Diagnostic, LintCode, Report, Severity};
+pub use footprint::{load_reach, ExpectedStencil, Footprint};
+pub use occupancy::ArchBudget;
+
+use brick_codegen::{VOp, VectorKernel};
+use std::hash::{Hash, Hasher};
+
+/// What to check a kernel against.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Declared stencil the footprint pass proves the kernel computes;
+    /// without one the pass still proves all output lanes agree.
+    pub expected: Option<ExpectedStencil>,
+    /// Architecture register budgets for the occupancy pass (budgets whose
+    /// SIMD width differs from the kernel's are skipped).
+    pub budgets: Vec<ArchBudget>,
+}
+
+/// Result of [`analyze`]: the diagnostics plus, when proven, the kernel's
+/// memory footprint.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All findings, across passes.
+    pub report: Report,
+    /// Proven footprint — `None` whenever any pass reported an error.
+    pub footprint: Option<Footprint>,
+}
+
+impl Analysis {
+    /// True if the kernel passed every error-severity check.
+    pub fn is_clean(&self) -> bool {
+        !self.report.has_errors()
+    }
+}
+
+/// Run all analyzer passes over `kernel`.
+pub fn analyze(kernel: &VectorKernel, opts: &LintOptions) -> Analysis {
+    let _span = brick_obs::span_cat("lint:analyze", "lint");
+    let mut report = Report::new(&kernel.name);
+    verifier::run(kernel, &mut report);
+    let mut fp = None;
+    if !report.has_errors() {
+        fp = footprint::run(kernel, opts.expected.as_ref(), &mut report);
+        reuse::run(kernel, &mut report);
+        occupancy::run(kernel, &opts.budgets, &mut report);
+    }
+    brick_obs::counter_add("lint.kernels_analyzed", 1);
+    if report.has_errors() {
+        brick_obs::counter_add("lint.kernels_rejected", 1);
+    }
+    Analysis {
+        footprint: if report.has_errors() { None } else { fp },
+        report,
+    }
+}
+
+/// Verify `kernel` is well-formed and self-consistent; the entry point the
+/// VM uses before executing anything. Returns the proven footprint (whose
+/// `reach` drives ghost-coverage checks) or the full report on failure.
+pub fn verify(kernel: &VectorKernel) -> Result<Footprint, Box<Report>> {
+    let a = analyze(kernel, &LintOptions::default());
+    match a.footprint {
+        Some(fp) if a.is_clean() => Ok(fp),
+        _ => Err(Box::new(a.report)),
+    }
+}
+
+/// Stable content hash of a kernel, for verification caching: two kernels
+/// with equal fingerprints are byte-identical programs.
+pub fn fingerprint(kernel: &VectorKernel) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    kernel.name.hash(&mut h);
+    kernel.width.hash(&mut h);
+    kernel.block.bx.hash(&mut h);
+    kernel.block.by.hash(&mut h);
+    kernel.block.bz.hash(&mut h);
+    kernel.layout.hash(&mut h);
+    kernel.strategy.hash(&mut h);
+    kernel.num_regs.hash(&mut h);
+    for c in &kernel.coeffs {
+        c.to_bits().hash(&mut h);
+    }
+    for op in &kernel.ops {
+        match *op {
+            VOp::LoadRow {
+                dst,
+                rx,
+                ry,
+                rz,
+                lane0,
+                lanes,
+            } => (0u8, dst, rx as i16, ry, rz, lane0, lanes).hash(&mut h),
+            VOp::ShiftX { dst, src, edge, dx } => (1u8, dst, src, edge, dx).hash(&mut h),
+            VOp::Add { dst, a, b } => (2u8, dst, a, b).hash(&mut h),
+            VOp::Mul { dst, a, coeff } => (3u8, dst, a, coeff).hash(&mut h),
+            VOp::Fma { dst, acc, a, coeff } => (4u8, dst, acc, a, coeff).hash(&mut h),
+            VOp::StoreRow { src, ry, rz } => (5u8, src, ry, rz).hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    use brick_codegen::{KernelStats, LayoutKind, Strategy, VOp, VectorKernel};
+    use brick_core::BrickDims;
+
+    /// Minimal clean kernel: a 4-lane `out = 2·in` over a 4×1×1 block.
+    pub fn tiny_kernel() -> VectorKernel {
+        let ops = vec![
+            VOp::LoadRow {
+                dst: 0,
+                rx: 0,
+                ry: 0,
+                rz: 0,
+                lane0: 0,
+                lanes: 4,
+            },
+            VOp::Mul {
+                dst: 0,
+                a: 0,
+                coeff: 0,
+            },
+            VOp::StoreRow {
+                src: 0,
+                ry: 0,
+                rz: 0,
+            },
+        ];
+        VectorKernel {
+            name: "tiny".into(),
+            width: 4,
+            block: BrickDims::new(4, 1, 1),
+            layout: LayoutKind::Brick,
+            strategy: Strategy::Gather,
+            coeffs: vec![2.0],
+            stats: KernelStats::from_ops(&ops, 1),
+            ops,
+            num_regs: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::tiny_kernel;
+    use brick_codegen::{generate, CodegenOptions, LayoutKind};
+    use brick_dsl::shape::StencilShape;
+
+    #[test]
+    fn paper_suite_verifies_clean_against_declared_stencils() {
+        for shape in StencilShape::paper_suite() {
+            for layout in [LayoutKind::Brick, LayoutKind::Array] {
+                let st = shape.stencil();
+                let b = st.default_bindings();
+                let k = generate(&st, &b, layout, 16, CodegenOptions::default()).unwrap();
+                let opts = LintOptions {
+                    expected: Some(ExpectedStencil::resolve(&st, &b).unwrap()),
+                    budgets: Vec::new(),
+                };
+                let a = analyze(&k, &opts);
+                assert!(
+                    a.is_clean(),
+                    "{shape} {layout}:\n{}",
+                    a.report.render(Some(&k))
+                );
+                let fp = a.footprint.unwrap();
+                assert_eq!(fp.taps.len(), st.points());
+                let r = shape.radius as i64;
+                assert_eq!(fp.reach, [r, r, r], "{shape} {layout}");
+            }
+        }
+    }
+
+    #[test]
+    fn verify_accepts_clean_and_rejects_broken() {
+        let k = tiny_kernel();
+        let fp = verify(&k).unwrap();
+        assert_eq!(fp.reach, [0, 0, 0]);
+
+        let mut bad = tiny_kernel();
+        bad.ops.pop();
+        let report = verify(&bad).unwrap_err();
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_programs() {
+        let k = tiny_kernel();
+        let same = tiny_kernel();
+        assert_eq!(fingerprint(&k), fingerprint(&same));
+        let mut coeff = tiny_kernel();
+        coeff.coeffs[0] = 2.5;
+        assert_ne!(fingerprint(&k), fingerprint(&coeff));
+        let mut shifted = tiny_kernel();
+        if let VOp::LoadRow { ry, .. } = &mut shifted.ops[0] {
+            *ry = 1;
+        }
+        assert_ne!(fingerprint(&k), fingerprint(&shifted));
+    }
+
+    #[test]
+    fn analysis_records_obs_counters() {
+        let before = brick_obs::metrics::snapshot();
+        let count_of = |s: &brick_obs::MetricsSnapshot, name: &str| {
+            s.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let base = count_of(&before, "lint.kernels_analyzed");
+        analyze(&tiny_kernel(), &LintOptions::default());
+        let after = brick_obs::metrics::snapshot();
+        assert!(count_of(&after, "lint.kernels_analyzed") > base);
+    }
+}

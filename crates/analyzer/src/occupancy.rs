@@ -1,0 +1,267 @@
+//! Pass 4 — register-budget and occupancy lints.
+//!
+//! Recomputes the kernel's register high-water mark from op-level
+//! liveness and prices it against each architecture's budget
+//! ([`ArchBudget`]), mirroring the simulator's best-case compiler model:
+//! one f64 vector register is two 32-bit architectural registers, plus a
+//! fixed prologue overhead. Kernels whose demand exceeds the per-thread
+//! ceiling will spill ([`LintCode::WillSpill`]); kernels whose demand
+//! caps resident warps below the bandwidth-saturation point run
+//! under-occupied ([`LintCode::LowOccupancy`]). A declared `num_regs`
+//! above the recomputed high-water mark is flagged as
+//! [`LintCode::OverProvisionedRegs`].
+
+use brick_codegen::VectorKernel;
+
+use crate::diag::{Diagnostic, LintCode, Report};
+
+/// Fixed per-thread architectural register overhead (prologue, block
+/// indices) — the simulator's best-case compiler model uses the same
+/// constant.
+pub const REG_OVERHEAD: u32 = 16;
+
+/// The slice of a GPU architecture the occupancy lint needs.
+///
+/// Kept free of any simulator dependency; `gpu-sim` converts its
+/// `GpuArch` into one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchBudget {
+    /// Architecture display name, e.g. `"A100"`.
+    pub name: String,
+    /// Warp/wavefront width in lanes; the lint only applies to kernels of
+    /// this vector width.
+    pub simd_width: usize,
+    /// Architectural 32-bit registers available per thread.
+    pub max_regs_per_thread: u32,
+    /// Register-file capacity per SM in 32-bit registers.
+    pub regfile_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Occupancy below which the memory system stops saturating.
+    pub bw_saturation_occupancy: f64,
+}
+
+/// Register high-water mark recomputed from op-level liveness, under the
+/// same release discipline as the linear-scan allocator: a value is live
+/// from its definition to its last use before the register is redefined,
+/// and a dying operand's slot is released *before* the same op's
+/// definition is counted (so `acc' ← acc + x·c` costs one register, not
+/// two). For allocator output this equals `num_regs`; a larger declared
+/// `num_regs` means the allocation is wasteful.
+pub fn max_live(kernel: &VectorKernel) -> u32 {
+    let n = kernel.num_regs;
+    let num_ops = kernel.ops.len();
+    // Backward scan: reconstruct, for each definition, the last use of its
+    // value (the first use seen walking backwards before the def).
+    let mut pending_use: Vec<Option<usize>> = vec![None; n];
+    let mut releases = vec![0u32; num_ops]; // value deaths at each op
+    let mut def_unread = vec![false; num_ops];
+    for (i, op) in kernel.ops.iter().enumerate().rev() {
+        // Process the def before the uses so an op reading and redefining
+        // the same register attributes the read to the *previous* value.
+        if let Some(d) = op.def() {
+            let d = d as usize;
+            if d < n {
+                match pending_use[d] {
+                    Some(j) => releases[j] += 1,
+                    None => def_unread[i] = true,
+                }
+                pending_use[d] = None;
+            }
+        }
+        for r in op.uses() {
+            let r = r as usize;
+            if r < n && pending_use[r].is_none() {
+                pending_use[r] = Some(i);
+            }
+        }
+    }
+    let mut live: i64 = 0;
+    let mut peak: i64 = 0;
+    for (i, op) in kernel.ops.iter().enumerate() {
+        live -= releases[i] as i64;
+        if op.def().is_some_and(|d| (d as usize) < n) {
+            live += 1;
+            peak = peak.max(live);
+            if def_unread[i] {
+                live -= 1;
+            }
+        }
+    }
+    peak.max(0) as u32
+}
+
+/// Architectural register demand per thread under the best-case compiler:
+/// two 32-bit registers per live f64 plus fixed overhead.
+pub fn reg_demand(vector_regs: u32) -> u32 {
+    2 * vector_regs + REG_OVERHEAD
+}
+
+/// Run the occupancy lints against each matching budget.
+///
+/// Precondition: the verifier pass found no errors.
+pub fn run(kernel: &VectorKernel, budgets: &[ArchBudget], report: &mut Report) {
+    let _span = brick_obs::span_cat("lint:occupancy", "lint");
+    let live = max_live(kernel);
+    if (kernel.num_regs as u32) > live {
+        report.push(
+            Diagnostic::global(
+                LintCode::OverProvisionedRegs,
+                format!(
+                    "kernel declares {} registers but at most {live} are ever \
+                     simultaneously live",
+                    kernel.num_regs
+                ),
+            )
+            .with_help("re-run register allocation to shrink the footprint"),
+        );
+    }
+    let demand = reg_demand(kernel.num_regs as u32);
+    for b in budgets {
+        if b.simd_width != kernel.width {
+            continue;
+        }
+        if demand > b.max_regs_per_thread {
+            report.push(
+                Diagnostic::global(
+                    LintCode::WillSpill,
+                    format!(
+                        "register demand {demand}/thread exceeds {} on {} ({} available): \
+                         the compiler will spill",
+                        b.max_regs_per_thread, b.name, b.max_regs_per_thread
+                    ),
+                )
+                .with_help("switch to the scatter schedule or shrink the block"),
+            );
+            continue; // occupancy is meaningless once spilling dominates
+        }
+        let width = b.simd_width as u32;
+        let by_regs = b.regfile_per_sm / (demand * width).max(1);
+        let by_threads = b.max_threads_per_sm / width.max(1);
+        let blocks = by_regs.min(by_threads).min(b.max_blocks_per_sm).max(1);
+        // Vector kernels launch one warp per block.
+        let max_warps = (b.max_threads_per_sm / width.max(1)).max(1);
+        let occ = blocks as f64 / max_warps as f64;
+        if occ < b.bw_saturation_occupancy && by_regs < by_threads.min(b.max_blocks_per_sm) {
+            report.push(
+                Diagnostic::global(
+                    LintCode::LowOccupancy,
+                    format!(
+                        "register demand {demand}/thread limits {} to {blocks} resident \
+                         block(s)/SM — occupancy {:.0}% is below the {:.0}% needed to \
+                         saturate bandwidth",
+                        b.name,
+                        occ * 100.0,
+                        b.bw_saturation_occupancy * 100.0
+                    ),
+                )
+                .with_help("fewer live rows (scatter schedule) would raise occupancy"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::tiny_kernel;
+
+    fn budget(width: usize, max_regs: u32) -> ArchBudget {
+        ArchBudget {
+            name: "test".into(),
+            simd_width: width,
+            max_regs_per_thread: max_regs,
+            regfile_per_sm: 65_536,
+            max_threads_per_sm: 2_048,
+            max_blocks_per_sm: 32,
+            bw_saturation_occupancy: 0.25,
+        }
+    }
+
+    #[test]
+    fn tiny_kernel_max_live_is_one() {
+        // Load r0, Mul r0 <- r0·c (operand dies into the def), Store r0.
+        assert_eq!(max_live(&tiny_kernel()), 1);
+    }
+
+    #[test]
+    fn disjoint_values_raise_the_peak() {
+        // Two rows live together before the first is consumed.
+        let mut k = tiny_kernel();
+        k.num_regs = 2;
+        k.ops = vec![
+            brick_codegen::VOp::LoadRow {
+                dst: 0,
+                rx: 0,
+                ry: 0,
+                rz: 0,
+                lane0: 0,
+                lanes: 4,
+            },
+            brick_codegen::VOp::LoadRow {
+                dst: 1,
+                rx: 0,
+                ry: 1,
+                rz: 0,
+                lane0: 0,
+                lanes: 4,
+            },
+            brick_codegen::VOp::Add { dst: 0, a: 0, b: 1 },
+            brick_codegen::VOp::StoreRow {
+                src: 0,
+                ry: 0,
+                rz: 0,
+            },
+        ];
+        assert_eq!(max_live(&k), 2);
+    }
+
+    #[test]
+    fn tiny_kernel_fits_generous_budget() {
+        let k = tiny_kernel();
+        let mut r = Report::new(&k.name);
+        run(&k, &[budget(4, 255)], &mut r);
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn spill_warned_when_budget_too_small() {
+        let k = tiny_kernel();
+        let mut r = Report::new(&k.name);
+        run(&k, &[budget(4, reg_demand(k.num_regs as u32) - 1)], &mut r);
+        assert_eq!(r.with_code(LintCode::WillSpill).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn mismatched_width_budgets_are_skipped() {
+        let k = tiny_kernel();
+        let mut r = Report::new(&k.name);
+        run(&k, &[budget(32, 1)], &mut r);
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn over_provisioned_regs_flagged() {
+        let mut k = tiny_kernel();
+        k.num_regs = 5;
+        let mut r = Report::new(&k.name);
+        run(&k, &[], &mut r);
+        assert_eq!(r.with_code(LintCode::OverProvisionedRegs).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn low_occupancy_warned_when_regs_bind() {
+        let k = tiny_kernel();
+        let mut r = Report::new(&k.name);
+        // Tight register file: demand 20 × width 4 = 80 regs/block, file of
+        // 160 → 2 blocks vs 512 max warps → far below saturation.
+        let b = ArchBudget {
+            regfile_per_sm: 160,
+            ..budget(4, 255)
+        };
+        run(&k, &[b], &mut r);
+        assert_eq!(r.with_code(LintCode::LowOccupancy).len(), 1, "{r}");
+    }
+}

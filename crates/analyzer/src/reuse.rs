@@ -1,0 +1,210 @@
+//! Pass 3 — reuse lints.
+//!
+//! The paper's §3 register-reuse optimization promises each input row is
+//! loaded once and each shuffled alignment is materialised once. This pass
+//! checks the promise on the emitted code: a local value-numbering walk
+//! flags rows loaded twice ([`LintCode::DuplicateLoad`]) and shifts that
+//! recompute a value still held in a live register
+//! ([`LintCode::RedundantShift`]).
+
+use std::collections::HashMap;
+
+use brick_codegen::{VOp, VectorKernel};
+
+use crate::diag::{Diagnostic, LintCode, Report};
+
+/// Symbolic value computed by an op, for value numbering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ValueKey {
+    Load(i8, i16, i16, u16, u16),
+    Shift(u64, u64, i16),
+    Add(u64, u64),
+    Mul(u64, u16),
+    Fma(u64, u64, u16),
+}
+
+/// Run the reuse lints over `kernel`, appending findings to `report`.
+///
+/// Precondition: the verifier pass found no errors.
+pub fn run(kernel: &VectorKernel, report: &mut Report) {
+    let _span = brick_obs::span_cat("lint:reuse", "lint");
+    let mut next_vn: u64 = 0;
+    // Value number each op key resolves to (CSE table)…
+    let mut numbering: HashMap<ValueKey, u64> = HashMap::new();
+    // …what each register currently holds…
+    let mut reg_vn: Vec<Option<u64>> = vec![None; kernel.num_regs];
+    // …and how many registers currently hold each value.
+    let mut live_copies: HashMap<u64, u32> = HashMap::new();
+    let mut loaded_rows: HashMap<(i8, i16, i16), usize> = HashMap::new();
+
+    let assign =
+        |dst: u16, vn: u64, reg_vn: &mut Vec<Option<u64>>, live_copies: &mut HashMap<u64, u32>| {
+            if let Some(old) = reg_vn[dst as usize].take() {
+                if let Some(c) = live_copies.get_mut(&old) {
+                    *c -= 1;
+                }
+            }
+            reg_vn[dst as usize] = Some(vn);
+            *live_copies.entry(vn).or_insert(0) += 1;
+        };
+
+    for (i, op) in kernel.ops.iter().enumerate() {
+        let vn_of = |r: u16, next: &mut u64, reg_vn: &[Option<u64>]| {
+            reg_vn[r as usize].unwrap_or_else(|| {
+                // Unreachable after a clean verifier pass; keep the walk
+                // total anyway.
+                *next += 1;
+                *next
+            })
+        };
+        let key = match *op {
+            VOp::LoadRow {
+                rx,
+                ry,
+                rz,
+                lane0,
+                lanes,
+                ..
+            } => {
+                if let Some(first) = loaded_rows.insert((rx, ry, rz), i) {
+                    report.push(
+                        Diagnostic::at(
+                            LintCode::DuplicateLoad,
+                            i,
+                            format!("row ({rx},{ry},{rz}) already loaded by op {first}"),
+                        )
+                        .with_help("the generator should reuse the first load's register"),
+                    );
+                }
+                Some(ValueKey::Load(rx, ry, rz, lane0, lanes))
+            }
+            VOp::ShiftX { src, edge, dx, .. } => Some(ValueKey::Shift(
+                vn_of(src, &mut next_vn, &reg_vn),
+                vn_of(edge, &mut next_vn, &reg_vn),
+                dx,
+            )),
+            VOp::Add { a, b, .. } => {
+                let (va, vb) = (
+                    vn_of(a, &mut next_vn, &reg_vn),
+                    vn_of(b, &mut next_vn, &reg_vn),
+                );
+                Some(ValueKey::Add(va.min(vb), va.max(vb)))
+            }
+            VOp::Mul { a, coeff, .. } => {
+                Some(ValueKey::Mul(vn_of(a, &mut next_vn, &reg_vn), coeff))
+            }
+            VOp::Fma { acc, a, coeff, .. } => Some(ValueKey::Fma(
+                vn_of(acc, &mut next_vn, &reg_vn),
+                vn_of(a, &mut next_vn, &reg_vn),
+                coeff,
+            )),
+            VOp::StoreRow { .. } => None,
+        };
+        let Some(key) = key else { continue };
+        let is_shift = matches!(op, VOp::ShiftX { .. });
+        let vn = match numbering.get(&key) {
+            Some(&vn) => {
+                if is_shift && live_copies.get(&vn).copied().unwrap_or(0) > 0 {
+                    report.push(
+                        Diagnostic::at(
+                            LintCode::RedundantShift,
+                            i,
+                            "shift recomputes a value still held in a live register".to_string(),
+                        )
+                        .with_help("reuse the existing register instead of shifting again"),
+                    );
+                }
+                vn
+            }
+            None => {
+                next_vn += 1;
+                numbering.insert(key, next_vn);
+                next_vn
+            }
+        };
+        if let Some(dst) = op.def() {
+            assign(dst, vn, &mut reg_vn, &mut live_copies);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::tiny_kernel;
+
+    fn check(k: &VectorKernel) -> Report {
+        let mut r = Report::new(&k.name);
+        run(k, &mut r);
+        r
+    }
+
+    #[test]
+    fn tiny_kernel_has_no_reuse_findings() {
+        let r = check(&tiny_kernel());
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn duplicate_load_flagged() {
+        let mut k = tiny_kernel();
+        k.ops.insert(1, k.ops[0]);
+        let r = check(&k);
+        let hits = r.with_code(LintCode::DuplicateLoad);
+        assert_eq!(hits.len(), 1, "{r}");
+        assert_eq!(hits[0].op, Some(1));
+    }
+
+    #[test]
+    fn redundant_shift_flagged() {
+        let mut k = tiny_kernel();
+        k.num_regs = 4;
+        let shift = VOp::ShiftX {
+            dst: 2,
+            src: 0,
+            edge: 0,
+            dx: 1,
+        };
+        let shift2 = VOp::ShiftX {
+            dst: 3,
+            src: 0,
+            edge: 0,
+            dx: 1,
+        };
+        k.ops.insert(1, shift);
+        k.ops.insert(2, shift2);
+        let r = check(&k);
+        let hits = r.with_code(LintCode::RedundantShift);
+        assert_eq!(hits.len(), 1, "{r}");
+        assert_eq!(hits[0].op, Some(2));
+    }
+
+    #[test]
+    fn recompute_after_clobber_is_not_redundant() {
+        // The first shift's result is overwritten before the second shift,
+        // so recomputing it is legitimate (a spill-avoidance rematerialise).
+        let mut k = tiny_kernel();
+        k.num_regs = 3;
+        k.ops.insert(
+            1,
+            VOp::ShiftX {
+                dst: 2,
+                src: 0,
+                edge: 0,
+                dx: 1,
+            },
+        );
+        k.ops.insert(2, VOp::Add { dst: 2, a: 0, b: 0 });
+        k.ops.insert(
+            3,
+            VOp::ShiftX {
+                dst: 2,
+                src: 0,
+                edge: 0,
+                dx: 1,
+            },
+        );
+        let r = check(&k);
+        assert!(r.with_code(LintCode::RedundantShift).is_empty(), "{r}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion bench: cost of static kernel verification relative to the
+//! sweep it guards.
+//!
+//! The sweep runner verifies every distinct generated kernel once
+//! (memoised by `brick_lint::fingerprint`), so the total price of the
+//! analyzer on a full sweep is "analyze each distinct paper kernel once".
+//! This bench measures that entire workload — all six stencils at every
+//! SIMD width in both layouts, with footprint proof and occupancy budgets
+//! — against one full (small) sweep, and asserts the analyzer costs under
+//! 2% of the sweep. That is the contract that lets verification stay on
+//! by default.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+use brick_codegen::{generate, CodegenOptions, LayoutKind, VectorKernel};
+use brick_dsl::shape::StencilShape;
+use brick_lint::{analyze, ArchBudget, ExpectedStencil, LintOptions};
+use experiments::{sweep, ExperimentParams};
+use gpu_sim::GpuArch;
+
+/// Every distinct vector kernel a full sweep verifies: 6 stencils × both
+/// layouts × the three architectures' SIMD widths.
+fn sweep_kernel_set() -> Vec<(VectorKernel, ExpectedStencil)> {
+    let mut out = Vec::new();
+    for shape in StencilShape::paper_suite() {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let expected = ExpectedStencil::resolve(&st, &b).unwrap();
+        for layout in [LayoutKind::Brick, LayoutKind::Array] {
+            for width in [16usize, 32, 64] {
+                let k = generate(&st, &b, layout, width, CodegenOptions::default()).unwrap();
+                out.push((k, expected.clone()));
+            }
+        }
+    }
+    out
+}
+
+fn budgets() -> Vec<ArchBudget> {
+    GpuArch::all().iter().map(GpuArch::lint_budget).collect()
+}
+
+fn analyze_all(kernels: &[(VectorKernel, ExpectedStencil)], budgets: &[ArchBudget]) -> usize {
+    let mut diags = 0;
+    for (k, expected) in kernels {
+        let opts = LintOptions {
+            expected: Some(expected.clone()),
+            budgets: budgets.to_vec(),
+        };
+        let a = analyze(k, &opts);
+        assert!(a.is_clean(), "paper kernel {} must verify", k.name);
+        diags += a.report.diagnostics.len();
+    }
+    diags
+}
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench_analyze_suite(c: &mut Criterion) {
+    let kernels = sweep_kernel_set();
+    let budgets = budgets();
+    let mut group = c.benchmark_group("lint_overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("analyze_all_36_paper_kernels", |bench| {
+        bench.iter(|| black_box(analyze_all(&kernels, &budgets)));
+    });
+    group.finish();
+}
+
+/// Assert full-sweep verification cost stays under 2% of the sweep.
+fn assert_verification_under_two_percent(_c: &mut Criterion) {
+    let kernels = sweep_kernel_set();
+    let budgets = budgets();
+
+    let lint_median = median_secs(
+        (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(analyze_all(&kernels, &budgets));
+                t0.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+
+    // One full sweep at the smallest legal domain — a deliberately
+    // conservative denominator: real sweeps (n ≥ 128) only get more
+    // expensive while the verification workload stays fixed.
+    let t0 = Instant::now();
+    black_box(sweep(ExperimentParams { n: 64 }));
+    let sweep_s = t0.elapsed().as_secs_f64();
+
+    let pct = 100.0 * lint_median / sweep_s;
+    println!(
+        "lint_overhead: {:.1}ms to verify {} kernels vs {:.2}s sweep at n=64 \
+         ({pct:.3}% overhead, limit 2%)",
+        lint_median * 1e3,
+        kernels.len(),
+        sweep_s,
+    );
+    assert!(
+        pct < 2.0,
+        "static verification costs {pct:.2}% of a full sweep (limit 2%)"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_analyze_suite,
+    assert_verification_under_two_percent
+);
+criterion_main!(benches);

@@ -293,10 +293,33 @@ impl VectorKernel {
             }
             match *op {
                 VOp::LoadRow {
-                    rx, lane0, lanes, ..
+                    rx,
+                    ry,
+                    rz,
+                    lane0,
+                    lanes,
+                    ..
                 } => {
                     if !(-1..=1).contains(&rx) {
                         return Err(format!("op {i}: load rx {rx} outside one block"));
+                    }
+                    // Row coordinates may reach at most one block beyond the
+                    // home block: adjacency resolves a single neighbour per
+                    // axis.
+                    let (by, bz) = (self.block.by as i16, self.block.bz as i16);
+                    if !(-by..2 * by).contains(&ry) {
+                        return Err(format!(
+                            "op {i}: load ry {ry} outside one-block adjacency ({}..{})",
+                            -by,
+                            2 * by
+                        ));
+                    }
+                    if !(-bz..2 * bz).contains(&rz) {
+                        return Err(format!(
+                            "op {i}: load rz {rz} outside one-block adjacency ({}..{})",
+                            -bz,
+                            2 * bz
+                        ));
                     }
                     if lanes == 0 || lane0 as usize + lanes as usize > self.width {
                         return Err(format!(
@@ -444,6 +467,33 @@ mod tests {
             rz: 0,
         });
         assert!(k.validate().unwrap_err().contains("stored twice"));
+    }
+
+    #[test]
+    fn out_of_range_row_coordinates_rejected() {
+        // Block is 4x1x1: legal ry/rz are -1..2 (home row ± one block).
+        let mut k = tiny_kernel();
+        if let VOp::LoadRow { ry, .. } = &mut k.ops[0] {
+            *ry = 2;
+        }
+        assert!(k.validate().unwrap_err().contains("ry 2 outside"));
+        let mut k = tiny_kernel();
+        if let VOp::LoadRow { rz, .. } = &mut k.ops[0] {
+            *rz = -2;
+        }
+        assert!(k.validate().unwrap_err().contains("rz -2 outside"));
+    }
+
+    #[test]
+    fn one_block_adjacent_rows_accepted() {
+        for (ry, rz) in [(-1, 0), (1, 0), (0, -1), (0, 1)] {
+            let mut k = tiny_kernel();
+            if let VOp::LoadRow { ry: y, rz: z, .. } = &mut k.ops[0] {
+                *y = ry;
+                *z = rz;
+            }
+            assert_eq!(k.validate(), Ok(()), "ry {ry} rz {rz}");
+        }
     }
 
     #[test]

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # brick-codegen
 //!
 //! The vector code generator of the BrickLib reproduction: lowers a

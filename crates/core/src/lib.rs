@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # brick-core
 //!
 //! The brick data layout: fine-grained data blocking for stencil grids, as

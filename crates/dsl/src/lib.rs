@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # brick-dsl
 //!
 //! A Rust embedding of the BrickLib stencil DSL from the paper

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # experiments
 //!
 //! The experiment harness: regenerates every table and figure of

@@ -110,6 +110,43 @@ impl Sweep {
     }
 }
 
+/// Statically verify a spec's vector kernel before it is simulated,
+/// memoised by kernel fingerprint so the (GPU, model) matrix pays for each
+/// distinct program once. Scalar kernels have no IR to verify and pass
+/// through. Panics with the rendered report if the generator emitted a
+/// kernel the analyzer rejects — simulating an unverified kernel would
+/// silently produce wrong paper numbers.
+pub fn verify_spec(
+    spec: &KernelSpec,
+    shape: &StencilShape,
+    arch: &GpuArch,
+    cache: &mut HashMap<u64, ()>,
+) {
+    let KernelSpec::Vector(k) = spec else { return };
+    let fp = brick_lint::fingerprint(k);
+    if cache.contains_key(&fp) {
+        brick_obs::counter_add("sweep.lint_cache_hits", 1);
+        return;
+    }
+    let _span = brick_obs::span_cat(format!("lint:sweep:{}", k.name), "lint");
+    let st = shape.stencil();
+    let b = st.default_bindings();
+    let opts = brick_lint::LintOptions {
+        expected: Some(
+            brick_lint::ExpectedStencil::resolve(&st, &b).expect("paper bindings resolve"),
+        ),
+        budgets: vec![arch.lint_budget()],
+    };
+    let analysis = brick_lint::analyze(k, &opts);
+    assert!(
+        analysis.is_clean(),
+        "generated kernel failed static verification:\n{}",
+        analysis.report.render(Some(k))
+    );
+    brick_obs::counter_add("sweep.lint_verified", 1);
+    cache.insert(fp, ());
+}
+
 /// Build the kernel spec for a configuration at a SIMD width.
 pub fn build_spec(shape: &StencilShape, config: KernelConfig, width: usize) -> KernelSpec {
     let st = shape.stencil();
@@ -185,6 +222,8 @@ pub fn sweep(params: ExperimentParams) -> Sweep {
     let mut mem_cache: HashMap<(GpuKind, String, KernelConfig, u32), MemCounters> = HashMap::new();
     // geometry cache: (layout, width, radius) -> geometry
     let mut geom_cache: HashMap<(LayoutKind, usize, usize), TraceGeometry> = HashMap::new();
+    // verification cache: kernel fingerprint -> verified
+    let mut lint_cache: HashMap<u64, ()> = HashMap::new();
 
     let mut records = Vec::new();
     for shape in StencilShape::paper_suite() {
@@ -194,7 +233,9 @@ pub fn sweep(params: ExperimentParams) -> Sweep {
             let radius = shape.radius as usize;
             let mut specs: HashMap<KernelConfig, KernelSpec> = HashMap::new();
             for config in KernelConfig::all() {
-                specs.insert(config, build_spec(&shape, config, width));
+                let spec = build_spec(&shape, config, width);
+                verify_spec(&spec, &shape, arch, &mut lint_cache);
+                specs.insert(config, spec);
             }
             for &(gpu, model) in &matrix {
                 if gpu != arch.kind {
@@ -330,6 +371,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn verify_spec_caches_by_fingerprint() {
+        let shape = StencilShape::star(1);
+        let arch = GpuArch::a100();
+        let spec = build_spec(&shape, KernelConfig::BricksCodegen, arch.simd_width);
+        let mut cache = HashMap::new();
+        verify_spec(&spec, &shape, &arch, &mut cache);
+        assert_eq!(cache.len(), 1, "vector kernel verified and cached");
+        verify_spec(&spec, &shape, &arch, &mut cache);
+        assert_eq!(cache.len(), 1, "second verification hits the cache");
+        // scalar kernels have no IR and don't populate the cache
+        let scalar = build_spec(&shape, KernelConfig::Array, arch.simd_width);
+        verify_spec(&scalar, &shape, &arch, &mut cache);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

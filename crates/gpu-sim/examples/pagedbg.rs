@@ -1,3 +1,6 @@
+//! Debug dump of DRAM page/row-buffer behaviour: prints per-config DRAM
+//! traffic for array/brick layouts across the modelled architectures.
+
 use brick_codegen::{generate, CodegenOptions, LayoutKind};
 use brick_core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
 use brick_dsl::shape::StencilShape;

@@ -138,7 +138,8 @@ pub fn simulate_memory(
                         l1,
                         out: &mut misses,
                     };
-                    spec.trace_block(geom, block, &mut sink);
+                    spec.trace_block(geom, block, &mut sink)
+                        .expect("kernel/geometry verified before simulation");
                     out.push((pos, misses));
                     pos += num_sms;
                 }

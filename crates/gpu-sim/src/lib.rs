@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # gpu-sim
 //!
 //! Trace-driven GPU simulator standing in for the paper's three machines

@@ -290,7 +290,7 @@ mod tests {
         let geom = TraceGeometry::brick(Arc::new(BrickNav::new(d)));
         let mut analyzer = ReuseAnalyzer::new(128);
         for i in 0..geom.num_blocks() {
-            spec.trace_block(&geom, i, &mut analyzer);
+            spec.trace_block(&geom, i, &mut analyzer).unwrap();
         }
         let p = analyzer.profile();
         assert!(p.total > 0);

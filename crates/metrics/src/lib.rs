@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # perf-portability
 //!
 //! The performance-portability analysis tools of the paper's §5.2:

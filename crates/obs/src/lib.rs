@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # brick-obs
 //!
 //! Observability for the reproduction pipeline. Four pieces, all

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # roofline
 //!
 //! The Roofline performance model (Williams, Waterman, Patterson) and a

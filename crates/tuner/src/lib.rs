@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # brick-tuner
 //!
 //! Autotuning over brick dimension, memory ordering and code-generation

@@ -19,10 +19,21 @@ use crate::trace::TraceSink;
 /// Errors surfaced by the VM.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VmError {
-    /// The kernel failed IR validation.
-    InvalidKernel(String),
+    /// The kernel failed static analysis; the report carries the full
+    /// structured diagnostics (op-index spans, `BLxxx` codes).
+    InvalidKernel(Box<brick_lint::Report>),
     /// Kernel and grid disagree (layout, block shape, extents, halo).
     Mismatch(String),
+}
+
+impl VmError {
+    /// The analyzer report, when the error is a rejected kernel.
+    pub fn report(&self) -> Option<&brick_lint::Report> {
+        match self {
+            VmError::InvalidKernel(r) => Some(r),
+            VmError::Mismatch(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for VmError {
@@ -36,24 +47,15 @@ impl std::fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
-/// Per-axis reach a kernel's loads imply: `[x, y, z]` where `x` comes from
-/// its shuffle distances and `y`/`z` from row coordinates outside the home
-/// block.
+/// Per-axis reach of the kernel's loads: `[x, y, z]` distances outside the
+/// home block, i.e. the ghost/halo coverage the kernel requires.
+///
+/// Delegates to the analyzer's footprint pass ([`brick_lint::load_reach`]),
+/// which derives it from load *addresses* — the shift-distance inference
+/// that used to live here is subsumed because narrowed edge loads
+/// materialise exactly the lanes the shuffles consume.
 pub fn kernel_reach(kernel: &VectorKernel) -> [i64; 3] {
-    let mut r = [0i64; 3];
-    for op in &kernel.ops {
-        match *op {
-            VOp::ShiftX { dx, .. } => r[0] = r[0].max(dx.unsigned_abs() as i64),
-            VOp::LoadRow { ry, rz, .. } => {
-                let by = kernel.block.by as i64;
-                let bz = kernel.block.bz as i64;
-                r[1] = r[1].max((-(ry as i64)).max(ry as i64 - by + 1).max(0));
-                r[2] = r[2].max((-(rz as i64)).max(rz as i64 - bz + 1).max(0));
-            }
-            _ => {}
-        }
-    }
-    r
+    brick_lint::load_reach(kernel)
 }
 
 /// Straight-line IR interpreter over one block.
@@ -145,7 +147,7 @@ fn check_brick(
     input: &BrickGrid,
     output: &BrickGrid,
 ) -> Result<(), VmError> {
-    kernel.validate().map_err(VmError::InvalidKernel)?;
+    let footprint = brick_lint::verify(kernel).map_err(VmError::InvalidKernel)?;
     if kernel.layout != LayoutKind::Brick {
         return Err(VmError::Mismatch("array kernel on brick grids".into()));
     }
@@ -163,7 +165,7 @@ fn check_brick(
             "input/output decomposition mismatch".into(),
         ));
     }
-    let reach = kernel_reach(kernel);
+    let reach = footprint.reach;
     let ghost = input.decomp().ghost_layers();
     let d = input.dims();
     for (axis, (&r, cover)) in reach
@@ -233,7 +235,7 @@ pub fn run_vector_array(
     input: &ArrayGrid,
     output: &mut ArrayGrid,
 ) -> Result<(), VmError> {
-    kernel.validate().map_err(VmError::InvalidKernel)?;
+    let footprint = brick_lint::verify(kernel).map_err(VmError::InvalidKernel)?;
     if kernel.layout != LayoutKind::Array {
         return Err(VmError::Mismatch("brick kernel on array grids".into()));
     }
@@ -248,7 +250,7 @@ pub fn run_vector_array(
         )));
     }
     let halo = input.dense().halo();
-    let reach = kernel_reach(kernel);
+    let reach = footprint.reach;
     if reach[1] > halo as i64 || reach[2] > halo as i64 || reach[0] > halo as i64 {
         return Err(VmError::Mismatch(format!(
             "kernel reach {reach:?} exceeds array halo {halo}"
@@ -317,15 +319,52 @@ pub fn run_vector_array(
     Ok(())
 }
 
+/// Cheap per-trace compatibility check between a kernel and a geometry.
+///
+/// Full static verification ([`brick_lint::verify`]) runs once per kernel
+/// at the execution/sweep level; the per-block trace path only re-checks
+/// the O(1) geometry invariants that make address resolution meaningful.
+pub(crate) fn check_trace_compat(
+    layout: LayoutKind,
+    block: brick_core::BrickDims,
+    geom: &TraceGeometry,
+    i: usize,
+) -> Result<(), VmError> {
+    if layout != geom.layout() {
+        return Err(VmError::Mismatch(format!(
+            "{layout} kernel traced over {} geometry",
+            geom.layout()
+        )));
+    }
+    if block != geom.block() {
+        return Err(VmError::Mismatch(format!(
+            "kernel block {block} != geometry block {}",
+            geom.block()
+        )));
+    }
+    if i >= geom.num_blocks() {
+        return Err(VmError::Mismatch(format!(
+            "launch block {i} outside the {}-block domain",
+            geom.num_blocks()
+        )));
+    }
+    Ok(())
+}
+
 /// Replay the address stream of launch block `i` of a vector kernel into
 /// `sink`. Loads and stores are full vector transactions (`width × 8`
 /// bytes), in program order — no data is touched.
+///
+/// Rejects kernel/geometry mismatches; full kernel verification is the
+/// caller's responsibility (see [`brick_lint::verify`]) so the hot trace
+/// loop stays O(ops).
 pub fn trace_vector_block(
     kernel: &VectorKernel,
     geom: &TraceGeometry,
     i: usize,
     sink: &mut impl TraceSink,
-) {
+) -> Result<(), VmError> {
+    check_trace_compat(kernel.layout, kernel.block, geom, i)?;
     let w = kernel.width as u64;
     let bytes = (w * 8) as u32;
     match kernel.layout {
@@ -387,6 +426,7 @@ pub fn trace_vector_block(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -502,6 +542,53 @@ mod tests {
     }
 
     #[test]
+    fn broken_kernel_rejected_with_structured_diagnostics() {
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let mut k = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+        // Drop the final store: the verifier must reject before execution.
+        let last_store = k
+            .ops
+            .iter()
+            .rposition(|op| matches!(op, VOp::StoreRow { .. }))
+            .unwrap();
+        k.ops.remove(last_store);
+        let mut dense = DenseGrid::cubic(16, 1);
+        dense.fill_test_pattern();
+        let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(16));
+        let mut output =
+            BrickGrid::with_metadata(Arc::clone(input.decomp()), Arc::clone(input.info()));
+        let err = run_vector_brick(&k, &input, &mut output).unwrap_err();
+        let report = err.report().expect("structured report");
+        assert!(report.has_errors());
+        assert!(!report
+            .with_code(brick_lint::LintCode::IncompleteStores)
+            .is_empty());
+    }
+
+    #[test]
+    fn trace_geometry_mismatch_rejected() {
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+        let geom = TraceGeometry::array((16, 16, 16), 1, BrickDims::for_simd_width(16));
+        let mut sink = CountingSink::default();
+        assert!(matches!(
+            trace_vector_block(&k, &geom, 0, &mut sink),
+            Err(VmError::Mismatch(_))
+        ));
+        let bgeom = {
+            let dense = DenseGrid::cubic(16, 1);
+            let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(16));
+            TraceGeometry::brick(Arc::new(input.nav().clone()))
+        };
+        assert!(matches!(
+            trace_vector_block(&k, &bgeom, usize::MAX, &mut sink),
+            Err(VmError::Mismatch(_))
+        ));
+    }
+
+    #[test]
     fn layout_mismatch_rejected() {
         let st = StencilShape::star(1).stencil();
         let b = st.default_bindings();
@@ -527,7 +614,7 @@ mod tests {
         let geom = TraceGeometry::brick(Arc::new(input.nav().clone()));
         let mut sink = CountingSink::default();
         for i in 0..geom.num_blocks() {
-            trace_vector_block(&k, &geom, i, &mut sink);
+            trace_vector_block(&k, &geom, i, &mut sink).unwrap();
         }
         let blocks = geom.num_blocks() as u64;
         assert_eq!(sink.loads, k.stats.loads as u64 * blocks);
@@ -547,7 +634,7 @@ mod tests {
         let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(16));
         let geom = TraceGeometry::brick(Arc::new(input.nav().clone()));
         let mut sink = RecordingSink::default();
-        trace_vector_block(&k, &geom, 0, &mut sink);
+        trace_vector_block(&k, &geom, 0, &mut sink).unwrap();
         for (is_store, addr, bytes) in &sink.events {
             if *is_store || *bytes == 16 * 8 {
                 assert_eq!(addr % (16 * 8), 0, "full rows are row-aligned");
@@ -565,7 +652,7 @@ mod tests {
         let k = generate(&st, &b, LayoutKind::Array, 16, CodegenOptions::default()).unwrap();
         let geom = TraceGeometry::array((16, 16, 16), 1, BrickDims::for_simd_width(16));
         let mut sink = RecordingSink::default();
-        trace_vector_block(&k, &geom, 0, &mut sink);
+        trace_vector_block(&k, &geom, 0, &mut sink).unwrap();
         let stores: Vec<u64> = sink
             .events
             .iter()

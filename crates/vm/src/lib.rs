@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # brick-vm
 //!
 //! Executes the kernels of the BrickLib reproduction:
@@ -68,7 +66,17 @@ impl KernelSpec {
     }
 
     /// Replay the address stream of launch block `i` into `sink`.
-    pub fn trace_block(&self, geom: &TraceGeometry, i: usize, sink: &mut impl TraceSink) {
+    ///
+    /// Fails with [`VmError`] when `geom` does not match the kernel's layout
+    /// or block geometry, or `i` is out of range. Full static verification of
+    /// vector kernels happens once per kernel (see [`brick_lint::verify`]),
+    /// not per traced block.
+    pub fn trace_block(
+        &self,
+        geom: &TraceGeometry,
+        i: usize,
+        sink: &mut impl TraceSink,
+    ) -> Result<(), VmError> {
         match self {
             KernelSpec::Vector(k) => trace_vector_block(k, geom, i, sink),
             KernelSpec::Scalar(k) => trace_scalar_block(k, geom, i, sink),

@@ -206,7 +206,8 @@ pub fn trace_scalar_block(
     geom: &TraceGeometry,
     i: usize,
     sink: &mut impl TraceSink,
-) {
+) -> Result<(), VmError> {
+    crate::exec::check_trace_compat(kernel.layout, kernel.block, geom, i)?;
     let dims = kernel.block;
     let w = dims.bx as i64;
     match kernel.layout {
@@ -261,6 +262,7 @@ pub fn trace_scalar_block(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -331,7 +333,7 @@ mod tests {
         let k = ScalarKernel::new(&st, &b, LayoutKind::Array, 16).unwrap();
         let geom = TraceGeometry::array((16, 16, 16), 2, BrickDims::for_simd_width(16));
         let mut sink = CountingSink::default();
-        trace_scalar_block(&k, &geom, 0, &mut sink);
+        trace_scalar_block(&k, &geom, 0, &mut sink).unwrap();
         assert_eq!(sink.loads, 13 * 16);
         assert_eq!(sink.stores, 16);
         assert_eq!(sink.load_bytes, 13 * 16 * 16 * 8);
@@ -346,7 +348,7 @@ mod tests {
         let input = BrickGrid::from_dense(&d, BrickDims::for_simd_width(16));
         let geom = TraceGeometry::brick(Arc::new(input.nav().clone()));
         let mut sink = RecordingSink::default();
-        trace_scalar_block(&k, &geom, 0, &mut sink);
+        trace_scalar_block(&k, &geom, 0, &mut sink).unwrap();
         // per row: 7 taps; the two x-taps split into 2 segments each
         let loads: Vec<_> = sink.events.iter().filter(|(s, _, _)| !s).collect();
         assert_eq!(loads.len(), (7 + 2) * 16);
@@ -371,8 +373,8 @@ mod tests {
         let bg = TraceGeometry::brick(Arc::new(input.nav().clone()));
         let ag = TraceGeometry::array((16, 16, 16), 1, BrickDims::for_simd_width(16));
         let (mut sa, mut sb) = (CountingSink::default(), CountingSink::default());
-        trace_scalar_block(&ka, &ag, 0, &mut sa);
-        trace_scalar_block(&kb, &bg, 0, &mut sb);
+        trace_scalar_block(&ka, &ag, 0, &mut sa).unwrap();
+        trace_scalar_block(&kb, &bg, 0, &mut sb).unwrap();
         assert_eq!(sa.load_bytes, sb.load_bytes);
         assert_eq!(sa.store_bytes, sb.store_bytes);
         assert!(sb.loads >= sa.loads);

@@ -77,7 +77,8 @@ fn main() {
     for (name, spec, geom) in configs {
         let mut analyzer = ReuseAnalyzer::new(128);
         for i in 0..geom.num_blocks() {
-            spec.trace_block(&geom, i, &mut analyzer);
+            spec.trace_block(&geom, i, &mut analyzer)
+                .expect("verified kernel");
         }
         let p = analyzer.profile();
         println!(

@@ -32,10 +32,17 @@ usage:
   bricks simulate <star|cube> <radius> <gpu> <model>    one measurement
   bricks tune     <star|cube> <radius> <gpu> <model>    autotune bricks
   bricks reuse    <star|cube> <radius> <width>          reuse distances
+  bricks lint     [kernel.json] [--json]                static kernel analysis
   bricks obs      <file>                                inspect saved observability
 
   gpu   = a100 | mi250x | pvc
   model = cuda | hip | sycl
+
+`bricks lint` runs the brick-lint static analyzer (verifier, footprint
+proof, reuse and occupancy lints) over every paper stencil at SIMD
+widths 16/32/64 in both layouts, or over one kernel saved as JSON.
+Exits non-zero if any kernel has error-severity diagnostics; --json
+emits machine-readable reports.
 
 `bricks obs` summarizes observability artifacts written by the
 experiments binary: trace.json (top spans by self-time), metrics.json
@@ -218,7 +225,8 @@ fn reuse_cmd(shape: StencilShape, width: usize) -> Result<(), String> {
     ] {
         let mut an = ReuseAnalyzer::new(128);
         for i in 0..geom.num_blocks() {
-            spec.trace_block(&geom, i, &mut an);
+            spec.trace_block(&geom, i, &mut an)
+                .map_err(|e| e.to_string())?;
         }
         let p = an.profile();
         println!(
@@ -230,6 +238,83 @@ fn reuse_cmd(shape: StencilShape, width: usize) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Run the static analyzer over the paper's kernel suite (six stencils ×
+/// SIMD widths 16/32/64 × both layouts), or over a single kernel saved as
+/// JSON. Errors (BL0xx) fail the command; warnings (BL1xx) are reported
+/// but don't.
+fn lint_cmd(target: Option<&str>, json: bool) -> Result<(), String> {
+    use bricks_repro::codegen::VectorKernel;
+    use bricks_repro::lint::{analyze, ExpectedStencil, LintOptions};
+
+    let budgets: Vec<_> = GpuArch::all().iter().map(GpuArch::lint_budget).collect();
+    let mut kernels = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+
+    let mut lint_one = |k: &VectorKernel, expected: Option<ExpectedStencil>| {
+        let opts = LintOptions {
+            expected,
+            budgets: budgets.clone(),
+        };
+        let a = analyze(k, &opts);
+        kernels += 1;
+        errors += a.report.error_count();
+        warnings += a.report.warning_count();
+        if json {
+            println!("{}", a.report.to_json());
+            return;
+        }
+        let status = if a.report.has_errors() {
+            "FAIL"
+        } else if a.report.warning_count() > 0 {
+            "warn"
+        } else {
+            "ok"
+        };
+        println!(
+            "{status:4} {:40} {:3} ops, {:2} regs, {} diagnostics",
+            k.name,
+            k.ops.len(),
+            k.num_regs,
+            a.report.diagnostics.len()
+        );
+        if !a.report.diagnostics.is_empty() {
+            print!("{}", a.report.render(Some(k)));
+        }
+    };
+
+    if let Some(path) = target {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let value = serde_json::parse(&text).map_err(|e| format!("{path}: not JSON: {e}"))?;
+        let k: VectorKernel = serde_json::from_value(&value)
+            .map_err(|e| format!("{path}: not a saved vector kernel: {e}"))?;
+        // No declared stencil travels with a saved kernel; the footprint
+        // pass still proves all output lanes compute the same stencil.
+        lint_one(&k, None);
+    } else {
+        for shape in StencilShape::paper_suite() {
+            let st = shape.stencil();
+            let b = st.default_bindings();
+            let expected = ExpectedStencil::resolve(&st, &b).map_err(|e| e.to_string())?;
+            for layout in [LayoutKind::Brick, LayoutKind::Array] {
+                for width in [16usize, 32, 64] {
+                    let k = generate(&st, &b, layout, width, CodegenOptions::default())
+                        .map_err(|e| format!("{shape} {layout} w{width}: {e}"))?;
+                    lint_one(&k, Some(expected.clone()));
+                }
+            }
+        }
+    }
+    if !json {
+        println!("\n{kernels} kernels analyzed: {errors} errors, {warnings} warnings");
+    }
+    if errors > 0 {
+        Err(format!("lint failed: {errors} error-severity diagnostics"))
+    } else {
+        Ok(())
+    }
 }
 
 /// Summarize a saved observability artifact: a Chrome trace, a metrics
@@ -316,6 +401,10 @@ fn run() -> Result<(), String> {
             let w: usize = width.parse().map_err(|e| format!("width: {e}"))?;
             reuse_cmd(shape_of(kind, radius)?, w)
         }
+        ["lint"] => lint_cmd(None, false),
+        ["lint", "--json"] => lint_cmd(None, true),
+        ["lint", path] => lint_cmd(Some(path), false),
+        ["lint", path, "--json"] => lint_cmd(Some(path), true),
         ["obs", path] => obs_cmd(path),
         [] | ["--help"] | ["-h"] | ["help"] => {
             println!("{HELP}");

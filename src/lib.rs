@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # bricks-repro
 //!
 //! Umbrella crate for the Rust reproduction of *"Performance Portability
@@ -11,6 +9,7 @@
 pub use brick_codegen as codegen;
 pub use brick_core as core;
 pub use brick_dsl as dsl;
+pub use brick_lint as lint;
 pub use brick_obs as obs;
 pub use brick_tuner as tuner;
 pub use brick_vm as vm;
