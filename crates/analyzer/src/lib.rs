@@ -97,8 +97,53 @@ pub fn verify(kernel: &VectorKernel) -> Result<Footprint, Box<Report>> {
     }
 }
 
+/// Thread-safe memo of verified kernel fingerprints.
+///
+/// Sweep runners verify each distinct generated program once and then
+/// share the verdict across the whole `(GPU, model, config)` matrix; with
+/// the parallel scheduler many cells race to verify the same kernel, so
+/// the memo is a mutex-guarded set rather than a `&mut HashMap`.
+/// [`check_or_insert`](Self::check_or_insert) is the one atomic step:
+/// callers that get `false` own the (idempotent) verification work for
+/// that fingerprint.
+#[derive(Debug, Default)]
+pub struct FingerprintCache {
+    seen: std::sync::Mutex<std::collections::HashSet<u64>>,
+}
+
+impl FingerprintCache {
+    /// An empty memo.
+    pub fn new() -> FingerprintCache {
+        FingerprintCache::default()
+    }
+
+    /// Record `fp` as verified; returns `true` when it was already
+    /// present (a cache hit — verification can be skipped).
+    pub fn check_or_insert(&self, fp: u64) -> bool {
+        !self
+            .seen
+            .lock()
+            .expect("fingerprint memo poisoned")
+            .insert(fp)
+    }
+
+    /// Number of distinct fingerprints verified so far.
+    pub fn len(&self) -> usize {
+        self.seen.lock().expect("fingerprint memo poisoned").len()
+    }
+
+    /// True when nothing has been verified yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Stable content hash of a kernel, for verification caching: two kernels
 /// with equal fingerprints are byte-identical programs.
+///
+/// The hash is deterministic across processes and runs
+/// (`DefaultHasher::new()` uses fixed keys), which lets on-disk result
+/// caches key by it.
 pub fn fingerprint(kernel: &VectorKernel) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     kernel.name.hash(&mut h);
@@ -179,6 +224,35 @@ mod tests {
     use crate::testkit::tiny_kernel;
     use brick_codegen::{generate, CodegenOptions, LayoutKind};
     use brick_dsl::shape::StencilShape;
+
+    #[test]
+    fn fingerprint_cache_is_hit_after_insert_and_shares_across_threads() {
+        let cache = FingerprintCache::new();
+        assert!(cache.is_empty());
+        let fp = fingerprint(&tiny_kernel());
+        assert!(!cache.check_or_insert(fp), "first sight is a miss");
+        assert!(cache.check_or_insert(fp), "second sight is a hit");
+        assert_eq!(cache.len(), 1);
+        // concurrent insertion of many fingerprints loses nothing
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        cache.check_or_insert(t ^ i.wrapping_mul(0x9E3779B97F4A7C15));
+                    }
+                });
+            }
+        });
+        assert!(cache.len() > 1);
+        assert!(cache.check_or_insert(fp));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_hasher_instances() {
+        let k = tiny_kernel();
+        assert_eq!(fingerprint(&k), fingerprint(&k));
+    }
 
     #[test]
     fn paper_suite_verifies_clean_against_declared_stencils() {

@@ -44,16 +44,21 @@ pub fn allocate(ops: &[VOp]) -> Allocation {
     let mut out = Vec::with_capacity(ops.len());
 
     for (i, op) in ops.iter().enumerate() {
-        // Resolve operand registers first (they must already be mapped).
-        let resolved_uses: HashMap<Reg, Reg> = op
-            .uses()
-            .map(|r| {
-                let p = *phys_of
-                    .get(&r)
-                    .unwrap_or_else(|| panic!("virtual register {r} used before definition"));
-                (r, p)
-            })
-            .collect();
+        // Resolve operand registers first (they must already be mapped),
+        // deduplicated in operand order: releases below must visit dying
+        // registers deterministically or the free-list order (and with it
+        // the physical numbering of every later definition) would vary
+        // from run to run, breaking content-addressed kernel fingerprints.
+        let mut resolved_uses: Vec<(Reg, Reg)> = Vec::new();
+        for r in op.uses() {
+            if resolved_uses.iter().any(|&(v, _)| v == r) {
+                continue;
+            }
+            let p = *phys_of
+                .get(&r)
+                .unwrap_or_else(|| panic!("virtual register {r} used before definition"));
+            resolved_uses.push((r, p));
+        }
 
         // Release registers whose last use is this instruction.
         for (vreg, preg) in &resolved_uses {
@@ -90,7 +95,10 @@ pub fn allocate(ops: &[VOp]) -> Allocation {
                     return p;
                 }
             }
-            *resolved_uses.get(&r).unwrap_or(&r)
+            resolved_uses
+                .iter()
+                .find(|&&(v, _)| v == r)
+                .map_or(r, |&(_, p)| p)
         }));
 
         // Values that are never read die right away.

@@ -1,0 +1,157 @@
+//! Domain cache keys for the incremental sweep.
+//!
+//! The generic store ([`brick_sweep::DiskCache`]) is content-addressed;
+//! this module defines *what* the content of a sweep cell is: the kernel
+//! program (by the analyzer's stable fingerprint), the full architecture
+//! description, the programming model, the domain geometry, and the
+//! scoring inputs (normalised FLOPs, theoretical AI, the empirical
+//! Roofline ceilings). Any change to any of these produces a different
+//! key, so stale results can never be served; anything *not* in the key
+//! must be a pure function of it.
+
+use std::hash::{Hash, Hasher};
+
+use brick_sweep::{CacheKey, KeyBuilder};
+use brick_vm::KernelSpec;
+use gpu_sim::{GpuArch, ProgModel};
+use roofline::Roofline;
+
+/// Version of the simulation semantics behind cached values. Bump this
+/// whenever the timing, cache, compiler or roofline models change
+/// behaviour without changing any key field — it retires every entry
+/// written under the old semantics at once.
+pub const SIM_SCHEMA_VERSION: u64 = 1;
+
+/// Stable fingerprint of either kernel family.
+///
+/// Vector kernels reuse the analyzer's content hash
+/// ([`brick_lint::fingerprint`]) — the same fingerprint that memoises
+/// static verification, so "verified" and "cached" always refer to the
+/// identical program text. Scalar kernels (no IR) hash their complete
+/// definition: name, layout, block shape and coefficient classes.
+pub fn spec_fingerprint(spec: &KernelSpec) -> u64 {
+    match spec {
+        KernelSpec::Vector(k) => brick_lint::fingerprint(k),
+        KernelSpec::Scalar(k) => {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.name.hash(&mut h);
+            format!("{}", k.layout).hash(&mut h);
+            (k.block.bx, k.block.by, k.block.bz).hash(&mut h);
+            for (w, offs) in &k.classes {
+                w.to_bits().hash(&mut h);
+                offs.hash(&mut h);
+            }
+            h.finish()
+        }
+    }
+}
+
+/// Stable fingerprint of a full architecture description (every field,
+/// via its canonical JSON) — editing any entry of the shared arch table
+/// invalidates that GPU's cached cells.
+pub fn arch_fingerprint(arch: &GpuArch) -> u64 {
+    let json = serde_json::to_string(arch).expect("GpuArch serializes");
+    brick_obs::manifest::fnv1a64(json.as_bytes())
+}
+
+/// Cache key for one sweep cell's [`crate::runner::Record`].
+#[allow(clippy::too_many_arguments)]
+pub fn cell_key(
+    spec: &KernelSpec,
+    arch: &GpuArch,
+    model: ProgModel,
+    n: usize,
+    flops_per_point: u64,
+    theoretical_ai: f64,
+    roofline: &Roofline,
+) -> CacheKey {
+    KeyBuilder::new("cell", SIM_SCHEMA_VERSION)
+        .fingerprint("kernel", spec_fingerprint(spec))
+        .fingerprint("arch", arch_fingerprint(arch))
+        .field("model", model)
+        .field("n", n)
+        .field("flops", flops_per_point)
+        .f64_bits("theory_ai", theoretical_ai)
+        .f64_bits("rl_peak", roofline.peak_gflops)
+        .f64_bits("rl_bw", roofline.bandwidth_gbs)
+        .build()
+}
+
+/// Cache key for a platform's empirical Roofline measurement.
+pub fn roofline_key(arch: &GpuArch, model: ProgModel) -> CacheKey {
+    KeyBuilder::new("roofline", SIM_SCHEMA_VERSION)
+        .fingerprint("arch", arch_fingerprint(arch))
+        .field("model", model)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelConfig;
+    use crate::runner::build_spec;
+    use brick_dsl::shape::StencilShape;
+    use brick_dsl::StencilAnalysis;
+
+    fn spec_for(config: KernelConfig) -> KernelSpec {
+        build_spec(&StencilShape::star(1), config, 32)
+    }
+
+    fn key_for(spec: &KernelSpec, arch: &GpuArch, n: usize) -> CacheKey {
+        let a = StencilAnalysis::of_shape(&StencilShape::star(1));
+        cell_key(
+            spec,
+            arch,
+            ProgModel::Cuda,
+            n,
+            a.flops_per_point,
+            a.theoretical_ai,
+            &Roofline {
+                peak_gflops: 8000.0,
+                bandwidth_gbs: 1500.0,
+            },
+        )
+    }
+
+    #[test]
+    fn keys_are_stable_across_recomputation() {
+        let arch = GpuArch::a100();
+        let a = key_for(&spec_for(KernelConfig::BricksCodegen), &arch, 64);
+        let b = key_for(&spec_for(KernelConfig::BricksCodegen), &arch, 64);
+        assert_eq!(a, b, "same cell, same key, every time");
+    }
+
+    #[test]
+    fn kernel_change_invalidates() {
+        let arch = GpuArch::a100();
+        let a = key_for(&spec_for(KernelConfig::BricksCodegen), &arch, 64);
+        let b = key_for(&spec_for(KernelConfig::ArrayCodegen), &arch, 64);
+        let c = key_for(&spec_for(KernelConfig::Array), &arch, 64);
+        assert_ne!(a.hash, b.hash, "different program, different key");
+        assert_ne!(b.hash, c.hash, "scalar vs vector kernels differ");
+    }
+
+    #[test]
+    fn sim_config_change_invalidates() {
+        let arch = GpuArch::a100();
+        let spec = spec_for(KernelConfig::BricksCodegen);
+        let base = key_for(&spec, &arch, 64);
+        assert_ne!(base.hash, key_for(&spec, &arch, 128).hash, "domain size");
+        let mut tweaked = arch.clone();
+        tweaked.l2_bytes /= 2;
+        assert_ne!(
+            base.hash,
+            key_for(&spec, &tweaked, 64).hash,
+            "arch table edit"
+        );
+    }
+
+    #[test]
+    fn scalar_fingerprint_is_content_addressed() {
+        let a = spec_for(KernelConfig::Array);
+        let b = spec_for(KernelConfig::Array);
+        assert_eq!(spec_fingerprint(&a), spec_fingerprint(&b));
+        let wider = build_spec(&StencilShape::star(1), KernelConfig::Array, 64);
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&wider));
+    }
+}

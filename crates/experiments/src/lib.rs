@@ -24,16 +24,19 @@
 //! The `experiments` binary drives them (`cargo run -p experiments
 //! --release -- --all`).
 
+pub mod cache;
 pub mod config;
 pub mod figures;
+pub mod golden;
 pub mod paper;
 pub mod plot;
 pub mod report;
 pub mod runner;
 pub mod tables;
 
+pub use brick_sweep::Jobs;
 pub use config::{ExperimentParams, KernelConfig};
-pub use runner::{sweep, Record, Sweep};
+pub use runner::{sweep, sweep_with, CellFilter, Record, Sweep, SweepError, SweepOptions};
 
 #[cfg(test)]
 pub(crate) mod testutil {

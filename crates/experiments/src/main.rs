@@ -14,12 +14,15 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use experiments::report::*;
-use experiments::{figures, tables, ExperimentParams};
+use experiments::{figures, golden, tables, ExperimentParams, SweepOptions};
 
 struct Args {
     n: usize,
     out: PathBuf,
     trace: bool,
+    jobs: Option<usize>,
+    no_cache: bool,
+    bless: bool,
     table1: bool,
     table2: bool,
     table3: bool,
@@ -52,6 +55,9 @@ fn parse_args() -> Result<Args, String> {
         n: ExperimentParams::default().n,
         out: PathBuf::from("artifacts"),
         trace: false,
+        jobs: None,
+        no_cache: false,
+        bless: false,
         table1: false,
         table2: false,
         table3: false,
@@ -97,6 +103,16 @@ fn parse_args() -> Result<Args, String> {
             "--fig7" => args.fig7 = true,
             "--listings" => args.listings = true,
             "--trace" => args.trace = true,
+            "--bless" => args.bless = true,
+            "--no-cache" => args.no_cache = true,
+            "--jobs" | "-j" => {
+                args.jobs = Some(
+                    it.next()
+                        .ok_or("--jobs needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--jobs: {e}"))?,
+                );
+            }
             "--full" => args.n = ExperimentParams::paper_full().n,
             "--n" => {
                 args.n = it
@@ -119,12 +135,21 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const HELP: &str = "usage: experiments [--all] [--table1..5] [--compare] [--fig3..7] [--listings]
-                   [--n N] [--full] [--out DIR] [--trace]
+                   [--n N] [--full] [--out DIR] [--jobs N] [--no-cache]
+                   [--bless] [--trace]
 
 Regenerates the tables and figures of 'Performance Portability Evaluation
 of Blocked Stencil Computations on GPUs' (SC-W 2023) on the simulated
 GPU substrate. --full runs the paper's 512^3 grid (slow); the default is
 256^3. Artifacts are written to DIR (default ./artifacts).
+
+Sweep cells run in parallel: --jobs N (or BRICK_JOBS=N) sets the worker
+count, default all hardware threads; results are byte-identical at any
+jobs count. Completed cells are cached under DIR/simcache so unchanged
+reruns are incremental; --no-cache disables the cache for this run.
+--bless reruns the pinned 64^3 golden sweep and rewrites the checked-in
+golden artifacts under crates/experiments/tests/golden (only after an
+intentional model change — see EXPERIMENTS.md).
 
 --trace records hierarchical spans of the run and writes DIR/trace.json
 (Chrome trace_event format, loadable in chrome://tracing or Perfetto) and
@@ -171,6 +196,44 @@ fn main() -> ExitCode {
         println!("{}", render_table4(&tables::table4()));
     }
 
+    let sweep_opts = |params: ExperimentParams| {
+        let mut opts = SweepOptions::new(params);
+        if let Some(n) = args.jobs {
+            opts.jobs = experiments::Jobs::N(n);
+        }
+        if !args.no_cache {
+            opts.cache_dir = Some(args.out.join("simcache"));
+        }
+        opts
+    };
+
+    if args.bless {
+        eprintln!(
+            "blessing golden artifacts from a fresh {0}^3 sweep...",
+            golden::GOLDEN_N
+        );
+        let sweep = match experiments::sweep_with(&sweep_opts(ExperimentParams {
+            n: golden::GOLDEN_N,
+        })) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("golden sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match golden::bless(&sweep, &golden::golden_dir()) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("blessed {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("could not write goldens: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if !args.needs_sweep() {
         return ExitCode::SUCCESS;
     }
@@ -180,7 +243,13 @@ fn main() -> ExitCode {
         params.n
     );
     let t0 = Instant::now();
-    let sweep = experiments::sweep(params);
+    let sweep = match experiments::sweep_with(&sweep_opts(params)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!("sweep done in {:.1}s", t0.elapsed().as_secs_f64());
     if let Err(e) = write_sweep_csv(&sweep, &args.out.join("sweep.csv")) {
         eprintln!("warning: could not write sweep.csv: {e}");

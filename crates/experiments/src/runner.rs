@@ -1,8 +1,21 @@
 //! The sweep runner: every (stencil × kernel config × GPU × programming
-//! model) point of the study, with kernel/geometry/trace caching.
+//! model) point of the study, flattened into independent cells, fanned
+//! out across worker threads ([`brick_sweep::map_cells`]) and made
+//! incremental across runs by a content-addressed on-disk result cache
+//! (see [`crate::cache`]).
+//!
+//! Determinism contract: for a fixed configuration, [`sweep_with`]
+//! produces byte-identical serialized records at **any** jobs count and
+//! whether cells were computed or loaded from a warm cache. The parallel
+//! reduction preserves cell order, every cell is a pure function of its
+//! inputs, and shared memoisations (verification, geometry, memory
+//! counters) only deduplicate work — never change values. The golden and
+//! determinism suites under `crates/experiments/tests/` enforce this.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -10,10 +23,15 @@ use brick_codegen::{generate, CodegenOptions, LayoutKind};
 use brick_core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
 use brick_dsl::shape::StencilShape;
 use brick_dsl::StencilAnalysis;
+use brick_sweep::{map_cells, CacheOutcome, DiskCache, Jobs};
 use brick_vm::{KernelSpec, ScalarKernel, TraceGeometry};
-use gpu_sim::{assemble, compile_only, simulate_memory, GpuArch, GpuKind, MemCounters, ProgModel};
+use gpu_sim::{
+    assemble, compile_only, simulate_memory, CompilerModel, GpuArch, GpuKind, MemCounters,
+    ProgModel,
+};
 use roofline::{measure, Roofline};
 
+use crate::cache::{cell_key, roofline_key};
 use crate::config::{ExperimentParams, KernelConfig};
 
 /// One measured point of the study.
@@ -111,20 +129,21 @@ impl Sweep {
 }
 
 /// Statically verify a spec's vector kernel before it is simulated,
-/// memoised by kernel fingerprint so the (GPU, model) matrix pays for each
-/// distinct program once. Scalar kernels have no IR to verify and pass
-/// through. Panics with the rendered report if the generator emitted a
-/// kernel the analyzer rejects — simulating an unverified kernel would
-/// silently produce wrong paper numbers.
+/// memoised by kernel fingerprint (thread-safe, shareable across parallel
+/// cells — see [`brick_lint::FingerprintCache`]) so the (GPU, model)
+/// matrix pays for each distinct program once. Scalar kernels have no IR
+/// to verify and pass through. Panics with the rendered report if the
+/// generator emitted a kernel the analyzer rejects — simulating an
+/// unverified kernel would silently produce wrong paper numbers.
 pub fn verify_spec(
     spec: &KernelSpec,
     shape: &StencilShape,
     arch: &GpuArch,
-    cache: &mut HashMap<u64, ()>,
+    cache: &brick_lint::FingerprintCache,
 ) {
     let KernelSpec::Vector(k) = spec else { return };
     let fp = brick_lint::fingerprint(k);
-    if cache.contains_key(&fp) {
+    if cache.check_or_insert(fp) {
         brick_obs::counter_add("sweep.lint_cache_hits", 1);
         return;
     }
@@ -144,7 +163,6 @@ pub fn verify_spec(
         analysis.report.render(Some(k))
     );
     brick_obs::counter_add("sweep.lint_verified", 1);
-    cache.insert(fp, ());
 }
 
 /// Build the kernel spec for a configuration at a SIMD width.
@@ -181,133 +199,388 @@ pub fn build_geometry(layout: LayoutKind, n: usize, width: usize, radius: usize)
     }
 }
 
-/// Run the full study matrix: 6 stencils × 3 configurations × the
-/// paper's 6 (GPU, model) pairs.
-///
-/// Memory simulations are shared between programming models whose trace
-/// and resident-wave shape coincide (CUDA and its HIP wrapper always do),
-/// so the matrix costs 3 GPUs' worth of traces, not 6.
-pub fn sweep(params: ExperimentParams) -> Sweep {
-    params.validate().expect("invalid experiment parameters");
-    let sweep_start = std::time::Instant::now();
-    let manifest =
-        brick_obs::RunManifest::begin(&serde_json::to_string(&params).expect("params serialize"));
-    let _span = brick_obs::span_cat(format!("sweep:{}^3", params.n), "sweep");
-    let n = params.n;
-    let archs: Vec<GpuArch> = GpuArch::all();
-    let matrix = ProgModel::paper_matrix();
+/// A structured sweep failure (the runner no longer panics on matrix
+/// holes — an unsupported pair or a missing ceiling comes back as data).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The experiment parameters failed validation.
+    InvalidParams(String),
+    /// A supported `(gpu, model)` cell had no measured Roofline to score
+    /// against.
+    MissingRoofline {
+        /// GPU of the offending cell.
+        gpu: GpuKind,
+        /// Programming model of the offending cell.
+        model: ProgModel,
+    },
+    /// The on-disk result cache could not be opened.
+    Cache(String),
+}
 
-    let mut rooflines = Vec::new();
-    {
-        let _s = brick_obs::span_cat("rooflines", "sweep");
-        for &(gpu, model) in &matrix {
-            let arch = archs.iter().find(|a| a.kind == gpu).unwrap();
-            if let Some(r) = measure(arch, model) {
-                rooflines.push(((gpu, model), r));
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::InvalidParams(msg) => write!(f, "invalid experiment parameters: {msg}"),
+            SweepError::MissingRoofline { gpu, model } => {
+                write!(f, "no empirical Roofline for supported pair {gpu}/{model}")
             }
+            SweepError::Cache(msg) => write!(f, "result cache unavailable: {msg}"),
         }
     }
-    brick_obs::info!("measured {} rooflines, sweeping at n={n}", rooflines.len());
+}
 
-    let total_points =
-        (StencilShape::paper_suite().len() * KernelConfig::all().len() * matrix.len()) as u64;
-    let progress = brick_obs::Progress::new(
-        "sweep",
-        total_points,
-        brick_obs::log_level_enabled(brick_obs::Level::Info),
-    );
-    let mut record_wall_s: Vec<f64> = Vec::new();
+impl std::error::Error for SweepError {}
 
-    // trace cache: (gpu, stencil, config, blocks_per_sm) -> counters
-    let mut mem_cache: HashMap<(GpuKind, String, KernelConfig, u32), MemCounters> = HashMap::new();
-    // geometry cache: (layout, width, radius) -> geometry
-    let mut geom_cache: HashMap<(LayoutKind, usize, usize), TraceGeometry> = HashMap::new();
-    // verification cache: kernel fingerprint -> verified
-    let mut lint_cache: HashMap<u64, ()> = HashMap::new();
+/// A sub-matrix selection: `None` per axis means "everything". Used by
+/// the determinism suite (random sub-matrices must stay deterministic)
+/// and handy for focused reruns; figure/table drivers assume the full
+/// matrix and are not filter-aware.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellFilter {
+    /// Keep only these stencil labels (`"7pt"` … `"125pt"`).
+    pub stencils: Option<Vec<String>>,
+    /// Keep only these GPUs.
+    pub gpus: Option<Vec<GpuKind>>,
+    /// Keep only these programming models.
+    pub models: Option<Vec<ProgModel>>,
+    /// Keep only these kernel configurations.
+    pub configs: Option<Vec<KernelConfig>>,
+}
 
-    let mut records = Vec::new();
+impl CellFilter {
+    /// Does `cell` survive the filter?
+    fn keeps(&self, cell: &Cell) -> bool {
+        self.stencils
+            .as_ref()
+            .is_none_or(|s| s.contains(&cell.stencil))
+            && self.gpus.as_ref().is_none_or(|g| g.contains(&cell.gpu))
+            && self.models.as_ref().is_none_or(|m| m.contains(&cell.model))
+            && self
+                .configs
+                .as_ref()
+                .is_none_or(|c| c.contains(&cell.config))
+    }
+}
+
+/// How to run a sweep: the study parameters plus scheduling and caching
+/// choices (which, by the determinism contract, never affect results —
+/// only wall time).
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Study parameters (domain size).
+    pub params: ExperimentParams,
+    /// Worker threads for the cell fan-out.
+    pub jobs: Jobs,
+    /// Result-cache directory; `None` disables on-disk caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Sub-matrix to run (default: the full paper matrix).
+    pub filter: CellFilter,
+}
+
+impl SweepOptions {
+    /// Defaults: full matrix, no disk cache, jobs from `BRICK_JOBS` or
+    /// all hardware threads.
+    pub fn new(params: ExperimentParams) -> SweepOptions {
+        SweepOptions {
+            params,
+            jobs: Jobs::from_flag_or_env(None),
+            cache_dir: None,
+            filter: CellFilter::default(),
+        }
+    }
+
+    /// Use exactly `n` worker threads.
+    pub fn jobs(mut self, n: usize) -> SweepOptions {
+        self.jobs = Jobs::N(n);
+        self
+    }
+
+    /// Cache results under `dir`.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> SweepOptions {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Restrict to a sub-matrix.
+    pub fn filter(mut self, filter: CellFilter) -> SweepOptions {
+        self.filter = filter;
+        self
+    }
+}
+
+/// One independent unit of sweep work: a `(stencil, config, GPU, model)`
+/// matrix point plus the per-stencil scoring constants, carried by value
+/// so evaluating the cell touches no shared mutable state.
+#[derive(Debug, Clone)]
+struct Cell {
+    shape: StencilShape,
+    stencil: String,
+    gpu: GpuKind,
+    model: ProgModel,
+    config: KernelConfig,
+    flops_per_point: u64,
+    theoretical_ai: f64,
+}
+
+/// Flatten the (filtered) study matrix into cells, in the canonical
+/// order records are reported in: stencil → architecture → `(gpu,
+/// model)` pair → configuration.
+fn flatten_cells(filter: &CellFilter) -> Vec<Cell> {
+    let matrix = ProgModel::paper_matrix();
+    let mut cells = Vec::new();
     for shape in StencilShape::paper_suite() {
         let analysis = StencilAnalysis::of_shape(&shape);
-        for arch in &archs {
-            let width = arch.simd_width;
-            let radius = shape.radius as usize;
-            let mut specs: HashMap<KernelConfig, KernelSpec> = HashMap::new();
-            for config in KernelConfig::all() {
-                let spec = build_spec(&shape, config, width);
-                verify_spec(&spec, &shape, arch, &mut lint_cache);
-                specs.insert(config, spec);
-            }
+        for arch in GpuArch::table() {
             for &(gpu, model) in &matrix {
                 if gpu != arch.kind {
                     continue;
                 }
                 for config in KernelConfig::all() {
-                    let record_start = std::time::Instant::now();
-                    let _rec_span = brick_obs::span_cat(
-                        format!("{}/{config}/{gpu}/{model}", shape.label()),
-                        "record",
-                    );
-                    let spec = &specs[&config];
-                    let Some((cm, compiled, occ)) = compile_only(spec, arch, model) else {
-                        progress.tick();
-                        continue;
-                    };
-                    let geom = geom_cache
-                        .entry((config.layout(), width, radius))
-                        .or_insert_with(|| build_geometry(config.layout(), n, width, radius));
-                    let key = (gpu, shape.label(), config, occ.blocks_per_sm);
-                    let mem = *mem_cache.entry(key).or_insert_with(|| {
-                        simulate_memory(spec, geom, arch, occ.blocks_per_sm).counters()
-                    });
-                    let sim = assemble(
-                        spec,
-                        geom,
-                        arch,
-                        &cm,
-                        &compiled,
-                        mem,
-                        analysis.flops_per_point,
-                    );
-                    let rl = rooflines
-                        .iter()
-                        .find(|((g, m), _)| *g == gpu && *m == model)
-                        .map(|(_, r)| *r)
-                        .expect("roofline measured for every supported pair");
-                    records.push(Record {
+                    let cell = Cell {
                         shape,
                         stencil: shape.label(),
-                        config,
                         gpu,
                         model,
-                        gflops: sim.gflops,
-                        ai: sim.ai,
+                        config,
+                        flops_per_point: analysis.flops_per_point,
                         theoretical_ai: analysis.theoretical_ai,
-                        frac_roofline: rl.fraction(sim.gflops, sim.ai),
-                        frac_theoretical_ai: sim.ai / analysis.theoretical_ai,
-                        l1_bytes: sim.mem.l1_bytes,
-                        l2_bytes: sim.mem.l2_bytes,
-                        dram_bytes: sim.mem.dram_bytes,
-                        time_s: sim.time_s,
-                        occupancy: sim.occupancy.occupancy,
-                        regs_per_thread: sim.regs_per_thread,
-                        spilled: sim.spilled,
-                        limiter: sim.breakdown.limiter().to_string(),
-                    });
-                    record_wall_s.push(record_start.elapsed().as_secs_f64());
-                    progress.tick();
+                    };
+                    if filter.keeps(&cell) {
+                        cells.push(cell);
+                    }
                 }
             }
         }
-        brick_obs::debug!("finished stencil {}", shape.label());
+    }
+    cells
+}
+
+/// Measure (or reuse) the empirical Roofline of every supported matrix
+/// pair, in matrix order.
+///
+/// Ceilings are memoised per *platform*: pairs whose resolved compiler
+/// model coincides (HIP on A100 is the CUDA wrapper) share one mixbench
+/// sweep instead of re-measuring, and with a warm disk cache the
+/// measurement is loaded instead of run.
+fn measure_rooflines(cache: Option<&DiskCache>) -> Vec<((GpuKind, ProgModel), Roofline)> {
+    let _s = brick_obs::span_cat("rooflines", "sweep");
+    let mut memo: HashMap<String, Option<Roofline>> = HashMap::new();
+    let mut rooflines = Vec::new();
+    for (gpu, model) in ProgModel::paper_matrix() {
+        let arch = GpuArch::by_kind(gpu);
+        // platform identity: the architecture plus the *resolved* compiler
+        // model, so wrapper models dedupe onto their host toolchain
+        let platform = match CompilerModel::resolve(gpu, model) {
+            Some(cm) => format!(
+                "{gpu}/{}",
+                serde_json::to_string(&cm).expect("compiler model serializes")
+            ),
+            None => continue, // unsupported pair: no ceiling, no cell
+        };
+        let measured = memo.entry(platform).or_insert_with(|| match cache {
+            Some(c) => c.get_or_compute(&roofline_key(arch, model), || measure(arch, model)),
+            None => measure(arch, model),
+        });
+        if let Some(r) = measured {
+            rooflines.push(((gpu, model), *r));
+        }
+    }
+    brick_obs::gauge_set("sweep.rooflines", rooflines.len() as f64);
+    rooflines
+}
+
+/// Run the full study matrix — 6 stencils × 3 configurations × the
+/// paper's 6 (GPU, model) pairs — in parallel, loading unchanged cells
+/// from the result cache when one is configured.
+///
+/// Memory simulations are shared between programming models whose trace
+/// and resident-wave shape coincide (CUDA and its HIP wrapper always do),
+/// so the matrix costs 3 GPUs' worth of traces, not 6; the sharing memo
+/// is race-free (`OnceLock` per key) and value-deterministic, so the
+/// schedule cannot influence results.
+pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
+    opts.params.validate().map_err(SweepError::InvalidParams)?;
+    let sweep_start = std::time::Instant::now();
+    let manifest = brick_obs::RunManifest::begin(
+        &serde_json::to_string(&opts.params).expect("params serialize"),
+    );
+    let _span = brick_obs::span_cat(format!("sweep:{}^3", opts.params.n), "sweep");
+    let n = opts.params.n;
+
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(DiskCache::open(dir).map_err(|e| SweepError::Cache(e.to_string()))?),
+        None => None,
+    };
+
+    let rooflines = measure_rooflines(cache.as_ref());
+    brick_obs::info!("measured {} rooflines, sweeping at n={n}", rooflines.len());
+
+    let cells = flatten_cells(&opts.filter);
+
+    // Phase 1 — build and statically verify each distinct kernel program
+    // once (distinct = (stencil, SIMD width, config); the (gpu, model)
+    // axis shares programs). Verification is memoised by the analyzer's
+    // content fingerprint.
+    let lint_memo = brick_lint::FingerprintCache::new();
+    let mut spec_jobs: Vec<(StencilShape, usize, KernelConfig)> = Vec::new();
+    for cell in &cells {
+        let width = GpuArch::by_kind(cell.gpu).simd_width;
+        if !spec_jobs
+            .iter()
+            .any(|(s, w, c)| s.label() == cell.stencil && *w == width && *c == cell.config)
+        {
+            spec_jobs.push((cell.shape, width, cell.config));
+        }
+    }
+    let specs: HashMap<(String, usize, KernelConfig), KernelSpec> = map_cells(
+        "sweep.specs",
+        &spec_jobs,
+        opts.jobs,
+        |_, &(shape, width, config)| {
+            let spec = build_spec(&shape, config, width);
+            let arch = GpuArch::table()
+                .iter()
+                .find(|a| a.simd_width == width)
+                .expect("width comes from the table");
+            verify_spec(&spec, &shape, arch, &lint_memo);
+            ((shape.label(), width, config), spec)
+        },
+    )
+    .into_iter()
+    .collect();
+
+    // Phase 2 — evaluate cells. Shared, value-deterministic memos:
+    // geometries by (layout, width, radius) and memory counters by
+    // (gpu, stencil, config, blocks_per_sm). `OnceLock` guarantees one
+    // computation per key even under races, and cache hits skip both.
+    type GeomKey = (LayoutKind, usize, usize);
+    type MemKey = (GpuKind, String, KernelConfig, u32);
+    let geom_memo: Mutex<HashMap<GeomKey, Arc<OnceLock<TraceGeometry>>>> =
+        Mutex::new(HashMap::new());
+    let mem_memo: Mutex<HashMap<MemKey, Arc<OnceLock<MemCounters>>>> = Mutex::new(HashMap::new());
+    fn memo_slot<K: std::hash::Hash + Eq, V>(
+        map: &Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+        key: K,
+    ) -> Arc<OnceLock<V>> {
+        Arc::clone(
+            map.lock()
+                .expect("memo lock poisoned")
+                .entry(key)
+                .or_default(),
+        )
+    }
+
+    let outcomes = map_cells("sweep.cells", &cells, opts.jobs, |_, cell: &Cell| {
+        let t0 = std::time::Instant::now();
+        let _rec_span = brick_obs::span_cat(
+            format!(
+                "{}/{}/{}/{}",
+                cell.stencil, cell.config, cell.gpu, cell.model
+            ),
+            "record",
+        );
+        let arch = GpuArch::by_kind(cell.gpu);
+        let width = arch.simd_width;
+        let spec = &specs[&(cell.stencil.clone(), width, cell.config)];
+        let Some((cm, compiled, occ)) = compile_only(spec, arch, cell.model) else {
+            return Ok(None); // unsupported pair: a hole, not an error
+        };
+        let Some(rl) = rooflines
+            .iter()
+            .find(|((g, m), _)| *g == cell.gpu && *m == cell.model)
+            .map(|(_, r)| *r)
+        else {
+            return Err(SweepError::MissingRoofline {
+                gpu: cell.gpu,
+                model: cell.model,
+            });
+        };
+
+        let key = cache.as_ref().map(|_| {
+            cell_key(
+                spec,
+                arch,
+                cell.model,
+                n,
+                cell.flops_per_point,
+                cell.theoretical_ai,
+                &rl,
+            )
+        });
+        if let (Some(c), Some(key)) = (cache.as_ref(), key.as_ref()) {
+            if let CacheOutcome::Hit(record) = c.get::<Record>(key) {
+                return Ok(Some((record, t0.elapsed().as_secs_f64())));
+            }
+        }
+
+        let radius = cell.shape.radius as usize;
+        let geom_slot = memo_slot(&geom_memo, (cell.config.layout(), width, radius));
+        let geom = geom_slot.get_or_init(|| build_geometry(cell.config.layout(), n, width, radius));
+        let mem_slot = memo_slot(
+            &mem_memo,
+            (
+                cell.gpu,
+                cell.stencil.clone(),
+                cell.config,
+                occ.blocks_per_sm,
+            ),
+        );
+        let mem = *mem_slot
+            .get_or_init(|| simulate_memory(spec, geom, arch, occ.blocks_per_sm).counters());
+        let sim = assemble(spec, geom, arch, &cm, &compiled, mem, cell.flops_per_point);
+        let record = Record {
+            shape: cell.shape,
+            stencil: cell.stencil.clone(),
+            config: cell.config,
+            gpu: cell.gpu,
+            model: cell.model,
+            gflops: sim.gflops,
+            ai: sim.ai,
+            theoretical_ai: cell.theoretical_ai,
+            frac_roofline: rl.fraction(sim.gflops, sim.ai),
+            frac_theoretical_ai: sim.ai / cell.theoretical_ai,
+            l1_bytes: sim.mem.l1_bytes,
+            l2_bytes: sim.mem.l2_bytes,
+            dram_bytes: sim.mem.dram_bytes,
+            time_s: sim.time_s,
+            occupancy: sim.occupancy.occupancy,
+            regs_per_thread: sim.regs_per_thread,
+            spilled: sim.spilled,
+            limiter: sim.breakdown.limiter().to_string(),
+        };
+        if let (Some(c), Some(key)) = (cache.as_ref(), key.as_ref()) {
+            if let Err(e) = c.put(key, &record) {
+                brick_obs::warn!("could not cache {}: {e}", key.file_name());
+            }
+        }
+        Ok(Some((record, t0.elapsed().as_secs_f64())))
+    });
+
+    // Deterministic reduction: cell order in, record order out.
+    let mut records = Vec::new();
+    let mut record_wall_s = Vec::new();
+    for outcome in outcomes {
+        if let Some((record, wall)) = outcome? {
+            records.push(record);
+            record_wall_s.push(wall);
+        }
     }
 
     let manifest = manifest.finish(sweep_start.elapsed().as_secs_f64(), record_wall_s);
-    Sweep {
-        params,
+    Ok(Sweep {
+        params: opts.params,
         records,
         rooflines,
         manifest,
-    }
+    })
+}
+
+/// Run the full study matrix with default scheduling (all hardware
+/// threads or `BRICK_JOBS`) and no disk cache. Panics on invalid
+/// parameters — the historical convenience entry point; use
+/// [`sweep_with`] for structured errors, caching and jobs control.
+pub fn sweep(params: ExperimentParams) -> Sweep {
+    sweep_with(&SweepOptions::new(params)).expect("sweep failed")
 }
 
 #[cfg(test)]
@@ -378,14 +651,14 @@ mod tests {
         let shape = StencilShape::star(1);
         let arch = GpuArch::a100();
         let spec = build_spec(&shape, KernelConfig::BricksCodegen, arch.simd_width);
-        let mut cache = HashMap::new();
-        verify_spec(&spec, &shape, &arch, &mut cache);
+        let cache = brick_lint::FingerprintCache::new();
+        verify_spec(&spec, &shape, &arch, &cache);
         assert_eq!(cache.len(), 1, "vector kernel verified and cached");
-        verify_spec(&spec, &shape, &arch, &mut cache);
+        verify_spec(&spec, &shape, &arch, &cache);
         assert_eq!(cache.len(), 1, "second verification hits the cache");
         // scalar kernels have no IR and don't populate the cache
         let scalar = build_spec(&shape, KernelConfig::Array, arch.simd_width);
-        verify_spec(&scalar, &shape, &arch, &mut cache);
+        verify_spec(&scalar, &shape, &arch, &cache);
         assert_eq!(cache.len(), 1);
     }
 

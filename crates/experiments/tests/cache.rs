@@ -1,0 +1,108 @@
+//! Sweep-level behaviour of the content-addressed result cache: entries
+//! are keyed by everything the result depends on, invalidated by kernel
+//! or simulation-config changes, and corruption degrades to a recompute
+//! (with a repair) rather than a wrong or failed run. Key-construction
+//! unit tests live in `experiments::cache`; the generic store's in
+//! `brick_sweep::cache`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use experiments::{CellFilter, ExperimentParams, SweepOptions};
+use gpu_sim::{GpuKind, ProgModel};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sweep_cache_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn one_cell() -> CellFilter {
+    CellFilter {
+        stencils: Some(vec!["7pt".into()]),
+        gpus: Some(vec![GpuKind::A100]),
+        models: Some(vec![ProgModel::Cuda]),
+        configs: None,
+    }
+}
+
+fn opts(n: usize, dir: &PathBuf) -> SweepOptions {
+    SweepOptions::new(ExperimentParams { n })
+        .cache_dir(dir)
+        .filter(one_cell())
+}
+
+fn counter(name: &str) -> u64 {
+    brick_obs::metrics::snapshot()
+        .counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+fn cell_entries(dir: &PathBuf) -> Vec<String> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.starts_with("cell-"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn entries_are_stable_across_runs_and_invalidated_by_config_change() {
+    let dir = scratch_dir("invalidation");
+    let s64 = experiments::sweep_with(&opts(64, &dir)).unwrap();
+    let after_cold = cell_entries(&dir);
+    assert!(!after_cold.is_empty());
+
+    // same config, new run: same keys, nothing new written
+    let s64b = experiments::sweep_with(&opts(64, &dir)).unwrap();
+    assert_eq!(cell_entries(&dir), after_cold, "stable keys across runs");
+    assert_eq!(
+        serde_json::to_string(&s64.records).unwrap(),
+        serde_json::to_string(&s64b.records).unwrap()
+    );
+
+    // a simulation-config change (domain size) misses every old entry
+    let misses_before = counter("sweep.cache.misses");
+    let _s128 = experiments::sweep_with(&opts(128, &dir)).unwrap();
+    assert!(
+        counter("sweep.cache.misses") > misses_before,
+        "changed config cannot be served from old entries"
+    );
+    assert!(
+        cell_entries(&dir).len() > after_cold.len(),
+        "changed config wrote new entries instead of overwriting"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entries_recompute_and_repair() {
+    let dir = scratch_dir("corrupt");
+    let cold = experiments::sweep_with(&opts(64, &dir)).unwrap();
+
+    // mangle every cached cell
+    for name in cell_entries(&dir) {
+        fs::write(dir.join(name), "{torn write").unwrap();
+    }
+    let corrupt_before = counter("sweep.cache.corrupt");
+    let repaired = experiments::sweep_with(&opts(64, &dir)).unwrap();
+    assert!(
+        counter("sweep.cache.corrupt") > corrupt_before,
+        "corruption was noticed (and warned about via brick-obs)"
+    );
+    assert_eq!(
+        serde_json::to_string(&cold.records).unwrap(),
+        serde_json::to_string(&repaired.records).unwrap(),
+        "corrupted cache never changes results"
+    );
+
+    // the rerun repaired the entries: a third run hits cleanly
+    let hits_before = counter("sweep.cache.hits");
+    let _ = experiments::sweep_with(&opts(64, &dir)).unwrap();
+    assert!(counter("sweep.cache.hits") > hits_before);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,105 @@
+//! Schedule- and cache-independence of the sweep engine.
+//!
+//! The determinism contract (see `runner.rs`): for a fixed configuration
+//! the serialized records are byte-identical at **any** jobs count, and a
+//! cache-warm rerun equals the cold run that populated the cache. The
+//! property test drives random sub-matrices through `--jobs 1/2/8`; the
+//! cache test compares cold vs warm byte-for-byte.
+
+use std::fs;
+use std::path::PathBuf;
+
+use experiments::{CellFilter, ExperimentParams, KernelConfig, SweepOptions};
+use gpu_sim::{GpuKind, ProgModel};
+use proptest::prelude::*;
+
+/// Records serialized exactly as artifact writers see them.
+fn records_json(opts: &SweepOptions) -> String {
+    let sweep = experiments::sweep_with(opts).expect("sweep runs");
+    serde_json::to_string(&sweep.records).expect("records serialize")
+}
+
+/// Build a non-empty sub-matrix filter from per-axis selection masks
+/// (a zero mask selects the full axis).
+fn filter_from_masks(smask: u8, gmask: u8, mmask: u8, cmask: u8) -> CellFilter {
+    let pick =
+        |mask: u8, n: usize| -> Vec<usize> { (0..n).filter(|i| mask & (1 << i) != 0).collect() };
+    let stencils = ["7pt", "13pt", "19pt", "25pt", "27pt", "125pt"];
+    let gpus = [GpuKind::A100, GpuKind::Mi250xGcd, GpuKind::PvcStack];
+    let models = [ProgModel::Cuda, ProgModel::Hip, ProgModel::Sycl];
+    let configs = KernelConfig::all();
+    CellFilter {
+        stencils: (smask != 0).then(|| {
+            pick(smask, 6)
+                .iter()
+                .map(|&i| stencils[i].to_string())
+                .collect()
+        }),
+        gpus: (gmask != 0).then(|| pick(gmask, 3).iter().map(|&i| gpus[i]).collect()),
+        models: (mmask != 0).then(|| pick(mmask, 3).iter().map(|&i| models[i]).collect()),
+        configs: (cmask != 0).then(|| pick(cmask, 3).iter().map(|&i| configs[i]).collect()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn random_sub_matrices_are_schedule_independent(
+        smask in 0u8..64,
+        gmask in 0u8..8,
+        mmask in 0u8..8,
+        cmask in 0u8..8,
+    ) {
+        let filter = filter_from_masks(smask, gmask, mmask, cmask);
+        let opts = |jobs: usize| {
+            SweepOptions::new(ExperimentParams { n: 64 })
+                .jobs(jobs)
+                .filter(filter.clone())
+        };
+        let serial = records_json(&opts(1));
+        let two = records_json(&opts(2));
+        let eight = records_json(&opts(8));
+        prop_assert_eq!(&serial, &two, "jobs=2 diverged from serial");
+        prop_assert_eq!(&serial, &eight, "jobs=8 diverged from serial");
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sweep_determinism_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn counter(name: &str) -> u64 {
+    brick_obs::metrics::snapshot()
+        .counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+#[test]
+fn cache_warm_rerun_is_byte_identical_to_cold() {
+    let dir = scratch_dir("warm");
+    let opts = SweepOptions::new(ExperimentParams { n: 64 })
+        .jobs(4)
+        .cache_dir(&dir);
+
+    let cold = records_json(&opts);
+    let entries = fs::read_dir(&dir).unwrap().count();
+    assert!(entries > 0, "cold run populated the cache");
+
+    let hits_before = counter("sweep.cache.hits");
+    let warm = records_json(&opts);
+    assert_eq!(cold, warm, "warm rerun must reproduce the cold run exactly");
+    assert!(
+        counter("sweep.cache.hits") > hits_before,
+        "warm rerun served from the cache"
+    );
+
+    // and a cache-free run still agrees — caching is invisible in output
+    let uncached = records_json(&SweepOptions::new(ExperimentParams { n: 64 }).jobs(4));
+    assert_eq!(cold, uncached);
+    let _ = fs::remove_dir_all(&dir);
+}

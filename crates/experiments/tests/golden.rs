@@ -1,0 +1,62 @@
+//! Golden-artifact regression suite.
+//!
+//! Runs a fresh sweep at the pinned golden domain size and compares the
+//! rendered artifacts (Table 4, the A100/CUDA Roofline panel, Table 3)
+//! against the files checked in under `tests/golden/`. Integer columns
+//! must match exactly, floats to 1e-9 relative tolerance — this is the
+//! suite that proves the parallel/incremental sweep engine changes
+//! nothing.
+//!
+//! On a mismatch the fresh artifacts and the full diff list are written
+//! to `target/golden-diff/` so CI can upload them; after an intentional
+//! model change regenerate the goldens with
+//! `cargo run -p experiments -- --bless`.
+
+use std::fs;
+use std::path::Path;
+
+use experiments::{golden, ExperimentParams, SweepOptions};
+
+#[test]
+fn fresh_sweep_matches_checked_in_goldens() {
+    let sweep = experiments::sweep_with(&SweepOptions::new(ExperimentParams {
+        n: golden::GOLDEN_N,
+    }))
+    .expect("golden sweep runs");
+    let diffs = golden::check(&sweep, &golden::golden_dir());
+    if diffs.is_empty() {
+        return;
+    }
+    // leave the evidence where CI can pick it up as an artifact
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/golden-diff");
+    let _ = fs::create_dir_all(&out);
+    for (name, actual) in golden::golden_artifacts(&sweep) {
+        let _ = fs::write(out.join(format!("actual-{name}")), actual);
+    }
+    let _ = fs::write(out.join("diff.txt"), diffs.join("\n"));
+    panic!(
+        "golden artifacts diverged (fresh copies in {}):\n{}",
+        out.display(),
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn goldens_are_jobs_count_independent() {
+    // the golden check above runs at the default jobs count; pin the
+    // serial schedule against the same files so a determinism bug cannot
+    // hide behind a lucky default
+    let sweep = experiments::sweep_with(
+        &SweepOptions::new(ExperimentParams {
+            n: golden::GOLDEN_N,
+        })
+        .jobs(1),
+    )
+    .expect("serial golden sweep runs");
+    let diffs = golden::check(&sweep, &golden::golden_dir());
+    assert!(
+        diffs.is_empty(),
+        "serial sweep diverged:\n{}",
+        diffs.join("\n")
+    );
+}

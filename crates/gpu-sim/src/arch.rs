@@ -185,7 +185,25 @@ impl GpuArch {
 
     /// The three architectures of the study.
     pub fn all() -> Vec<GpuArch> {
-        vec![Self::a100(), Self::mi250x_gcd(), Self::pvc_stack()]
+        Self::table().to_vec()
+    }
+
+    /// The shared, process-wide architecture table: one immutable copy of
+    /// the study's three machines, built once. Parallel sweep cells borrow
+    /// from this table instead of each carrying (or rebuilding) their own
+    /// descriptions, which keeps per-cell state down to the genuinely
+    /// per-cell pieces (kernel, geometry, counters).
+    pub fn table() -> &'static [GpuArch] {
+        static TABLE: std::sync::OnceLock<Vec<GpuArch>> = std::sync::OnceLock::new();
+        TABLE.get_or_init(|| vec![Self::a100(), Self::mi250x_gcd(), Self::pvc_stack()])
+    }
+
+    /// The shared table entry for `kind`.
+    pub fn by_kind(kind: GpuKind) -> &'static GpuArch {
+        Self::table()
+            .iter()
+            .find(|a| a.kind == kind)
+            .expect("every GpuKind is in the table")
     }
 
     /// A CI-scale variant: caches and SM count shrunk by `factor` so that
@@ -230,6 +248,17 @@ impl GpuArch {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_table_matches_constructors() {
+        assert_eq!(GpuArch::table().len(), 3);
+        assert_eq!(GpuArch::all(), GpuArch::table().to_vec());
+        for kind in [GpuKind::A100, GpuKind::Mi250xGcd, GpuKind::PvcStack] {
+            assert_eq!(GpuArch::by_kind(kind).kind, kind);
+        }
+        // the table is one shared allocation, not a rebuild per call
+        assert!(std::ptr::eq(GpuArch::table(), GpuArch::table()));
+    }
 
     #[test]
     fn simd_widths_match_paper() {

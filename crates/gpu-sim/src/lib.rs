@@ -65,6 +65,24 @@ pub mod sim;
 pub mod timing;
 
 pub use arch::{GpuArch, GpuKind};
+
+// Compile-time proof that everything a parallel sweep cell touches is
+// shareable across worker threads: the scheduler in `brick-sweep` fans
+// independent (stencil, config, GPU, model) cells out over `std::thread`
+// workers, so a non-`Send` field sneaking into any of these types must be
+// a build error, not a latent runtime hazard.
+const _: () = {
+    const fn cell_state_is_shareable<T: Send + Sync>() {}
+    cell_state_is_shareable::<arch::GpuArch>();
+    cell_state_is_shareable::<progmodel::CompilerModel>();
+    cell_state_is_shareable::<compiler::CompiledKernel>();
+    cell_state_is_shareable::<timing::MemCounters>();
+    cell_state_is_shareable::<timing::Occupancy>();
+    cell_state_is_shareable::<sim::SimResult>();
+    cell_state_is_shareable::<hierarchy::MemoryReport>();
+    cell_state_is_shareable::<brick_vm::KernelSpec>();
+    cell_state_is_shareable::<brick_vm::TraceGeometry>();
+};
 pub use cache::{Cache, CacheConfig, CacheStats, WritePolicy};
 pub use compiler::{compile, CompiledKernel};
 pub use dram::{bandwidth_efficiency, DramModel, PageStats};

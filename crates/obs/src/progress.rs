@@ -60,6 +60,22 @@ impl Progress {
         self.started.elapsed().as_secs_f64()
     }
 
+    /// Estimated seconds to completion from the live completion rate
+    /// (`0.0` once done, `+inf` before the first tick): schedulers export
+    /// this as a gauge so a long sweep's remaining cost is observable
+    /// mid-run, not just in its final status line.
+    pub fn eta_s(&self) -> f64 {
+        let done = self.done();
+        if done >= self.total {
+            return 0.0;
+        }
+        let rate = done as f64 / self.elapsed_s().max(1e-9);
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.total - done) as f64 / rate
+    }
+
     /// The status line for a completion count (exposed for tests).
     pub fn line(&self, done: u64) -> String {
         let elapsed = self.elapsed_s().max(1e-9);
@@ -103,5 +119,14 @@ mod tests {
         p.tick();
         p.tick();
         assert!(p.line(2).contains("ETA 0.0s"));
+        assert_eq!(p.eta_s(), 0.0);
+    }
+
+    #[test]
+    fn live_eta_becomes_finite_after_first_tick() {
+        let p = Progress::new("x", 4, false);
+        assert_eq!(p.eta_s(), f64::INFINITY, "no ticks yet");
+        p.tick();
+        assert!(p.eta_s().is_finite() && p.eta_s() >= 0.0);
     }
 }

@@ -1,6 +1,8 @@
 //! Offline stand-in for `rayon` covering the API subset this workspace
 //! uses: `par_iter_mut` / `par_chunks_mut` on slices followed by
-//! `enumerate` / `map` / `for_each` / `collect`.
+//! `enumerate` / `map` / `for_each` / `collect`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] for callers that need
+//! an explicit worker count (the sweep scheduler's `--jobs` knob).
 //!
 //! Work items are materialised eagerly and evaluated on `std::thread`
 //! scoped workers pulling from an atomic cursor (dynamic scheduling, like
@@ -8,6 +10,7 @@
 //! evaluates in parallel immediately and yields an ordered result — which
 //! is observationally equivalent for the pipelines here.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -16,13 +19,90 @@ pub mod prelude {
     pub use crate::ParallelSliceMut;
 }
 
+thread_local! {
+    /// Worker count installed by [`ThreadPool::install`] on this thread;
+    /// `None` means "use all available parallelism".
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the one option this
+/// workspace needs: the worker-thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with rayon's defaults (`num_threads == 0` = automatic).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Use exactly `n` worker threads; `0` restores the automatic choice.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible here, but kept `Result` for signature
+    /// compatibility with real rayon.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that scopes a worker-count override: parallel iterators
+/// evaluated inside [`ThreadPool::install`] use the pool's thread count.
+/// (Workers are still scoped per call — this shim has no persistent
+/// threads — which preserves rayon's observable ordering semantics.)
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The worker count parallel calls under [`install`](Self::install)
+    /// will use (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread count installed for any parallel
+    /// iterators it evaluates on the calling thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| {
+            c.replace(match self.num_threads {
+                0 => None,
+                n => Some(n),
+            })
+        });
+        // restore on unwind too, so a panicking op doesn't leak the
+        // override into later work on this thread
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                POOL_THREADS.with(|c| c.set(prev));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
 /// Evaluate `f` over `items` on scoped worker threads; results keep the
 /// input order.
 fn par_eval<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+    let threads = POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
         .min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
@@ -116,6 +196,39 @@ mod tests {
         assert!(v.iter().all(|&x| x > 0));
         assert_eq!(v[0], 1);
         assert_eq!(v[17], 2);
+    }
+
+    #[test]
+    fn install_scopes_the_worker_count() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool.install(|| {
+            let mut v = [0u8; 64];
+            v.par_iter_mut().for_each(|x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                *x = 1;
+            });
+        });
+        // at most 2 worker threads touched the items
+        assert!(ids.lock().unwrap().len() <= 2);
+        // the override does not leak out of install()
+        assert_eq!(crate::POOL_THREADS.with(|c| c.get()), None);
+    }
+
+    #[test]
+    fn single_threaded_pool_matches_serial() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let mut v: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = pool.install(|| v.par_iter_mut().map(|x| *x * 3).collect());
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]
