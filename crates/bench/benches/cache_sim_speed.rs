@@ -10,7 +10,10 @@ use brick_codegen::{generate, CodegenOptions, LayoutKind};
 use brick_core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
 use brick_dsl::shape::StencilShape;
 use brick_vm::{KernelSpec, ScalarKernel, TraceGeometry};
-use gpu_sim::{simulate_memory, Cache, CacheConfig, GpuArch, WritePolicy};
+use gpu_sim::{
+    simulate_memory, simulate_memory_opts, Cache, CacheConfig, GpuArch, SimFidelity, SimOptions,
+    WritePolicy,
+};
 
 fn bench_raw_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_access");
@@ -82,5 +85,47 @@ fn bench_hierarchy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_raw_cache, bench_hierarchy);
+fn bench_fidelity(c: &mut Criterion) {
+    // exact (per-block interpreter trace) vs fast (block-class replay) on
+    // the acceptance cell: star-2 bricks codegen on the A100 — the
+    // speedup reported in BENCH_sim.json comes from this same pair. 128³
+    // exercises the SM-group memoization alone; the paper's 512³ is where
+    // the wave-periodic fast-forward engages on top of it.
+    let mut group = c.benchmark_group("sim_fidelity");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    let arch = GpuArch::a100();
+    let shape = StencilShape::star(2);
+    let st = shape.stencil();
+    let b = st.default_bindings();
+    let spec = KernelSpec::Vector(
+        generate(&st, &b, LayoutKind::Brick, 32, CodegenOptions::default()).unwrap(),
+    );
+    for n in [128usize, 512] {
+        let decomp = Arc::new(BrickDecomp::new(
+            (n, n, n),
+            BrickDims::for_simd_width(32),
+            shape.radius as usize,
+            BrickOrdering::Lexicographic,
+        ));
+        let geom = TraceGeometry::brick(Arc::new(BrickNav::new(decomp)));
+        for fidelity in [SimFidelity::Exact, SimFidelity::Fast] {
+            let opts = SimOptions {
+                fidelity,
+                ..SimOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("star2_a100_{n}"), fidelity),
+                &opts,
+                |bench, opts| {
+                    bench.iter(|| simulate_memory_opts(&spec, &geom, &arch, 32, opts));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_cache, bench_hierarchy, bench_fidelity);
 criterion_main!(benches);

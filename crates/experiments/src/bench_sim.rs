@@ -1,0 +1,259 @@
+//! Machine-readable simulator performance trajectory: `BENCH_sim.json`.
+//!
+//! Two measurements, re-run by CI on every PR so the simulator's speed is
+//! tracked as data rather than anecdote:
+//!
+//! * **sweep throughput** — a full 64³ matrix sweep, cold (empty result
+//!   cache) and warm (second run over the same cache), in cells/second;
+//! * **fidelity speedup** — the star-2 CUDA/A100 bricks-codegen cell
+//!   simulated under [`SimFidelity::Exact`] and [`SimFidelity::Fast`],
+//!   with the wall-time ratio and a hard check that both produce
+//!   identical [`gpu_sim::MemCounters`].
+//!
+//! [`run_bench_sim`] fails (so CI fails) if the fast path is slower than
+//! the exact oracle — the memoization must never regress into a pessimum.
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use brick_dsl::shape::StencilShape;
+use gpu_sim::{
+    compile_only, simulate_memory_opts, GpuArch, GpuKind, ProgModel, SimFidelity, SimOptions,
+};
+
+use crate::cache::SIM_SCHEMA_VERSION;
+use crate::config::{ExperimentParams, KernelConfig};
+use crate::runner::{build_geometry, build_spec, sweep_with, SweepOptions};
+
+/// Wall-clock throughput of a full matrix sweep, cold vs warm cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepThroughput {
+    /// Domain size the sweep ran at.
+    pub n: usize,
+    /// Number of records the sweep produced.
+    pub cells: usize,
+    /// Wall seconds with an empty result cache.
+    pub cold_wall_s: f64,
+    /// Wall seconds re-running over the populated cache.
+    pub warm_wall_s: f64,
+    /// Cells per second, cold.
+    pub cold_cells_per_s: f64,
+    /// Cells per second, warm.
+    pub warm_cells_per_s: f64,
+}
+
+/// Exact-vs-fast wall time of one representative cell's memory
+/// simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FidelityComparison {
+    /// Stencil label (`"13pt"` = star-2).
+    pub stencil: String,
+    /// Kernel configuration label.
+    pub config: String,
+    /// GPU simulated.
+    pub gpu: String,
+    /// Programming model.
+    pub model: String,
+    /// Domain size.
+    pub n: usize,
+    /// Memory-simulation wall seconds under `Exact` fidelity.
+    pub exact_wall_s: f64,
+    /// Memory-simulation wall seconds under `Fast` fidelity.
+    pub fast_wall_s: f64,
+    /// `exact_wall_s / fast_wall_s`.
+    pub speedup: f64,
+    /// Whether the two fidelities produced bit-identical counters
+    /// (always true, or the run fails).
+    pub counters_identical: bool,
+}
+
+/// The complete `BENCH_sim.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSim {
+    /// Simulation schema the numbers were produced under.
+    pub schema: u64,
+    /// Sweep throughput block.
+    pub sweep: SweepThroughput,
+    /// Fidelity speedup block at the CI size.
+    pub fidelity: FidelityComparison,
+    /// Fidelity speedup block at the paper's full 512³ — the scale where
+    /// the wave-periodic fast-forward engages (`None` when the base run
+    /// already is 512³).
+    pub fidelity_full: Option<FidelityComparison>,
+}
+
+/// Domain size of the throughput sweep (the golden size: small enough
+/// for CI, large enough to exercise every cell).
+pub const BENCH_SWEEP_N: usize = 64;
+
+/// Default domain size of the fidelity comparison; `--full` raises it to
+/// the paper's 512³.
+pub const BENCH_FIDELITY_N: usize = 128;
+
+/// The paper-scale fidelity comparison always recorded alongside the CI
+/// size: 512³ is where whole waves repeat and the fast path's periodic
+/// fast-forward pays off.
+pub const BENCH_FIDELITY_FULL_N: usize = 512;
+
+fn measure_sweep(jobs: Option<usize>, scratch: &Path) -> Result<SweepThroughput, String> {
+    let cache_dir = scratch.join("bench-simcache");
+    let _ = fs::remove_dir_all(&cache_dir);
+    let opts = |cache: bool| {
+        let mut o = SweepOptions::new(ExperimentParams { n: BENCH_SWEEP_N });
+        if let Some(j) = jobs {
+            o = o.jobs(j);
+        }
+        if cache {
+            o = o.cache_dir(&cache_dir);
+        }
+        o
+    };
+    let t0 = Instant::now();
+    let cold = sweep_with(&opts(true)).map_err(|e| format!("cold bench sweep: {e}"))?;
+    let cold_wall_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let warm = sweep_with(&opts(true)).map_err(|e| format!("warm bench sweep: {e}"))?;
+    let warm_wall_s = t1.elapsed().as_secs_f64();
+    let _ = fs::remove_dir_all(&cache_dir);
+    if cold.records.len() != warm.records.len() {
+        return Err("cold and warm sweeps disagree on cell count".to_string());
+    }
+    let cells = cold.records.len();
+    Ok(SweepThroughput {
+        n: BENCH_SWEEP_N,
+        cells,
+        cold_wall_s,
+        warm_wall_s,
+        cold_cells_per_s: cells as f64 / cold_wall_s.max(1e-9),
+        warm_cells_per_s: cells as f64 / warm_wall_s.max(1e-9),
+    })
+}
+
+fn measure_fidelity(n: usize) -> Result<FidelityComparison, String> {
+    let shape = StencilShape::star(2);
+    let config = KernelConfig::BricksCodegen;
+    let arch = GpuArch::by_kind(GpuKind::A100);
+    let model = ProgModel::Cuda;
+    let spec = build_spec(&shape, config, arch.simd_width);
+    let geom = build_geometry(config.layout(), n, arch.simd_width, shape.radius as usize);
+    let (_, _, occ) = compile_only(&spec, arch, model)
+        .ok_or_else(|| "no compiler model for CUDA on A100".to_string())?;
+
+    let run = |fidelity: SimFidelity| {
+        let opts = SimOptions {
+            fidelity,
+            ..SimOptions::default()
+        };
+        let t = Instant::now();
+        let counters =
+            simulate_memory_opts(&spec, &geom, arch, occ.blocks_per_sm, &opts).counters();
+        (t.elapsed().as_secs_f64(), counters)
+    };
+    let (exact_wall_s, exact) = run(SimFidelity::Exact);
+    let (fast_wall_s, fast) = run(SimFidelity::Fast);
+    let counters_identical = exact == fast;
+    if !counters_identical {
+        return Err(format!(
+            "fidelity violation at n={n}: exact {exact:?} != fast {fast:?}"
+        ));
+    }
+    Ok(FidelityComparison {
+        stencil: shape.label(),
+        config: config.label().to_string(),
+        gpu: arch.kind.to_string(),
+        model: model.to_string(),
+        n,
+        exact_wall_s,
+        fast_wall_s,
+        speedup: exact_wall_s / fast_wall_s.max(1e-9),
+        counters_identical,
+    })
+}
+
+/// Run both measurements and write `BENCH_sim.json` under `out_dir`.
+///
+/// Fails if the fast path is slower than the exact path (speedup < 1) or
+/// if the counters diverge — either would mean the memoization broke.
+pub fn run_bench_sim(
+    fidelity_n: usize,
+    jobs: Option<usize>,
+    out_dir: &Path,
+) -> Result<BenchSim, String> {
+    let sweep = measure_sweep(jobs, out_dir)?;
+    let fidelity = measure_fidelity(fidelity_n)?;
+    let fidelity_full = if fidelity_n == BENCH_FIDELITY_FULL_N {
+        None
+    } else {
+        Some(measure_fidelity(BENCH_FIDELITY_FULL_N)?)
+    };
+    let bench = BenchSim {
+        schema: SIM_SCHEMA_VERSION,
+        sweep,
+        fidelity,
+        fidelity_full,
+    };
+    let path = out_dir.join("BENCH_sim.json");
+    let json = serde_json::to_string_pretty(&bench).map_err(|e| e.to_string())?;
+    fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    for f in std::iter::once(&bench.fidelity).chain(bench.fidelity_full.as_ref()) {
+        if f.speedup < 1.0 {
+            return Err(format!(
+                "fast fidelity is SLOWER than exact at n={} ({:.2}x) — see {}",
+                f.n,
+                f.speedup,
+                path.display()
+            ));
+        }
+    }
+    Ok(bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_comparison_is_identical_and_measured() {
+        // small n keeps this cheap in debug; the asserted contract is the
+        // same one CI gates on at 128³ in release
+        let f = measure_fidelity(64).expect("comparison runs");
+        assert!(f.counters_identical);
+        assert!(f.exact_wall_s > 0.0 && f.fast_wall_s > 0.0);
+        assert_eq!(f.stencil, "13pt");
+        assert_eq!(f.gpu, "A100");
+    }
+
+    #[test]
+    fn bench_document_serializes_round_trip() {
+        let bench = BenchSim {
+            schema: SIM_SCHEMA_VERSION,
+            sweep: SweepThroughput {
+                n: 64,
+                cells: 108,
+                cold_wall_s: 10.0,
+                warm_wall_s: 1.0,
+                cold_cells_per_s: 10.8,
+                warm_cells_per_s: 108.0,
+            },
+            fidelity: FidelityComparison {
+                stencil: "13pt".into(),
+                config: "bricks codegen".into(),
+                gpu: "a100".into(),
+                model: "cuda".into(),
+                n: 128,
+                exact_wall_s: 8.0,
+                fast_wall_s: 1.0,
+                speedup: 8.0,
+                counters_identical: true,
+            },
+            fidelity_full: None,
+        };
+        let json = serde_json::to_string(&bench).unwrap();
+        let back: BenchSim = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fidelity.speedup, 8.0);
+        assert_eq!(back.schema, SIM_SCHEMA_VERSION);
+    }
+}

@@ -13,14 +13,18 @@ use std::hash::{Hash, Hasher};
 
 use brick_sweep::{CacheKey, KeyBuilder};
 use brick_vm::KernelSpec;
-use gpu_sim::{GpuArch, ProgModel};
+use gpu_sim::{GpuArch, ProgModel, SimFidelity};
 use roofline::Roofline;
 
 /// Version of the simulation semantics behind cached values. Bump this
 /// whenever the timing, cache, compiler or roofline models change
 /// behaviour without changing any key field — it retires every entry
 /// written under the old semantics at once.
-pub const SIM_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: simulation fidelity ([`SimFidelity`]) became part of the cell
+/// identity, and the cache model gained an MRU lookup memo (accounting
+/// unchanged, but retiring v1 entries keeps provenance honest).
+pub const SIM_SCHEMA_VERSION: u64 = 2;
 
 /// Stable fingerprint of either kernel family.
 ///
@@ -64,6 +68,7 @@ pub fn cell_key(
     flops_per_point: u64,
     theoretical_ai: f64,
     roofline: &Roofline,
+    fidelity: SimFidelity,
 ) -> CacheKey {
     KeyBuilder::new("cell", SIM_SCHEMA_VERSION)
         .fingerprint("kernel", spec_fingerprint(spec))
@@ -71,6 +76,7 @@ pub fn cell_key(
         .field("model", model)
         .field("n", n)
         .field("flops", flops_per_point)
+        .field("fidelity", fidelity)
         .f64_bits("theory_ai", theoretical_ai)
         .f64_bits("rl_peak", roofline.peak_gflops)
         .f64_bits("rl_bw", roofline.bandwidth_gbs)
@@ -97,7 +103,12 @@ mod tests {
         build_spec(&StencilShape::star(1), config, 32)
     }
 
-    fn key_for(spec: &KernelSpec, arch: &GpuArch, n: usize) -> CacheKey {
+    fn key_fidelity(
+        spec: &KernelSpec,
+        arch: &GpuArch,
+        n: usize,
+        fidelity: SimFidelity,
+    ) -> CacheKey {
         let a = StencilAnalysis::of_shape(&StencilShape::star(1));
         cell_key(
             spec,
@@ -110,7 +121,12 @@ mod tests {
                 peak_gflops: 8000.0,
                 bandwidth_gbs: 1500.0,
             },
+            fidelity,
         )
+    }
+
+    fn key_for(spec: &KernelSpec, arch: &GpuArch, n: usize) -> CacheKey {
+        key_fidelity(spec, arch, n, SimFidelity::default())
     }
 
     #[test]
@@ -144,6 +160,19 @@ mod tests {
             key_for(&spec, &tweaked, 64).hash,
             "arch table edit"
         );
+    }
+
+    #[test]
+    fn exact_and_fast_cells_never_collide() {
+        // the two fidelities are bit-identical by contract, but cached
+        // values must still be attributable to the mode that produced
+        // them — a Fast record may never satisfy an Exact lookup
+        let arch = GpuArch::a100();
+        let spec = spec_for(KernelConfig::BricksCodegen);
+        let fast = key_fidelity(&spec, &arch, 64, SimFidelity::Fast);
+        let exact = key_fidelity(&spec, &arch, 64, SimFidelity::Exact);
+        assert_ne!(fast.hash, exact.hash, "fidelity must be in the key");
+        assert_ne!(fast.file_name(), exact.file_name());
     }
 
     #[test]

@@ -14,14 +14,18 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use experiments::report::*;
-use experiments::{figures, golden, tables, ExperimentParams, SweepOptions};
+use experiments::{bench_sim, figures, golden, tables, ExperimentParams, SweepOptions};
+use gpu_sim::SimFidelity;
 
 struct Args {
     n: usize,
+    n_explicit: bool,
     out: PathBuf,
     trace: bool,
     jobs: Option<usize>,
     no_cache: bool,
+    fidelity: Option<SimFidelity>,
+    bench_sim: bool,
     bless: bool,
     table1: bool,
     table2: bool,
@@ -53,10 +57,13 @@ impl Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         n: ExperimentParams::default().n,
+        n_explicit: false,
         out: PathBuf::from("artifacts"),
         trace: false,
         jobs: None,
         no_cache: false,
+        fidelity: None,
+        bench_sim: false,
         bless: false,
         table1: false,
         table2: false,
@@ -113,14 +120,27 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--jobs: {e}"))?,
                 );
             }
-            "--full" => args.n = ExperimentParams::paper_full().n,
+            "--full" => {
+                args.n = ExperimentParams::paper_full().n;
+                args.n_explicit = true;
+            }
             "--n" => {
                 args.n = it
                     .next()
                     .ok_or("--n needs a value")?
                     .parse()
                     .map_err(|e| format!("--n: {e}"))?;
+                args.n_explicit = true;
             }
+            "--fidelity" => {
+                args.fidelity = Some(
+                    it.next()
+                        .ok_or("--fidelity needs a value (exact|fast)")?
+                        .parse()
+                        .map_err(|e: String| format!("--fidelity: {e}"))?,
+                );
+            }
+            "--bench-sim" => args.bench_sim = true,
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
             "--help" | "-h" => {
                 return Err(HELP.to_string());
@@ -136,7 +156,7 @@ fn parse_args() -> Result<Args, String> {
 
 const HELP: &str = "usage: experiments [--all] [--table1..5] [--compare] [--fig3..7] [--listings]
                    [--n N] [--full] [--out DIR] [--jobs N] [--no-cache]
-                   [--bless] [--trace]
+                   [--fidelity exact|fast] [--bench-sim] [--bless] [--trace]
 
 Regenerates the tables and figures of 'Performance Portability Evaluation
 of Blocked Stencil Computations on GPUs' (SC-W 2023) on the simulated
@@ -150,6 +170,16 @@ reruns are incremental; --no-cache disables the cache for this run.
 --bless reruns the pinned 64^3 golden sweep and rewrites the checked-in
 golden artifacts under crates/experiments/tests/golden (only after an
 intentional model change — see EXPERIMENTS.md).
+
+--fidelity selects the memory-simulation path: 'fast' (default) replays
+one compiled access stream per block equivalence class, 'exact' traces
+every block through the interpreter. Both produce bit-identical results
+(enforced in CI); exact exists as the oracle and for debugging the fast
+path. --bench-sim measures both and writes DIR/BENCH_sim.json: cold/warm
+sweep throughput at 64^3 plus the exact-vs-fast wall-time ratio of the
+star-2 CUDA/A100 cell (128^3, or N^3 with --n/--full) and again at the
+paper's full 512^3; it exits non-zero if the fast path is slower than
+exact at either size.
 
 --trace records hierarchical spans of the run and writes DIR/trace.json
 (Chrome trace_event format, loadable in chrome://tracing or Perfetto) and
@@ -204,8 +234,57 @@ fn main() -> ExitCode {
         if !args.no_cache {
             opts.cache_dir = Some(args.out.join("simcache"));
         }
+        if let Some(f) = args.fidelity {
+            opts.fidelity = f;
+        }
         opts
     };
+
+    if args.bench_sim {
+        let bench_n = if args.n_explicit {
+            args.n
+        } else {
+            bench_sim::BENCH_FIDELITY_N
+        };
+        eprintln!(
+            "benchmarking simulator: {0}^3 sweep throughput + exact-vs-fast at {bench_n}^3...",
+            bench_sim::BENCH_SWEEP_N
+        );
+        match bench_sim::run_bench_sim(bench_n, args.jobs, &args.out) {
+            Ok(b) => {
+                eprintln!(
+                    "sweep: {} cells, cold {:.1}s ({:.1} cells/s), warm {:.1}s ({:.1} cells/s)",
+                    b.sweep.cells,
+                    b.sweep.cold_wall_s,
+                    b.sweep.cold_cells_per_s,
+                    b.sweep.warm_wall_s,
+                    b.sweep.warm_cells_per_s
+                );
+                eprintln!(
+                    "fidelity ({} {} {}/{} at {}^3): exact {:.2}s, fast {:.2}s — {:.1}x speedup",
+                    b.fidelity.stencil,
+                    b.fidelity.config,
+                    b.fidelity.gpu,
+                    b.fidelity.model,
+                    b.fidelity.n,
+                    b.fidelity.exact_wall_s,
+                    b.fidelity.fast_wall_s,
+                    b.fidelity.speedup
+                );
+                if let Some(f) = &b.fidelity_full {
+                    eprintln!(
+                        "fidelity (paper scale, {}^3): exact {:.2}s, fast {:.2}s — {:.1}x speedup",
+                        f.n, f.exact_wall_s, f.fast_wall_s, f.speedup
+                    );
+                }
+                eprintln!("wrote {}", args.out.join("BENCH_sim.json").display());
+            }
+            Err(e) => {
+                eprintln!("bench-sim failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if args.bless {
         eprintln!(

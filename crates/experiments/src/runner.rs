@@ -26,8 +26,8 @@ use brick_dsl::StencilAnalysis;
 use brick_sweep::{map_cells, CacheOutcome, DiskCache, Jobs};
 use brick_vm::{KernelSpec, ScalarKernel, TraceGeometry};
 use gpu_sim::{
-    assemble, compile_only, simulate_memory, CompilerModel, GpuArch, GpuKind, MemCounters,
-    ProgModel,
+    assemble, compile_only, simulate_memory_opts, CompilerModel, GpuArch, GpuKind, MemCounters,
+    ProgModel, SimFidelity, SimOptions,
 };
 use roofline::{measure, Roofline};
 
@@ -275,17 +275,21 @@ pub struct SweepOptions {
     pub cache_dir: Option<PathBuf>,
     /// Sub-matrix to run (default: the full paper matrix).
     pub filter: CellFilter,
+    /// Simulation fidelity (default `Fast`; bit-identical to `Exact` by
+    /// the differential contract, and part of every cell's cache key).
+    pub fidelity: SimFidelity,
 }
 
 impl SweepOptions {
     /// Defaults: full matrix, no disk cache, jobs from `BRICK_JOBS` or
-    /// all hardware threads.
+    /// all hardware threads, fast fidelity.
     pub fn new(params: ExperimentParams) -> SweepOptions {
         SweepOptions {
             params,
             jobs: Jobs::from_flag_or_env(None),
             cache_dir: None,
             filter: CellFilter::default(),
+            fidelity: SimFidelity::default(),
         }
     }
 
@@ -304,6 +308,12 @@ impl SweepOptions {
     /// Restrict to a sub-matrix.
     pub fn filter(mut self, filter: CellFilter) -> SweepOptions {
         self.filter = filter;
+        self
+    }
+
+    /// Simulate with the given fidelity.
+    pub fn fidelity(mut self, fidelity: SimFidelity) -> SweepOptions {
+        self.fidelity = fidelity;
         self
     }
 }
@@ -454,7 +464,7 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
     // (gpu, stencil, config, blocks_per_sm). `OnceLock` guarantees one
     // computation per key even under races, and cache hits skip both.
     type GeomKey = (LayoutKind, usize, usize);
-    type MemKey = (GpuKind, String, KernelConfig, u32);
+    type MemKey = (GpuKind, String, KernelConfig, u32, SimFidelity);
     let geom_memo: Mutex<HashMap<GeomKey, Arc<OnceLock<TraceGeometry>>>> =
         Mutex::new(HashMap::new());
     let mem_memo: Mutex<HashMap<MemKey, Arc<OnceLock<MemCounters>>>> = Mutex::new(HashMap::new());
@@ -505,6 +515,7 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
                 cell.flops_per_point,
                 cell.theoretical_ai,
                 &rl,
+                opts.fidelity,
             )
         });
         if let (Some(c), Some(key)) = (cache.as_ref(), key.as_ref()) {
@@ -523,10 +534,16 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
                 cell.stencil.clone(),
                 cell.config,
                 occ.blocks_per_sm,
+                opts.fidelity,
             ),
         );
-        let mem = *mem_slot
-            .get_or_init(|| simulate_memory(spec, geom, arch, occ.blocks_per_sm).counters());
+        let mem = *mem_slot.get_or_init(|| {
+            let sim_opts = SimOptions {
+                fidelity: opts.fidelity,
+                ..SimOptions::default()
+            };
+            simulate_memory_opts(spec, geom, arch, occ.blocks_per_sm, &sim_opts).counters()
+        });
         let sim = assemble(spec, geom, arch, &cm, &compiled, mem, cell.flops_per_point);
         let record = Record {
             shape: cell.shape,

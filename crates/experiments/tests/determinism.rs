@@ -10,7 +10,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use experiments::{CellFilter, ExperimentParams, KernelConfig, SweepOptions};
-use gpu_sim::{GpuKind, ProgModel};
+use gpu_sim::{GpuKind, ProgModel, SimFidelity};
 use proptest::prelude::*;
 
 /// Records serialized exactly as artifact writers see them.
@@ -52,10 +52,13 @@ proptest! {
         cmask in 0u8..8,
     ) {
         let filter = filter_from_masks(smask, gmask, mmask, cmask);
+        // pinned to the fast (block-class) fidelity: the production
+        // default must be schedule-independent like the exact oracle
         let opts = |jobs: usize| {
             SweepOptions::new(ExperimentParams { n: 64 })
                 .jobs(jobs)
                 .filter(filter.clone())
+                .fidelity(SimFidelity::Fast)
         };
         let serial = records_json(&opts(1));
         let two = records_json(&opts(2));
@@ -63,6 +66,30 @@ proptest! {
         prop_assert_eq!(&serial, &two, "jobs=2 diverged from serial");
         prop_assert_eq!(&serial, &eight, "jobs=8 diverged from serial");
     }
+}
+
+#[test]
+fn fast_and_exact_sweeps_are_byte_identical() {
+    // the fidelity contract at the record level: every serialized field —
+    // gflops, ai, byte counts, occupancy — agrees to the last byte, on a
+    // sub-matrix spanning both kernel families and all platforms
+    let filter = CellFilter {
+        stencils: Some(vec!["7pt".to_string(), "125pt".to_string()]),
+        ..CellFilter::default()
+    };
+    let run = |fidelity: SimFidelity| {
+        records_json(
+            &SweepOptions::new(ExperimentParams { n: 64 })
+                .jobs(4)
+                .filter(filter.clone())
+                .fidelity(fidelity),
+        )
+    };
+    assert_eq!(
+        run(SimFidelity::Fast),
+        run(SimFidelity::Exact),
+        "fast records must reproduce exact records bit-for-bit"
+    );
 }
 
 fn scratch_dir(tag: &str) -> PathBuf {

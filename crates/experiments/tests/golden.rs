@@ -16,6 +16,7 @@ use std::fs;
 use std::path::Path;
 
 use experiments::{golden, ExperimentParams, SweepOptions};
+use gpu_sim::SimFidelity;
 
 #[test]
 fn fresh_sweep_matches_checked_in_goldens() {
@@ -39,6 +40,28 @@ fn fresh_sweep_matches_checked_in_goldens() {
         out.display(),
         diffs.join("\n")
     );
+}
+
+#[test]
+fn goldens_hold_in_both_fidelity_modes() {
+    // the checked-in goldens are fidelity-neutral: the exact oracle and
+    // the fast block-class replay must both reproduce them, which pins
+    // the bit-identical contract to the shipped artifacts themselves
+    for fidelity in [SimFidelity::Exact, SimFidelity::Fast] {
+        let sweep = experiments::sweep_with(
+            &SweepOptions::new(ExperimentParams {
+                n: golden::GOLDEN_N,
+            })
+            .fidelity(fidelity),
+        )
+        .expect("golden sweep runs");
+        let diffs = golden::check(&sweep, &golden::golden_dir());
+        assert!(
+            diffs.is_empty(),
+            "{fidelity} fidelity diverged from goldens:\n{}",
+            diffs.join("\n")
+        );
+    }
 }
 
 #[test]

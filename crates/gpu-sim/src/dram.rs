@@ -66,6 +66,37 @@ impl DramModel {
         }
     }
 
+    /// Translate the open-page state by `shift_pages` rows.
+    ///
+    /// `bank = page % NUM_BANKS`, so adding a constant to every page id
+    /// rotates the bank vector and shifts each open row; closed banks
+    /// (sentinel) stay closed. Mirrors [`crate::Cache::translate`] for the
+    /// wave-periodic fast-forward.
+    pub(crate) fn translate(&mut self, shift_pages: i64) {
+        let rot = shift_pages.rem_euclid(NUM_BANKS as i64) as usize;
+        self.open.rotate_right(rot);
+        for page in &mut self.open {
+            if *page != u64::MAX {
+                *page = page.wrapping_add_signed(shift_pages);
+            }
+        }
+    }
+
+    /// Is `self` the row-buffer state reached from `earlier` under an
+    /// input stream translated by `shift_pages` rows? (Counters are
+    /// ignored; the caller compares those separately.)
+    pub(crate) fn equiv_translated(&self, earlier: &DramModel, shift_pages: i64) -> bool {
+        let rot = shift_pages.rem_euclid(NUM_BANKS as i64) as usize;
+        earlier.open.iter().enumerate().all(|(i, &page)| {
+            let cur = self.open[(i + rot) % NUM_BANKS];
+            if page == u64::MAX {
+                cur == u64::MAX
+            } else {
+                cur == page.wrapping_add_signed(shift_pages)
+            }
+        })
+    }
+
     /// Observed page hit rate (1.0 when idle — no evidence of thrash).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

@@ -11,22 +11,211 @@
 //! DRAM counters; a final flush accounts the write-back of the resident
 //! output.
 
-use rayon::prelude::*;
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
 
-use brick_vm::{KernelSpec, TraceGeometry, TraceSink};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use brick_vm::{BlockClasses, KernelSpec, TraceGeometry, TraceSink};
 
 use crate::arch::GpuArch;
 use crate::cache::{Cache, CacheConfig, CacheStats, NextLevel, WritePolicy};
 use crate::dram::{DramModel, PageStats};
 use crate::timing::MemCounters;
 
-/// Events fed to the L2 per stream before rotating to the next block's
-/// stream. Real blocks start staggered and retire continuously rather
-/// than running in lock-step, so a coarse interleave (about one block's
-/// compulsory footprint per turn) approximates the pipelined miss stream
-/// an L2 actually sees; a fine-grained rotation would overstate conflict
-/// misses on small L2s (MI250X) by maximising every reuse distance.
-const INTERLEAVE_CHUNK: usize = 1024;
+/// How the simulator generates the per-block address streams.
+///
+/// Both modes produce **bit-identical** [`MemCounters`] and [`CacheStats`]
+/// — `Fast` is a memoization, not an approximation — which is enforced by
+/// the differential suite in `tests/fidelity.rs`. `Exact` is kept as the
+/// oracle the fast path is verified against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimFidelity {
+    /// Trace every launch block through the full VM dispatch path
+    /// (per-lane callback dispatch, one IR decode per block).
+    Exact,
+    /// Compile one compact stream per block class
+    /// ([`brick_vm::BlockClasses`]) and replay it with a per-block address
+    /// rebase through the batched [`Cache::access_run`] entry. SMs whose
+    /// whole launch schedule is a line-aligned translation of another
+    /// SM's share one L1 simulation (see [`plan_sm_groups`]).
+    #[default]
+    Fast,
+}
+
+/// Group SMs whose entire launch schedules are translations of each
+/// other, so the fast path simulates one private L1 per *group* instead
+/// of one per SM.
+///
+/// Returns, for every SM, `(representative_sm, byte_shift)`. Soundness:
+/// the cache model's set index is `(addr / line) % sets`, its tag is
+/// `addr / line`, LRU is driven by access order only, and sector indices
+/// are offsets within a line — so translating an access stream by a
+/// multiple of the line size rotates the set mapping and shifts every
+/// tag without changing any hit/miss/eviction decision. Two SMs whose
+/// block sequences visit the same classes with pairwise-constant,
+/// line-aligned base shifts therefore run byte-isomorphic L1
+/// simulations: identical [`CacheStats`], and miss streams that differ
+/// only by the shift. The grouping key (per-block class ids, base deltas
+/// relative to the SM's first block, and the first base modulo the line
+/// size) encodes exactly those conditions; SMs with irregular schedules
+/// (e.g. Morton orderings) simply land in singleton groups and are
+/// simulated directly.
+fn plan_sm_groups(
+    classes: &BlockClasses,
+    num_blocks: usize,
+    num_sms: usize,
+    active: usize,
+    line: usize,
+) -> Vec<(usize, i64)> {
+    let mut sched: Vec<Vec<usize>> = vec![Vec::new(); num_sms];
+    let mut wave_start = 0;
+    while wave_start < num_blocks {
+        let wave_len = active.min(num_blocks - wave_start);
+        for pos in 0..wave_len {
+            sched[pos % num_sms].push(wave_start + pos);
+        }
+        wave_start += wave_len;
+    }
+    let line = line as i64;
+    type GroupKey = (Vec<usize>, Vec<i64>, i64);
+    let mut reps: HashMap<GroupKey, (usize, i64)> = HashMap::new();
+    let mut plan = Vec::with_capacity(num_sms);
+    for blocks in &sched {
+        let cls: Vec<usize> = blocks.iter().map(|&b| classes.class_of(b)).collect();
+        let deltas: Vec<i64> = blocks.iter().map(|&b| classes.block(b).1).collect();
+        let d0 = deltas.first().copied().unwrap_or(0);
+        let rel: Vec<i64> = deltas.iter().map(|d| d - d0).collect();
+        let sm = plan.len();
+        let (rep, rep_d0) = *reps
+            .entry((cls, rel, d0.rem_euclid(line)))
+            .or_insert((sm, d0));
+        plan.push((rep, d0 - rep_d0));
+    }
+    plan
+}
+
+/// Longest schedule period, in waves, the fast path will search for.
+/// Bounds the `find_wave_period` scan; the single rolling snapshot keeps
+/// memory flat regardless of the period found.
+const MAX_PERIOD_WAVES: usize = 128;
+
+/// Completed full waves to simulate before taking the first steady-state
+/// snapshot — enough for the L2 working set of typical paper-suite cells
+/// to cycle through its cold start.
+const PERIOD_WARMUP_WAVES: usize = 4;
+
+/// A launch schedule that repeats, translated, every `waves` full waves.
+#[derive(Clone, Copy)]
+struct WavePeriod {
+    /// Period length in full waves.
+    waves: usize,
+    /// Byte shift between corresponding blocks one period apart.
+    shift: i64,
+}
+
+/// Find the smallest wave count `p` such that every block is the
+/// translation, by one constant byte shift, of the block `p` waves
+/// earlier (same class, base delta differing by exactly `shift`), with
+/// `shift` aligned to every granularity the hierarchy's state depends on
+/// (L1/L2 lines and the DRAM page). When such a period exists, the
+/// simulated machine — per-SM L1s, shared L2, row-buffer state — evolves
+/// periodically modulo translation once its caches shake out their cold
+/// start, which `simulate_memory_opts` detects and exploits by
+/// fast-forwarding whole periods. Lexicographic brick and array tile
+/// orderings are periodic at the wave count that realigns with the
+/// brick-grid plane; Morton orderings simply return `None` and are
+/// simulated in full.
+fn find_wave_period(
+    classes: &BlockClasses,
+    num_blocks: usize,
+    active: usize,
+    aligns: [i64; 3],
+    max_period: usize,
+) -> Option<WavePeriod> {
+    let full_waves = num_blocks / active;
+    for p in 1..=max_period {
+        // A period only pays if there is room for the warmup, the
+        // snapshot-to-check distance, and at least one skipped period.
+        if full_waves < 2 * p + 1 {
+            break;
+        }
+        let lag = p * active;
+        let shift = classes.block(lag).1 - classes.block(0).1;
+        if aligns.iter().any(|&a| shift % a != 0) {
+            continue;
+        }
+        let ok = (lag..num_blocks).all(|b| {
+            classes.class_of(b) == classes.class_of(b - lag)
+                && classes.block(b).1 - classes.block(b - lag).1 == shift
+        });
+        if ok {
+            return Some(WavePeriod { waves: p, shift });
+        }
+    }
+    None
+}
+
+/// Machine state captured at a full-wave boundary: the stateful parts of
+/// the hierarchy plus the counters accumulated so far, used to verify
+/// steady state one period later and to compute the per-period counter
+/// delta.
+struct WaveSnapshot {
+    /// Representative L1s, in `rep_ids` order.
+    l1s: Vec<Cache>,
+    l2: Cache,
+    dram: DramModel,
+    dram_read: u64,
+    dram_write: u64,
+}
+
+impl fmt::Display for SimFidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SimFidelity::Exact => "exact",
+            SimFidelity::Fast => "fast",
+        })
+    }
+}
+
+impl FromStr for SimFidelity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(SimFidelity::Exact),
+            "fast" => Ok(SimFidelity::Fast),
+            other => Err(format!("unknown fidelity '{other}' (exact|fast)")),
+        }
+    }
+}
+
+/// Tunables of the memory-hierarchy simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Trace generation mode; see [`SimFidelity`].
+    pub fidelity: SimFidelity,
+    /// Events fed to the L2 per stream before rotating to the next block's
+    /// stream. Real blocks start staggered and retire continuously rather
+    /// than running in lock-step, so a coarse interleave (about one block's
+    /// compulsory footprint per turn) approximates the pipelined miss
+    /// stream an L2 actually sees; a fine-grained rotation would overstate
+    /// conflict misses on small L2s (MI250X) by maximising every reuse
+    /// distance. The default of 1024 is part of the simulator's schema —
+    /// changing it changes every simulated byte count.
+    pub interleave_chunk: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            fidelity: SimFidelity::default(),
+            interleave_chunk: 1024,
+        }
+    }
+}
 
 /// Adapter: kernel trace → L1 cache → buffered miss stream.
 struct L1Sink<'a> {
@@ -103,17 +292,91 @@ fn l2_config(arch: &GpuArch) -> CacheConfig {
 }
 
 /// Simulate the full launch of `spec` over `geom` on `arch` with
-/// `blocks_per_sm` resident blocks per SM.
+/// `blocks_per_sm` resident blocks per SM, under default [`SimOptions`]
+/// (fast fidelity, interleave chunk 1024).
 pub fn simulate_memory(
     spec: &KernelSpec,
     geom: &TraceGeometry,
     arch: &GpuArch,
     blocks_per_sm: u32,
 ) -> MemoryReport {
+    simulate_memory_opts(spec, geom, arch, blocks_per_sm, &SimOptions::default())
+}
+
+/// [`simulate_memory`] with explicit [`SimOptions`].
+pub fn simulate_memory_opts(
+    spec: &KernelSpec,
+    geom: &TraceGeometry,
+    arch: &GpuArch,
+    blocks_per_sm: u32,
+    opts: &SimOptions,
+) -> MemoryReport {
     let _span = brick_obs::span_cat(format!("memory-sim:{}", spec.name()), "memory-sim");
     let num_blocks = geom.num_blocks();
     let num_sms = arch.num_sms;
     let active = num_sms * blocks_per_sm.max(1) as usize;
+    let interleave_chunk = opts.interleave_chunk.max(1);
+
+    // Fast fidelity compiles the per-class streams once, up front; the
+    // wave loop then replays them with a per-block rebase. `None` means
+    // every block goes through the full VM dispatch path.
+    let classes = match opts.fidelity {
+        SimFidelity::Fast => Some(
+            BlockClasses::compile(spec, geom).expect("kernel/geometry verified before simulation"),
+        ),
+        SimFidelity::Exact => None,
+    };
+    // One (representative_sm, byte_shift) entry per SM; members of a
+    // group reuse the representative's L1 simulation. Exact mode (and
+    // irregular schedules) degenerate to every SM representing itself.
+    let plan: Option<Vec<(usize, i64)>> = classes
+        .as_ref()
+        .map(|c| plan_sm_groups(c, num_blocks, num_sms, active, arch.l1_line));
+    if let Some(c) = &classes {
+        brick_obs::counter_add("sim.classes.launches", 1);
+        brick_obs::counter_add("sim.classes.classes", c.num_classes() as u64);
+        brick_obs::counter_add("sim.classes.blocks", c.num_blocks() as u64);
+        if let Some(p) = &plan {
+            let groups = p
+                .iter()
+                .enumerate()
+                .filter(|&(sm, &(r, _))| sm == r)
+                .count();
+            brick_obs::counter_add("sim.classes.sm_groups", groups as u64);
+        }
+    }
+    let is_rep = |sm: usize| plan.as_ref().is_none_or(|p| p[sm].0 == sm);
+    let rep_ids: Vec<usize> = match &plan {
+        Some(p) => p
+            .iter()
+            .enumerate()
+            .filter(|&(sm, &(rep, _))| sm == rep)
+            .map(|(sm, _)| sm)
+            .collect(),
+        None => Vec::new(),
+    };
+
+    let l1_line = arch.l1_line as i64;
+    let l2_line = arch.l2_line as i64;
+    // Wave-periodic fast-forward (fast mode only): if the schedule repeats
+    // under translation every `period.waves` waves, detect the moment the
+    // hierarchy's state does too, then account all remaining full periods
+    // at once. `None` (exact mode, aperiodic orderings, or short launches)
+    // simulates every wave.
+    let full_waves = num_blocks / active;
+    let mut period = classes.as_ref().and_then(|c| {
+        find_wave_period(
+            c,
+            num_blocks,
+            active,
+            [l1_line, l2_line, crate::dram::PAGE_BYTES as i64],
+            MAX_PERIOD_WAVES,
+        )
+    });
+    if let Some(pd) = &period {
+        brick_obs::counter_add("sim.classes.wave_period", pd.waves as u64);
+    }
+    let mut snapshot: Option<(usize, WaveSnapshot)> = None;
 
     let mut l1s: Vec<Cache> = (0..num_sms).map(|_| Cache::new(l1_config(arch))).collect();
     let mut l2 = Cache::new(l2_config(arch));
@@ -124,22 +387,40 @@ pub fn simulate_memory(
     let mut wave_start = 0;
     while wave_start < num_blocks {
         let wave_len = active.min(num_blocks - wave_start);
-        // Each SM simulates its blocks of the wave through its L1.
-        let mut per_sm: Vec<Vec<(usize, Vec<NextLevel>)>> = l1s
+        // Each representative SM simulates its blocks of the wave through
+        // its L1; grouped SMs skip the cache walk entirely and later reuse
+        // the representative's miss streams under their shift.
+        let per_sm: Vec<Vec<(usize, Vec<NextLevel>)>> = l1s
             .par_iter_mut()
             .enumerate()
             .map(|(sm, l1)| {
+                if !is_rep(sm) {
+                    return Vec::new();
+                }
                 let mut out = Vec::new();
                 let mut pos = sm;
                 while pos < wave_len {
                     let block = wave_start + pos;
                     let mut misses = Vec::new();
-                    let mut sink = L1Sink {
-                        l1,
-                        out: &mut misses,
-                    };
-                    spec.trace_block(geom, block, &mut sink)
-                        .expect("kernel/geometry verified before simulation");
+                    match &classes {
+                        Some(c) => {
+                            let (events, delta) = c.block(block);
+                            l1.access_run(
+                                events.iter().map(|e| {
+                                    (e.addr.wrapping_add_signed(delta), e.bytes, e.is_store)
+                                }),
+                                &mut |t| misses.push(t),
+                            );
+                        }
+                        None => {
+                            let mut sink = L1Sink {
+                                l1,
+                                out: &mut misses,
+                            };
+                            spec.trace_block(geom, block, &mut sink)
+                                .expect("kernel/geometry verified before simulation");
+                        }
+                    }
                     out.push((pos, misses));
                     pos += num_sms;
                 }
@@ -147,21 +428,41 @@ pub fn simulate_memory(
             })
             .collect();
 
-        // Order the wave's miss streams by block position.
-        let mut streams: Vec<Vec<NextLevel>> = vec![Vec::new(); wave_len];
-        for sm_streams in per_sm.drain(..) {
-            for (pos, stream) in sm_streams {
-                streams[pos] = stream;
+        // Order the wave's miss streams by block position. Grouped SMs
+        // view their representative's streams through their byte shift —
+        // no materialised copy.
+        let mut streams: Vec<(&[NextLevel], i64)> = vec![(&[][..], 0); wave_len];
+        match &plan {
+            None => {
+                for sm_streams in &per_sm {
+                    for (pos, stream) in sm_streams {
+                        streams[*pos] = (stream.as_slice(), 0);
+                    }
+                }
+            }
+            Some(p) => {
+                for (sm, &(rep, shift)) in p.iter().enumerate() {
+                    for (j, (rep_pos, stream)) in per_sm[rep].iter().enumerate() {
+                        let pos = sm + j * num_sms;
+                        debug_assert_eq!(*rep_pos, rep + j * num_sms);
+                        // Equal group keys force equal schedule lengths, so
+                        // a member has a block in this wave exactly when its
+                        // representative does.
+                        assert!(pos < wave_len, "SM group schedules diverged");
+                        streams[pos] = (stream.as_slice(), shift);
+                    }
+                }
             }
         }
 
         // Feed the shared L2: round-robin chunks across the wave's blocks.
         let mut cursors = vec![0usize; wave_len];
-        let mut remaining: usize = streams.iter().map(Vec::len).sum();
+        let mut remaining: usize = streams.iter().map(|(s, _)| s.len()).sum();
         while remaining > 0 {
-            for (stream, cursor) in streams.iter().zip(cursors.iter_mut()) {
-                let end = (*cursor + INTERLEAVE_CHUNK).min(stream.len());
+            for (&(stream, shift), cursor) in streams.iter().zip(cursors.iter_mut()) {
+                let end = (*cursor + interleave_chunk).min(stream.len());
                 for t in &stream[*cursor..end] {
+                    let addr = t.addr.wrapping_add_signed(shift);
                     let dram = &mut dram;
                     let mut lower = |n: NextLevel| {
                         dram.access(n.addr);
@@ -172,9 +473,9 @@ pub fn simulate_memory(
                         }
                     };
                     if t.is_write {
-                        l2.write(t.addr, t.bytes, &mut lower);
+                        l2.write(addr, t.bytes, &mut lower);
                     } else {
-                        l2.read(t.addr, t.bytes, &mut lower);
+                        l2.read(addr, t.bytes, &mut lower);
                     }
                 }
                 remaining -= end - *cursor;
@@ -182,6 +483,79 @@ pub fn simulate_memory(
             }
         }
         wave_start += wave_len;
+
+        // Steady-state detection and fast-forward at full-wave boundaries.
+        if let Some(pd) = period {
+            if wave_len == active {
+                let completed = wave_start / active;
+                let mut skipped = false;
+                let mut checked = false;
+                if let Some((at, snap)) = &snapshot {
+                    if completed == at + pd.waves {
+                        checked = true;
+                        let e_l2 = l2.equiv_translated(&snap.l2, pd.shift / l2_line);
+                        let e_dram = dram.equiv_translated(
+                            &snap.dram,
+                            pd.shift / crate::dram::PAGE_BYTES as i64,
+                        );
+                        let e_l1 = rep_ids.iter().enumerate().all(|(idx, &sm)| {
+                            l1s[sm].equiv_translated(&snap.l1s[idx], pd.shift / l1_line)
+                        });
+                        let equiv = e_l2 && e_dram && e_l1;
+                        if equiv {
+                            // Each of the next `k` periods provably repeats
+                            // this period's counter deltas; account them and
+                            // translate the state past them.
+                            let k = ((full_waves - completed) / pd.waves) as u64;
+                            if k > 0 {
+                                for (idx, &sm) in rep_ids.iter().enumerate() {
+                                    let d = l1s[sm].stats.diff(&snap.l1s[idx].stats);
+                                    l1s[sm].stats.add_scaled(&d, k);
+                                }
+                                let d = l2.stats.diff(&snap.l2.stats);
+                                l2.stats.add_scaled(&d, k);
+                                dram_read += (dram_read - snap.dram_read) * k;
+                                dram_write += (dram_write - snap.dram_write) * k;
+                                dram.hits += (dram.hits - snap.dram.hits) * k;
+                                dram.misses += (dram.misses - snap.dram.misses) * k;
+                                let shift = pd.shift * k as i64;
+                                for &sm in &rep_ids {
+                                    l1s[sm].translate(shift / l1_line);
+                                }
+                                l2.translate(shift / l2_line);
+                                dram.translate(shift / crate::dram::PAGE_BYTES as i64);
+                                wave_start += k as usize * pd.waves * active;
+                                brick_obs::counter_add(
+                                    "sim.classes.waves_skipped",
+                                    k * pd.waves as u64,
+                                );
+                                skipped = true;
+                            }
+                        }
+                    }
+                }
+                if skipped {
+                    period = None;
+                    snapshot = None;
+                } else if (checked || snapshot.is_none())
+                    && wave_start / active >= PERIOD_WARMUP_WAVES.min(full_waves - 2 * pd.waves)
+                    && wave_start / active + 2 * pd.waves <= full_waves
+                {
+                    // First eligible snapshot, or roll it forward after a
+                    // failed check (the state had not settled yet).
+                    snapshot = Some((
+                        wave_start / active,
+                        WaveSnapshot {
+                            l1s: rep_ids.iter().map(|&sm| l1s[sm].clone()).collect(),
+                            l2: l2.clone(),
+                            dram: dram.clone(),
+                            dram_read,
+                            dram_write,
+                        },
+                    ));
+                }
+            }
+        }
     }
 
     // Account the resident dirty output.
@@ -192,9 +566,20 @@ pub fn simulate_memory(
         }
     });
 
+    // Every SM contributes its L1 statistics; a grouped SM's are by
+    // construction identical to its representative's, so merge those.
     let mut l1_total = CacheStats::default();
-    for l1 in &l1s {
-        l1_total.merge(&l1.stats);
+    match &plan {
+        None => {
+            for l1 in &l1s {
+                l1_total.merge(&l1.stats);
+            }
+        }
+        Some(p) => {
+            for &(rep, _) in p {
+                l1_total.merge(&l1s[rep].stats);
+            }
+        }
     }
     MemoryReport {
         l1: l1_total,

@@ -80,14 +80,17 @@ const _: () = {
     cell_state_is_shareable::<timing::Occupancy>();
     cell_state_is_shareable::<sim::SimResult>();
     cell_state_is_shareable::<hierarchy::MemoryReport>();
+    cell_state_is_shareable::<hierarchy::SimFidelity>();
+    cell_state_is_shareable::<hierarchy::SimOptions>();
     cell_state_is_shareable::<brick_vm::KernelSpec>();
     cell_state_is_shareable::<brick_vm::TraceGeometry>();
+    cell_state_is_shareable::<brick_vm::BlockClasses>();
 };
 pub use cache::{Cache, CacheConfig, CacheStats, WritePolicy};
 pub use compiler::{compile, CompiledKernel};
 pub use dram::{bandwidth_efficiency, DramModel, PageStats};
-pub use hierarchy::{simulate_memory, MemoryReport};
+pub use hierarchy::{simulate_memory, simulate_memory_opts, MemoryReport, SimFidelity, SimOptions};
 pub use progmodel::{CompilerModel, ProgModel};
 pub use reuse::{ReuseAnalyzer, ReuseProfile};
-pub use sim::{assemble, compile_only, simulate, SimResult};
+pub use sim::{assemble, compile_only, simulate, simulate_opts, SimResult};
 pub use timing::{kernel_time, occupancy, MemCounters, Occupancy, TimeBreakdown};

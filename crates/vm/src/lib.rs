@@ -12,11 +12,13 @@
 //! `* codegen` configurations) and scalar SIMT kernels ([`ScalarKernel`],
 //! the plain `array` configuration).
 
+pub mod classes;
 pub mod exec;
 pub mod geom;
 pub mod scalar;
 pub mod trace;
 
+pub use classes::{BlockClasses, CompiledTrace, StreamEvent};
 pub use exec::{kernel_reach, run_vector_array, run_vector_brick, trace_vector_block, VmError};
 pub use geom::{ArrayAddr, TraceGeometry, DEFAULT_IN_BASE, DEFAULT_OUT_BASE};
 pub use scalar::{run_scalar_array, run_scalar_brick, trace_scalar_block, ScalarKernel};

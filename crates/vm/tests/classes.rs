@@ -1,0 +1,124 @@
+//! Property tests for block-class trace memoization.
+//!
+//! Over random (stencil, kernel family, layout, width, domain, brick
+//! ordering) combinations:
+//!
+//! * the class partition covers every launch block exactly once, and each
+//!   class representative rebases with delta 0;
+//! * replaying the rebased class stream reproduces the directly traced
+//!   per-block stream **event for event** — same order, same addresses,
+//!   same sizes, same load/store kinds.
+
+use brick_codegen::{generate, CodegenOptions, LayoutKind};
+use brick_core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
+use brick_dsl::shape::StencilShape;
+use brick_vm::{BlockClasses, KernelSpec, RecordingSink, ScalarKernel, TraceGeometry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn shape_of(idx: usize) -> StencilShape {
+    match idx {
+        0 => StencilShape::star(1),
+        1 => StencilShape::star(2),
+        2 => StencilShape::star(3),
+        3 => StencilShape::star(4),
+        4 => StencilShape::cube(1),
+        _ => StencilShape::cube(2),
+    }
+}
+
+fn geometry(
+    layout: LayoutKind,
+    n: usize,
+    width: usize,
+    radius: usize,
+    morton: bool,
+) -> TraceGeometry {
+    let extents = (n.max(width), n, n);
+    match layout {
+        LayoutKind::Brick => {
+            let ordering = if morton {
+                BrickOrdering::Morton
+            } else {
+                BrickOrdering::Lexicographic
+            };
+            let d = Arc::new(BrickDecomp::new(
+                extents,
+                BrickDims::for_simd_width(width),
+                radius,
+                ordering,
+            ));
+            TraceGeometry::brick(Arc::new(BrickNav::new(d)))
+        }
+        LayoutKind::Array => {
+            TraceGeometry::array(extents, radius, BrickDims::for_simd_width(width))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn partition_covers_and_replay_matches_oracle(
+        shape_idx in 0usize..6,
+        width_idx in 0usize..2,
+        n_idx in 0usize..2,
+        layout_idx in 0usize..2,
+        morton in 0usize..2,
+        scalar in 0usize..2,
+    ) {
+        let shape = shape_of(shape_idx);
+        let width = [16usize, 32][width_idx];
+        let n = [32usize, 64][n_idx];
+        let layout = [LayoutKind::Brick, LayoutKind::Array][layout_idx];
+        let radius = shape.radius as usize;
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let spec = if scalar == 1 {
+            KernelSpec::Scalar(ScalarKernel::new(&st, &b, layout, width).unwrap())
+        } else {
+            KernelSpec::Vector(
+                generate(&st, &b, layout, width, CodegenOptions::default()).unwrap(),
+            )
+        };
+        let geom = geometry(layout, n, width, radius, morton == 1);
+        let classes = BlockClasses::compile(&spec, &geom).unwrap();
+
+        // -- coverage: every block belongs to exactly one class ----------
+        prop_assert_eq!(classes.num_blocks(), geom.num_blocks());
+        let mut members = vec![0usize; classes.num_classes()];
+        for i in 0..classes.num_blocks() {
+            let c = classes.class_of(i);
+            prop_assert!(c < classes.num_classes(), "class index out of range");
+            members[c] += 1;
+        }
+        prop_assert_eq!(
+            members.iter().sum::<usize>(),
+            geom.num_blocks(),
+            "partition must cover the launch exactly once"
+        );
+        for (c, &count) in members.iter().enumerate() {
+            prop_assert!(count > 0, "class {} has no members", c);
+            let rep = classes.class(c).representative;
+            prop_assert_eq!(classes.class_of(rep), c);
+            let (_, delta) = classes.block(rep);
+            prop_assert_eq!(delta, 0i64, "representative must rebase by 0");
+        }
+
+        // -- fidelity: rebased replay == direct trace, event for event ---
+        for i in 0..geom.num_blocks() {
+            let mut oracle = RecordingSink::default();
+            spec.trace_block(&geom, i, &mut oracle).unwrap();
+            let mut replay = RecordingSink::default();
+            classes.replay_block(i, &mut replay);
+            prop_assert_eq!(
+                &replay.events,
+                &oracle.events,
+                "block {} of {} diverged",
+                i,
+                spec.name()
+            );
+        }
+    }
+}

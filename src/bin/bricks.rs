@@ -19,7 +19,9 @@ use bricks_repro::codegen::{
 use bricks_repro::core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
 use bricks_repro::dsl::shape::StencilShape;
 use bricks_repro::dsl::StencilAnalysis;
-use bricks_repro::gpu_sim::{simulate, GpuArch, ProgModel, ReuseAnalyzer};
+use bricks_repro::gpu_sim::{
+    simulate_opts, GpuArch, ProgModel, ReuseAnalyzer, SimFidelity, SimOptions,
+};
 use bricks_repro::metrics::potential_speedup;
 use bricks_repro::roofline::measure;
 use bricks_repro::tuner::{autotune, TuningSpace};
@@ -29,7 +31,8 @@ const HELP: &str = "bricks — BrickLib reproduction toolkit
 
 usage:
   bricks inspect  <star|cube> <radius> <width>          kernel inspection
-  bricks simulate <star|cube> <radius> <gpu> <model>    one measurement
+  bricks simulate <star|cube> <radius> <gpu> <model> [--fidelity exact|fast]
+                                                        one measurement
   bricks tune     <star|cube> <radius> <gpu> <model>    autotune bricks
   bricks reuse    <star|cube> <radius> <width>          reuse distances
   bricks lint     [kernel.json] [--json]                static kernel analysis
@@ -37,6 +40,11 @@ usage:
 
   gpu   = a100 | mi250x | pvc
   model = cuda | hip | sycl
+
+`bricks simulate --fidelity` picks the memory-simulation path: 'fast'
+(default) replays one compiled stream per block equivalence class,
+'exact' traces every block individually. Both are bit-identical by
+contract; exact is the debugging oracle.
 
 `bricks lint` runs the brick-lint static analyzer (verifier, footprint
 proof, reuse and occupancy lints) over every paper stencil at SIMD
@@ -119,7 +127,12 @@ fn inspect(shape: StencilShape, width: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate_cmd(shape: StencilShape, arch: GpuArch, model: ProgModel) -> Result<(), String> {
+fn simulate_cmd(
+    shape: StencilShape,
+    arch: GpuArch,
+    model: ProgModel,
+    fidelity: SimFidelity,
+) -> Result<(), String> {
     let n = 256;
     let st = shape.stencil();
     let b = st.default_bindings();
@@ -134,18 +147,26 @@ fn simulate_cmd(shape: StencilShape, arch: GpuArch, model: ProgModel) -> Result<
         BrickOrdering::Lexicographic,
     ));
     let geom = TraceGeometry::brick(Arc::new(BrickNav::new(decomp)));
-    let sim = simulate(
+    let opts = SimOptions {
+        fidelity,
+        ..SimOptions::default()
+    };
+    let sim = simulate_opts(
         &KernelSpec::Vector(kernel),
         &geom,
         &arch,
         model,
         a.flops_per_point,
+        &opts,
     )
     .ok_or_else(|| format!("{model} is not supported on {}", arch.name))?;
     let rl = measure(&arch, model).expect("support checked");
     let frac = rl.fraction(sim.gflops, sim.ai);
     let frac_ai = sim.ai / a.theoretical_ai;
-    println!("bricks codegen, {}^3 on {} / {model}", n, arch.name);
+    println!(
+        "bricks codegen, {}^3 on {} / {model} ({fidelity} fidelity)",
+        n, arch.name
+    );
     println!(
         "  performance : {:8.0} GFLOP/s  ({:.0}% of roofline)",
         sim.gflops,
@@ -391,9 +412,18 @@ fn run() -> Result<(), String> {
             let w: usize = width.parse().map_err(|e| format!("width: {e}"))?;
             inspect(shape_of(kind, radius)?, w)
         }
-        ["simulate", kind, radius, gpu, model] => {
-            simulate_cmd(shape_of(kind, radius)?, arch_of(gpu)?, model_of(model)?)
-        }
+        ["simulate", kind, radius, gpu, model] => simulate_cmd(
+            shape_of(kind, radius)?,
+            arch_of(gpu)?,
+            model_of(model)?,
+            SimFidelity::default(),
+        ),
+        ["simulate", kind, radius, gpu, model, "--fidelity", f] => simulate_cmd(
+            shape_of(kind, radius)?,
+            arch_of(gpu)?,
+            model_of(model)?,
+            f.parse()?,
+        ),
         ["tune", kind, radius, gpu, model] => {
             tune_cmd(shape_of(kind, radius)?, arch_of(gpu)?, model_of(model)?)
         }
