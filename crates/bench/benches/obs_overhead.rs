@@ -7,6 +7,10 @@
 //!    no metrics registry), is the residual gate cost under 5% of a
 //!    simulation? This is the contract the instrumentation was written
 //!    against, so the bench asserts it.
+//! 3. With *full attribution* on (span tracing plus the brick-prof
+//!    allocation clock), does a 64^3 sweep stay within 15% of the
+//!    disabled-path sweep? This is the contract `--prof` was written
+//!    against, asserted by `assert_full_attribution_is_cheap`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -126,9 +130,55 @@ fn assert_disabled_gates_are_cheap(_c: &mut Criterion) {
     );
 }
 
+/// Assert full attribution (span tracing + the prof allocation clock)
+/// keeps a 64^3 sweep within 15% of the disabled path. The disabled
+/// baseline is measured first, before `brick_prof::init()` registers the
+/// allocation clock, so it prices exactly what a default (no `--prof`)
+/// run pays.
+fn assert_full_attribution_is_cheap(_c: &mut Criterion) {
+    use experiments::{sweep_with, ExperimentParams, SweepOptions};
+
+    let opts = SweepOptions::new(ExperimentParams { n: 64 }).jobs(1);
+    let run = |opts: &SweepOptions| {
+        let t0 = Instant::now();
+        black_box(sweep_with(opts).expect("sweep runs"));
+        t0.elapsed().as_secs_f64()
+    };
+
+    span::set_tracing(false);
+    run(&opts); // warm-up: fault in code paths before either measurement
+    let off_median = median_secs((0..5).map(|_| run(&opts)).collect());
+
+    brick_prof::init();
+    span::set_tracing(true);
+    let on_median = median_secs(
+        (0..5)
+            .map(|_| {
+                span::clear_spans();
+                run(&opts)
+            })
+            .collect(),
+    );
+    span::set_tracing(false);
+    span::clear_spans();
+
+    let pct = 100.0 * (on_median / off_median - 1.0);
+    println!(
+        "obs_overhead: 64^3 sweep {:.1}ms disabled vs {:.1}ms full attribution \
+         ({pct:+.2}% overhead, limit 15%)",
+        off_median * 1e3,
+        on_median * 1e3,
+    );
+    assert!(
+        pct < 15.0,
+        "full attribution costs {pct:.2}% on a 64^3 sweep (limit 15%)"
+    );
+}
+
 criterion_group!(
     benches,
     bench_tracing_on_vs_off,
-    assert_disabled_gates_are_cheap
+    assert_disabled_gates_are_cheap,
+    assert_full_attribution_is_cheap
 );
 criterion_main!(benches);

@@ -43,6 +43,12 @@ pub struct SweepThroughput {
     pub cold_cells_per_s: f64,
     /// Cells per second, warm.
     pub warm_cells_per_s: f64,
+    /// Relative spread (`max/min - 1`) of the cold repetitions' wall
+    /// times — the run's own measurement noise, which `bricks prof
+    /// diff` widens its tolerance by.
+    pub cold_spread: f64,
+    /// Relative spread of the warm repetitions' wall times.
+    pub warm_spread: f64,
 }
 
 /// Exact-vs-fast wall time of one representative cell's memory
@@ -65,6 +71,10 @@ pub struct FidelityComparison {
     pub fast_wall_s: f64,
     /// `exact_wall_s / fast_wall_s`.
     pub speedup: f64,
+    /// Relative spread (`max/min - 1`) of the per-repetition speedups —
+    /// the run's own measurement noise, which `bricks prof diff` widens
+    /// its tolerance by.
+    pub speedup_spread: f64,
     /// Whether the two fidelities produced bit-identical counters
     /// (always true, or the run fails).
     pub counters_identical: bool,
@@ -83,6 +93,9 @@ pub struct BenchSim {
     /// the wave-periodic fast-forward engages (`None` when the base run
     /// already is 512³).
     pub fidelity_full: Option<FidelityComparison>,
+    /// Provenance of the cold throughput sweep: git SHA, fidelity, jobs,
+    /// cache outcome — what `bricks prof history` keys its timeline on.
+    pub manifest: brick_obs::RunManifest,
 }
 
 /// Domain size of the throughput sweep (the golden size: small enough
@@ -98,7 +111,10 @@ pub const BENCH_FIDELITY_N: usize = 128;
 /// fast-forward pays off.
 pub const BENCH_FIDELITY_FULL_N: usize = 512;
 
-fn measure_sweep(jobs: Option<usize>, scratch: &Path) -> Result<SweepThroughput, String> {
+fn measure_sweep(
+    jobs: Option<usize>,
+    scratch: &Path,
+) -> Result<(SweepThroughput, brick_obs::RunManifest), String> {
     let cache_dir = scratch.join("bench-simcache");
     let _ = fs::remove_dir_all(&cache_dir);
     let opts = |cache: bool| {
@@ -111,25 +127,71 @@ fn measure_sweep(jobs: Option<usize>, scratch: &Path) -> Result<SweepThroughput,
         }
         o
     };
-    let t0 = Instant::now();
-    let cold = sweep_with(&opts(true)).map_err(|e| format!("cold bench sweep: {e}"))?;
-    let cold_wall_s = t0.elapsed().as_secs_f64();
-    let t1 = Instant::now();
-    let warm = sweep_with(&opts(true)).map_err(|e| format!("warm bench sweep: {e}"))?;
-    let warm_wall_s = t1.elapsed().as_secs_f64();
+    // Best-of-N for both phases, for the same reason as
+    // `measure_fidelity`: single-shot wall times are noisier than the
+    // regression gate's 10% floor tolerance. Each cold repetition
+    // starts from a cleared cache; the warm repetitions reuse the last
+    // cold run's. The spread across repetitions is recorded alongside
+    // the min so `bricks prof diff` can judge a delta against this
+    // run's actual noise.
+    const COLD_REPS: usize = 3;
+    let mut cold_walls = Vec::with_capacity(COLD_REPS);
+    let mut cold = None;
+    for _ in 0..COLD_REPS {
+        let _ = fs::remove_dir_all(&cache_dir);
+        let t0 = Instant::now();
+        let s = sweep_with(&opts(true)).map_err(|e| format!("cold bench sweep: {e}"))?;
+        cold_walls.push(t0.elapsed().as_secs_f64());
+        cold = Some(s);
+    }
+    let cold = cold.expect("COLD_REPS > 0");
+    // A warm sweep is tens of milliseconds of cache reads, so its
+    // relative jitter is the largest of any gated metric; ten cheap
+    // repetitions pull the min close to the floor.
+    const WARM_REPS: usize = 10;
+    let mut warm_walls = Vec::with_capacity(WARM_REPS);
+    let mut warm = None;
+    for _ in 0..WARM_REPS {
+        let t1 = Instant::now();
+        let s = sweep_with(&opts(true)).map_err(|e| format!("warm bench sweep: {e}"))?;
+        warm_walls.push(t1.elapsed().as_secs_f64());
+        warm = Some(s);
+    }
+    let warm = warm.expect("WARM_REPS > 0");
     let _ = fs::remove_dir_all(&cache_dir);
+    let cold_wall_s = min_of(&cold_walls);
+    let warm_wall_s = min_of(&warm_walls);
     if cold.records.len() != warm.records.len() {
         return Err("cold and warm sweeps disagree on cell count".to_string());
     }
     let cells = cold.records.len();
-    Ok(SweepThroughput {
+    let throughput = SweepThroughput {
         n: BENCH_SWEEP_N,
         cells,
         cold_wall_s,
         warm_wall_s,
         cold_cells_per_s: cells as f64 / cold_wall_s.max(1e-9),
         warm_cells_per_s: cells as f64 / warm_wall_s.max(1e-9),
-    })
+        cold_spread: spread_of(&cold_walls),
+        warm_spread: spread_of(&warm_walls),
+    };
+    Ok((throughput, cold.manifest))
+}
+
+fn min_of(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Relative spread `max/min - 1` of a set of positive samples — the
+/// noise figure `BENCH_sim.json` records next to each gated metric.
+fn spread_of(samples: &[f64]) -> f64 {
+    let min = min_of(samples);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    if min > 0.0 {
+        max / min - 1.0
+    } else {
+        0.0
+    }
 }
 
 fn measure_fidelity(n: usize) -> Result<FidelityComparison, String> {
@@ -142,18 +204,37 @@ fn measure_fidelity(n: usize) -> Result<FidelityComparison, String> {
     let (_, _, occ) = compile_only(&spec, arch, model)
         .ok_or_else(|| "no compiler model for CUDA on A100".to_string())?;
 
+    // Minimum over repetitions: wall-clock noise on a single run is well
+    // above the gate's 10% tolerance, and min is the robust estimator
+    // for "how fast can this code go". The CI size is cheap enough to
+    // repeat five times; paper scale gets three.
+    let reps: usize = if n <= BENCH_FIDELITY_N { 5 } else { 3 };
     let run = |fidelity: SimFidelity| {
         let opts = SimOptions {
             fidelity,
             ..SimOptions::default()
         };
-        let t = Instant::now();
-        let counters =
-            simulate_memory_opts(&spec, &geom, arch, occ.blocks_per_sm, &opts).counters();
-        (t.elapsed().as_secs_f64(), counters)
+        let mut walls = Vec::with_capacity(reps);
+        let mut counters = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let c = simulate_memory_opts(&spec, &geom, arch, occ.blocks_per_sm, &opts).counters();
+            walls.push(t.elapsed().as_secs_f64());
+            counters = Some(c);
+        }
+        (walls, counters.expect("reps > 0"))
     };
-    let (exact_wall_s, exact) = run(SimFidelity::Exact);
-    let (fast_wall_s, fast) = run(SimFidelity::Fast);
+    let (exact_walls, exact) = run(SimFidelity::Exact);
+    let (fast_walls, fast) = run(SimFidelity::Fast);
+    let exact_wall_s = min_of(&exact_walls);
+    let fast_wall_s = min_of(&fast_walls);
+    // per-repetition speedups (paired by index) give this run's own
+    // noise figure for the gated ratio
+    let rep_speedups: Vec<f64> = exact_walls
+        .iter()
+        .zip(&fast_walls)
+        .map(|(e, f)| e / f.max(1e-9))
+        .collect();
     let counters_identical = exact == fast;
     if !counters_identical {
         return Err(format!(
@@ -169,6 +250,7 @@ fn measure_fidelity(n: usize) -> Result<FidelityComparison, String> {
         exact_wall_s,
         fast_wall_s,
         speedup: exact_wall_s / fast_wall_s.max(1e-9),
+        speedup_spread: spread_of(&rep_speedups),
         counters_identical,
     })
 }
@@ -182,7 +264,7 @@ pub fn run_bench_sim(
     jobs: Option<usize>,
     out_dir: &Path,
 ) -> Result<BenchSim, String> {
-    let sweep = measure_sweep(jobs, out_dir)?;
+    let (sweep, manifest) = measure_sweep(jobs, out_dir)?;
     let fidelity = measure_fidelity(fidelity_n)?;
     let fidelity_full = if fidelity_n == BENCH_FIDELITY_FULL_N {
         None
@@ -194,6 +276,7 @@ pub fn run_bench_sim(
         sweep,
         fidelity,
         fidelity_full,
+        manifest,
     };
     let path = out_dir.join("BENCH_sim.json");
     let json = serde_json::to_string_pretty(&bench).map_err(|e| e.to_string())?;
@@ -237,6 +320,8 @@ mod tests {
                 warm_wall_s: 1.0,
                 cold_cells_per_s: 10.8,
                 warm_cells_per_s: 108.0,
+                cold_spread: 0.05,
+                warm_spread: 0.2,
             },
             fidelity: FidelityComparison {
                 stencil: "13pt".into(),
@@ -247,9 +332,11 @@ mod tests {
                 exact_wall_s: 8.0,
                 fast_wall_s: 1.0,
                 speedup: 8.0,
+                speedup_spread: 0.1,
                 counters_identical: true,
             },
             fidelity_full: None,
+            manifest: brick_obs::RunManifest::default(),
         };
         let json = serde_json::to_string(&bench).unwrap();
         let back: BenchSim = serde_json::from_str(&json).unwrap();

@@ -22,6 +22,7 @@ struct Args {
     n_explicit: bool,
     out: PathBuf,
     trace: bool,
+    prof: bool,
     jobs: Option<usize>,
     no_cache: bool,
     fidelity: Option<SimFidelity>,
@@ -60,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         n_explicit: false,
         out: PathBuf::from("artifacts"),
         trace: false,
+        prof: false,
         jobs: None,
         no_cache: false,
         fidelity: None,
@@ -110,6 +112,10 @@ fn parse_args() -> Result<Args, String> {
             "--fig7" => args.fig7 = true,
             "--listings" => args.listings = true,
             "--trace" => args.trace = true,
+            "--prof" => {
+                args.prof = true;
+                args.trace = true; // profiles are built from the span capture
+            }
             "--bless" => args.bless = true,
             "--no-cache" => args.no_cache = true,
             "--jobs" | "-j" => {
@@ -157,6 +163,7 @@ fn parse_args() -> Result<Args, String> {
 const HELP: &str = "usage: experiments [--all] [--table1..5] [--compare] [--fig3..7] [--listings]
                    [--n N] [--full] [--out DIR] [--jobs N] [--no-cache]
                    [--fidelity exact|fast] [--bench-sim] [--bless] [--trace]
+                   [--prof]
 
 Regenerates the tables and figures of 'Performance Portability Evaluation
 of Blocked Stencil Computations on GPUs' (SC-W 2023) on the simulated
@@ -186,10 +193,17 @@ exact at either size.
 DIR/spans.jsonl. Sweeps always write DIR/metrics.json and
 DIR/manifest.json; inspect any of them with `bricks obs <file>`.
 BRICK_LOG=info (or debug/trace, with module=level filters) enables
-progress and diagnostic logging.";
+progress and diagnostic logging.
+
+--prof implies --trace and additionally self-profiles the sweep: it
+writes DIR/PROF_sweep.json (per-phase wall-time/allocation attribution
+with duration histograms and the hottest cells) and DIR/sweep.folded (a
+folded-stack flamegraph of the merged, jobs-invariant profile tree), and
+prints the phase table. Render saved artifacts with `bricks prof sweep`.";
 
 fn main() -> ExitCode {
     brick_obs::init();
+    brick_prof::init();
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -342,6 +356,25 @@ fn main() -> ExitCode {
         for (name, text) in [
             ("trace.json", brick_obs::trace::chrome_trace_json()),
             ("spans.jsonl", brick_obs::trace::spans_jsonl()),
+        ] {
+            let path = args.out.join(name);
+            match std::fs::write(&path, text) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {name}: {e}"),
+            }
+        }
+    }
+    if args.prof {
+        let spans = brick_obs::trace::spans_data();
+        let profile = brick_prof::SweepProfile::from_spans(&spans);
+        let tree = brick_prof::ProfileTree::build(&spans);
+        eprintln!("{}", brick_prof::render_sweep_profile(&profile));
+        for (name, text) in [
+            (
+                "PROF_sweep.json",
+                serde_json::to_string_pretty(&profile).unwrap_or_default(),
+            ),
+            ("sweep.folded", tree.folded()),
         ] {
             let path = args.out.join(name);
             match std::fs::write(&path, text) {

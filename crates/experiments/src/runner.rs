@@ -373,7 +373,7 @@ fn flatten_cells(filter: &CellFilter) -> Vec<Cell> {
 /// sweep instead of re-measuring, and with a warm disk cache the
 /// measurement is loaded instead of run.
 fn measure_rooflines(cache: Option<&DiskCache>) -> Vec<((GpuKind, ProgModel), Roofline)> {
-    let _s = brick_obs::span_cat("rooflines", "sweep");
+    let _s = brick_obs::span_cat("rooflines", "phase");
     let mut memo: HashMap<String, Option<Roofline>> = HashMap::new();
     let mut rooflines = Vec::new();
     for (gpu, model) in ProgModel::paper_matrix() {
@@ -416,6 +416,15 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
     );
     let _span = brick_obs::span_cat(format!("sweep:{}^3", opts.params.n), "sweep");
     let n = opts.params.n;
+    // counters are process-global; deltas isolate this sweep's cache story
+    let cache_counters = || {
+        (
+            brick_obs::counter_value("sweep.cache.hits"),
+            brick_obs::counter_value("sweep.cache.misses"),
+            brick_obs::counter_value("sweep.cache.corrupt"),
+        )
+    };
+    let cache_before = cache_counters();
 
     let cache = match &opts.cache_dir {
         Some(dir) => Some(DiskCache::open(dir).map_err(|e| SweepError::Cache(e.to_string()))?),
@@ -447,6 +456,7 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
         &spec_jobs,
         opts.jobs,
         |_, &(shape, width, config)| {
+            let _phase = brick_obs::span_cat("lint-verify", "phase");
             let spec = build_spec(&shape, config, width);
             let arch = GpuArch::table()
                 .iter()
@@ -492,7 +502,11 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
         let arch = GpuArch::by_kind(cell.gpu);
         let width = arch.simd_width;
         let spec = &specs[&(cell.stencil.clone(), width, cell.config)];
-        let Some((cm, compiled, occ)) = compile_only(spec, arch, cell.model) else {
+        let compiled = {
+            let _phase = brick_obs::span_cat("compile", "phase");
+            compile_only(spec, arch, cell.model)
+        };
+        let Some((cm, compiled, occ)) = compiled else {
             return Ok(None); // unsupported pair: a hole, not an error
         };
         let Some(rl) = rooflines
@@ -519,6 +533,7 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
             )
         });
         if let (Some(c), Some(key)) = (cache.as_ref(), key.as_ref()) {
+            let _phase = brick_obs::span_cat("cache-io", "phase");
             if let CacheOutcome::Hit(record) = c.get::<Record>(key) {
                 return Ok(Some((record, t0.elapsed().as_secs_f64())));
             }
@@ -526,7 +541,6 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
 
         let radius = cell.shape.radius as usize;
         let geom_slot = memo_slot(&geom_memo, (cell.config.layout(), width, radius));
-        let geom = geom_slot.get_or_init(|| build_geometry(cell.config.layout(), n, width, radius));
         let mem_slot = memo_slot(
             &mem_memo,
             (
@@ -537,13 +551,20 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
                 opts.fidelity,
             ),
         );
-        let mem = *mem_slot.get_or_init(|| {
-            let sim_opts = SimOptions {
-                fidelity: opts.fidelity,
-                ..SimOptions::default()
-            };
-            simulate_memory_opts(spec, geom, arch, occ.blocks_per_sm, &sim_opts).counters()
-        });
+        let (geom, mem) = {
+            let _phase = brick_obs::span_cat("simulate", "phase");
+            let geom =
+                geom_slot.get_or_init(|| build_geometry(cell.config.layout(), n, width, radius));
+            let mem = *mem_slot.get_or_init(|| {
+                let sim_opts = SimOptions {
+                    fidelity: opts.fidelity,
+                    ..SimOptions::default()
+                };
+                simulate_memory_opts(spec, geom, arch, occ.blocks_per_sm, &sim_opts).counters()
+            });
+            (geom, mem)
+        };
+        let score = brick_obs::span_cat("score", "phase");
         let sim = assemble(spec, geom, arch, &cm, &compiled, mem, cell.flops_per_point);
         let record = Record {
             shape: cell.shape,
@@ -565,7 +586,9 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
             spilled: sim.spilled,
             limiter: sim.breakdown.limiter().to_string(),
         };
+        drop(score); // phases never nest: close scoring before cache-io
         if let (Some(c), Some(key)) = (cache.as_ref(), key.as_ref()) {
+            let _phase = brick_obs::span_cat("cache-io", "phase");
             if let Err(e) = c.put(key, &record) {
                 brick_obs::warn!("could not cache {}: {e}", key.file_name());
             }
@@ -583,7 +606,18 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
         }
     }
 
-    let manifest = manifest.finish(sweep_start.elapsed().as_secs_f64(), record_wall_s);
+    let cache_after = cache_counters();
+    let manifest = manifest
+        .finish(sweep_start.elapsed().as_secs_f64(), record_wall_s)
+        .with_sweep_info(
+            &opts.fidelity.to_string(),
+            opts.jobs.count() as u64,
+            (
+                cache_after.0 - cache_before.0,
+                cache_after.1 - cache_before.1,
+                cache_after.2 - cache_before.2,
+            ),
+        );
     Ok(Sweep {
         params: opts.params,
         records,

@@ -23,6 +23,9 @@ use brick_vm::{BlockClasses, KernelSpec, TraceGeometry, TraceSink};
 use crate::arch::GpuArch;
 use crate::cache::{Cache, CacheConfig, CacheStats, NextLevel, WritePolicy};
 use crate::dram::{DramModel, PageStats};
+use crate::introspect::{
+    ClassTraffic, SimIntrospection, SmGroupTraffic, TrafficBucket, WaveSample,
+};
 use crate::timing::MemCounters;
 
 /// How the simulator generates the per-block address streams.
@@ -169,6 +172,34 @@ struct WaveSnapshot {
     dram: DramModel,
     dram_read: u64,
     dram_write: u64,
+    /// Attribution accumulators at the snapshot moment, captured only
+    /// when introspecting, so the fast-forward can scale the per-class
+    /// deltas with exactly the arithmetic it applies to the totals.
+    intro: Option<IntroSnap>,
+}
+
+/// Introspection accumulators, live during an instrumented simulation.
+struct IntroAcc {
+    /// Per representative-slot, per-class L1 counter deltas from block
+    /// walks (exact fidelity: one slot per SM; fast: one per SM group).
+    l1: Vec<Vec<CacheStats>>,
+    /// Per-class L2/DRAM/page deltas from the interleaved L2 feed (the
+    /// `l1` field of these buckets stays zero; L1 is per-slot above).
+    buckets: Vec<TrafficBucket>,
+    /// The end-of-kernel flush, attributable to no single block.
+    flush: TrafficBucket,
+    /// Cumulative counters at sampled full-wave boundaries.
+    timeline: Vec<WaveSample>,
+    /// Sample every `stride` full waves (bounds the timeline size).
+    stride: u64,
+    wave_period: Option<u64>,
+    waves_skipped: u64,
+}
+
+/// The scalable parts of [`IntroAcc`], snapshotted with [`WaveSnapshot`].
+struct IntroSnap {
+    l1: Vec<Vec<CacheStats>>,
+    buckets: Vec<TrafficBucket>,
 }
 
 impl fmt::Display for SimFidelity {
@@ -311,28 +342,55 @@ pub fn simulate_memory_opts(
     blocks_per_sm: u32,
     opts: &SimOptions,
 ) -> MemoryReport {
+    simulate_memory_inner(spec, geom, arch, blocks_per_sm, opts, false).0
+}
+
+/// [`simulate_memory_opts`] with full attribution: besides the report,
+/// returns a [`SimIntrospection`] breaking every counter down by block
+/// class, SM group and wave. The attribution is computed with the same
+/// integer arithmetic as the totals, so its per-class rows (plus the
+/// flush bucket) sum to the report **bit-for-bit** in both fidelity
+/// modes; the totals themselves are unchanged by introspection.
+pub fn simulate_memory_introspect(
+    spec: &KernelSpec,
+    geom: &TraceGeometry,
+    arch: &GpuArch,
+    blocks_per_sm: u32,
+    opts: &SimOptions,
+) -> (MemoryReport, SimIntrospection) {
+    let (report, intro) = simulate_memory_inner(spec, geom, arch, blocks_per_sm, opts, true);
+    (report, intro.expect("introspection was requested"))
+}
+
+fn simulate_memory_inner(
+    spec: &KernelSpec,
+    geom: &TraceGeometry,
+    arch: &GpuArch,
+    blocks_per_sm: u32,
+    opts: &SimOptions,
+    introspect: bool,
+) -> (MemoryReport, Option<SimIntrospection>) {
     let _span = brick_obs::span_cat(format!("memory-sim:{}", spec.name()), "memory-sim");
     let num_blocks = geom.num_blocks();
     let num_sms = arch.num_sms;
     let active = num_sms * blocks_per_sm.max(1) as usize;
     let interleave_chunk = opts.interleave_chunk.max(1);
+    let replay = opts.fidelity == SimFidelity::Fast;
 
     // Fast fidelity compiles the per-class streams once, up front; the
-    // wave loop then replays them with a per-block rebase. `None` means
-    // every block goes through the full VM dispatch path.
-    let classes = match opts.fidelity {
-        SimFidelity::Fast => Some(
-            BlockClasses::compile(spec, geom).expect("kernel/geometry verified before simulation"),
-        ),
-        SimFidelity::Exact => None,
-    };
+    // wave loop then replays them with a per-block rebase. Introspection
+    // needs the classes as attribution *labels* even in exact mode, where
+    // every block still goes through the full VM dispatch path.
+    let classes = (replay || introspect).then(|| {
+        BlockClasses::compile(spec, geom).expect("kernel/geometry verified before simulation")
+    });
+    let replay_classes = if replay { classes.as_ref() } else { None };
     // One (representative_sm, byte_shift) entry per SM; members of a
     // group reuse the representative's L1 simulation. Exact mode (and
     // irregular schedules) degenerate to every SM representing itself.
-    let plan: Option<Vec<(usize, i64)>> = classes
-        .as_ref()
-        .map(|c| plan_sm_groups(c, num_blocks, num_sms, active, arch.l1_line));
-    if let Some(c) = &classes {
+    let plan: Option<Vec<(usize, i64)>> =
+        replay_classes.map(|c| plan_sm_groups(c, num_blocks, num_sms, active, arch.l1_line));
+    if let Some(c) = replay_classes {
         brick_obs::counter_add("sim.classes.launches", 1);
         brick_obs::counter_add("sim.classes.classes", c.num_classes() as u64);
         brick_obs::counter_add("sim.classes.blocks", c.num_blocks() as u64);
@@ -355,6 +413,18 @@ pub fn simulate_memory_opts(
             .collect(),
         None => Vec::new(),
     };
+    // Attribution slot per SM: its position in `rep_ids` under a grouping
+    // plan, its own id otherwise (each SM its own slot in exact mode).
+    let (slot_of, num_slots): (Vec<usize>, usize) = match &plan {
+        Some(_) => {
+            let mut slot = vec![usize::MAX; num_sms];
+            for (i, &sm) in rep_ids.iter().enumerate() {
+                slot[sm] = i;
+            }
+            (slot, rep_ids.len())
+        }
+        None => ((0..num_sms).collect(), num_sms),
+    };
 
     let l1_line = arch.l1_line as i64;
     let l2_line = arch.l2_line as i64;
@@ -364,7 +434,7 @@ pub fn simulate_memory_opts(
     // at once. `None` (exact mode, aperiodic orderings, or short launches)
     // simulates every wave.
     let full_waves = num_blocks / active;
-    let mut period = classes.as_ref().and_then(|c| {
+    let mut period = replay_classes.and_then(|c| {
         find_wave_period(
             c,
             num_blocks,
@@ -377,6 +447,18 @@ pub fn simulate_memory_opts(
         brick_obs::counter_add("sim.classes.wave_period", pd.waves as u64);
     }
     let mut snapshot: Option<(usize, WaveSnapshot)> = None;
+    let mut intro: Option<IntroAcc> = introspect.then(|| {
+        let nc = classes.as_ref().map_or(1, |c| c.num_classes().max(1));
+        IntroAcc {
+            l1: vec![vec![CacheStats::default(); nc]; num_slots],
+            buckets: vec![TrafficBucket::default(); nc],
+            flush: TrafficBucket::default(),
+            timeline: Vec::new(),
+            stride: (full_waves / 256).max(1) as u64,
+            wave_period: period.as_ref().map(|pd| pd.waves as u64),
+            waves_skipped: 0,
+        }
+    });
 
     let mut l1s: Vec<Cache> = (0..num_sms).map(|_| Cache::new(l1_config(arch))).collect();
     let mut l2 = Cache::new(l2_config(arch));
@@ -389,8 +471,10 @@ pub fn simulate_memory_opts(
         let wave_len = active.min(num_blocks - wave_start);
         // Each representative SM simulates its blocks of the wave through
         // its L1; grouped SMs skip the cache walk entirely and later reuse
-        // the representative's miss streams under their shift.
-        let per_sm: Vec<Vec<(usize, Vec<NextLevel>)>> = l1s
+        // the representative's miss streams under their shift. When
+        // introspecting, each block also carries the L1 counter delta its
+        // walk caused (zero otherwise).
+        let per_sm: Vec<Vec<(usize, Vec<NextLevel>, CacheStats)>> = l1s
             .par_iter_mut()
             .enumerate()
             .map(|(sm, l1)| {
@@ -402,7 +486,8 @@ pub fn simulate_memory_opts(
                 while pos < wave_len {
                     let block = wave_start + pos;
                     let mut misses = Vec::new();
-                    match &classes {
+                    let before = introspect.then_some(l1.stats);
+                    match replay_classes {
                         Some(c) => {
                             let (events, delta) = c.block(block);
                             l1.access_run(
@@ -421,12 +506,23 @@ pub fn simulate_memory_opts(
                                 .expect("kernel/geometry verified before simulation");
                         }
                     }
-                    out.push((pos, misses));
+                    let delta = before.map(|b| l1.stats.diff(&b)).unwrap_or_default();
+                    out.push((pos, misses, delta));
                     pos += num_sms;
                 }
                 out
             })
             .collect();
+
+        // Attribute each walked block's L1 delta to its class, on the SM's
+        // slot (per-member scaling happens once at the end).
+        if let (Some(acc), Some(labels)) = (intro.as_mut(), classes.as_ref()) {
+            for (sm, sm_blocks) in per_sm.iter().enumerate() {
+                for (pos, _, delta) in sm_blocks {
+                    acc.l1[slot_of[sm]][labels.class_of(wave_start + pos)].merge(delta);
+                }
+            }
+        }
 
         // Order the wave's miss streams by block position. Grouped SMs
         // view their representative's streams through their byte shift —
@@ -435,14 +531,14 @@ pub fn simulate_memory_opts(
         match &plan {
             None => {
                 for sm_streams in &per_sm {
-                    for (pos, stream) in sm_streams {
+                    for (pos, stream, _) in sm_streams {
                         streams[*pos] = (stream.as_slice(), 0);
                     }
                 }
             }
             Some(p) => {
                 for (sm, &(rep, shift)) in p.iter().enumerate() {
-                    for (j, (rep_pos, stream)) in per_sm[rep].iter().enumerate() {
+                    for (j, (rep_pos, stream, _)) in per_sm[rep].iter().enumerate() {
                         let pos = sm + j * num_sms;
                         debug_assert_eq!(*rep_pos, rep + j * num_sms);
                         // Equal group keys force equal schedule lengths, so
@@ -456,11 +552,23 @@ pub fn simulate_memory_opts(
         }
 
         // Feed the shared L2: round-robin chunks across the wave's blocks.
+        // Each chunk belongs to exactly one block, so when introspecting,
+        // the L2/DRAM/page deltas it causes are attributed to that block's
+        // class by differencing the counters around the chunk.
         let mut cursors = vec![0usize; wave_len];
         let mut remaining: usize = streams.iter().map(|(s, _)| s.len()).sum();
         while remaining > 0 {
-            for (&(stream, shift), cursor) in streams.iter().zip(cursors.iter_mut()) {
+            for (pos, (&(stream, shift), cursor)) in
+                streams.iter().zip(cursors.iter_mut()).enumerate()
+            {
                 let end = (*cursor + interleave_chunk).min(stream.len());
+                let before = (introspect && end > *cursor).then_some((
+                    l2.stats,
+                    dram_read,
+                    dram_write,
+                    dram.hits,
+                    dram.misses,
+                ));
                 for t in &stream[*cursor..end] {
                     let addr = t.addr.wrapping_add_signed(shift);
                     let dram = &mut dram;
@@ -478,11 +586,38 @@ pub fn simulate_memory_opts(
                         l2.read(addr, t.bytes, &mut lower);
                     }
                 }
+                if let (Some(acc), Some((s0, r0, w0, h0, m0))) = (intro.as_mut(), before) {
+                    let class = classes.as_ref().map_or(0, |c| c.class_of(wave_start + pos));
+                    let b = &mut acc.buckets[class];
+                    b.l2.merge(&l2.stats.diff(&s0));
+                    b.dram_read_bytes += dram_read - r0;
+                    b.dram_write_bytes += dram_write - w0;
+                    b.page_hits += dram.hits - h0;
+                    b.page_misses += dram.misses - m0;
+                }
                 remaining -= end - *cursor;
                 *cursor = end;
             }
         }
         wave_start += wave_len;
+
+        // Timeline sample at full-wave boundaries (strided to bound size).
+        if let Some(acc) = intro.as_mut() {
+            if wave_len == active {
+                let completed = (wave_start / active) as u64;
+                if completed.is_multiple_of(acc.stride) || completed == full_waves as u64 {
+                    acc.timeline.push(WaveSample {
+                        wave: completed,
+                        fast_forwarded: false,
+                        l2_requested_bytes: l2.stats.requested_bytes,
+                        dram_read_bytes: dram_read,
+                        dram_write_bytes: dram_write,
+                        page_hits: dram.hits,
+                        page_misses: dram.misses,
+                    });
+                }
+            }
+        }
 
         // Steady-state detection and fast-forward at full-wave boundaries.
         if let Some(pd) = period {
@@ -508,6 +643,50 @@ pub fn simulate_memory_opts(
                             // translate the state past them.
                             let k = ((full_waves - completed) / pd.waves) as u64;
                             if k > 0 {
+                                // Scale the attribution with the same
+                                // verified per-period deltas the totals
+                                // get below, and synthesize the timeline
+                                // samples the skipped periods would have
+                                // produced (pre-scale cumulative values
+                                // plus j periods' worth of delta).
+                                if let Some(acc) = intro.as_mut() {
+                                    let isnap = snap
+                                        .intro
+                                        .as_ref()
+                                        .expect("introspecting snapshots carry intro state");
+                                    let d_l2 =
+                                        l2.stats.requested_bytes - snap.l2.stats.requested_bytes;
+                                    let d_r = dram_read - snap.dram_read;
+                                    let d_w = dram_write - snap.dram_write;
+                                    let d_h = dram.hits - snap.dram.hits;
+                                    let d_m = dram.misses - snap.dram.misses;
+                                    for j in 1..=k {
+                                        let wave = completed as u64 + j * pd.waves as u64;
+                                        if wave.is_multiple_of(acc.stride) || j == k {
+                                            acc.timeline.push(WaveSample {
+                                                wave,
+                                                fast_forwarded: true,
+                                                l2_requested_bytes: l2.stats.requested_bytes
+                                                    + d_l2 * j,
+                                                dram_read_bytes: dram_read + d_r * j,
+                                                dram_write_bytes: dram_write + d_w * j,
+                                                page_hits: dram.hits + d_h * j,
+                                                page_misses: dram.misses + d_m * j,
+                                            });
+                                        }
+                                    }
+                                    for (row, srow) in acc.l1.iter_mut().zip(&isnap.l1) {
+                                        for (st, s0) in row.iter_mut().zip(srow) {
+                                            let d = st.diff(s0);
+                                            st.add_scaled(&d, k);
+                                        }
+                                    }
+                                    for (b, s0) in acc.buckets.iter_mut().zip(&isnap.buckets) {
+                                        let d = b.diff(s0);
+                                        b.add_scaled(&d, k);
+                                    }
+                                    acc.waves_skipped += k * pd.waves as u64;
+                                }
                                 for (idx, &sm) in rep_ids.iter().enumerate() {
                                     let d = l1s[sm].stats.diff(&snap.l1s[idx].stats);
                                     l1s[sm].stats.add_scaled(&d, k);
@@ -551,6 +730,10 @@ pub fn simulate_memory_opts(
                             dram: dram.clone(),
                             dram_read,
                             dram_write,
+                            intro: intro.as_ref().map(|acc| IntroSnap {
+                                l1: acc.l1.clone(),
+                                buckets: acc.buckets.clone(),
+                            }),
                         },
                     ));
                 }
@@ -558,13 +741,21 @@ pub fn simulate_memory_opts(
         }
     }
 
-    // Account the resident dirty output.
+    // Account the resident dirty output. No single block causes these
+    // write-backs, so the attribution gives them their own bucket.
+    let flush_before = introspect.then_some((l2.stats, dram_write, dram.hits, dram.misses));
     l2.flush(&mut |n| {
         dram.access(n.addr);
         if n.is_write {
             dram_write += n.bytes as u64;
         }
     });
+    if let (Some(acc), Some((s0, w0, h0, m0))) = (intro.as_mut(), flush_before) {
+        acc.flush.l2 = l2.stats.diff(&s0);
+        acc.flush.dram_write_bytes = dram_write - w0;
+        acc.flush.page_hits = dram.hits - h0;
+        acc.flush.page_misses = dram.misses - m0;
+    }
 
     // Every SM contributes its L1 statistics; a grouped SM's are by
     // construction identical to its representative's, so merge those.
@@ -581,7 +772,67 @@ pub fn simulate_memory_opts(
             }
         }
     }
-    MemoryReport {
+
+    // Assemble the introspection: per-class rows get each slot's L1
+    // deltas scaled by the group's member count — the same weighting the
+    // total merge above applies — so class sums reproduce the totals
+    // exactly.
+    let introspection = intro.map(|acc| {
+        let labels = classes
+            .as_ref()
+            .expect("classes are compiled when introspecting");
+        let nc = labels.num_classes();
+        let mut blocks_per_class = vec![0u64; nc];
+        for b in 0..num_blocks {
+            blocks_per_class[labels.class_of(b)] += 1;
+        }
+        let (slot_sms, members): (Vec<usize>, Vec<u64>) = match &plan {
+            Some(p) => {
+                let mut m = vec![0u64; rep_ids.len()];
+                for &(rep, _) in p {
+                    m[slot_of[rep]] += 1;
+                }
+                (rep_ids.clone(), m)
+            }
+            None => ((0..num_sms).collect(), vec![1; num_sms]),
+        };
+        let class_rows: Vec<ClassTraffic> = (0..nc)
+            .map(|c| {
+                let mut t = acc.buckets[c].clone();
+                for (slot, row) in acc.l1.iter().enumerate() {
+                    t.l1.add_scaled(&row[c], members[slot]);
+                }
+                ClassTraffic {
+                    class: c as u64,
+                    blocks: blocks_per_class[c],
+                    traffic: t,
+                }
+            })
+            .collect();
+        let sm_groups: Vec<SmGroupTraffic> = slot_sms
+            .iter()
+            .enumerate()
+            .map(|(slot, &sm)| SmGroupTraffic {
+                representative: sm as u64,
+                members: members[slot],
+                l1: l1s[sm].stats,
+            })
+            .collect();
+        SimIntrospection {
+            fidelity: opts.fidelity,
+            num_blocks: num_blocks as u64,
+            num_classes: nc as u64,
+            l1_line: arch.l1_line as u64,
+            wave_period: acc.wave_period,
+            waves_skipped: acc.waves_skipped,
+            classes: class_rows,
+            flush: acc.flush,
+            sm_groups,
+            timeline: acc.timeline,
+        }
+    });
+
+    let report = MemoryReport {
         l1: l1_total,
         l1_line: arch.l1_line,
         l2: l2.stats,
@@ -591,7 +842,8 @@ pub fn simulate_memory_opts(
             hits: dram.hits,
             misses: dram.misses,
         },
-    }
+    };
+    (report, introspection)
 }
 
 #[cfg(test)]

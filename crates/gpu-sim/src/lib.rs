@@ -59,6 +59,7 @@ pub mod cache;
 pub mod compiler;
 pub mod dram;
 pub mod hierarchy;
+pub mod introspect;
 pub mod progmodel;
 pub mod reuse;
 pub mod sim;
@@ -89,7 +90,11 @@ const _: () = {
 pub use cache::{Cache, CacheConfig, CacheStats, WritePolicy};
 pub use compiler::{compile, CompiledKernel};
 pub use dram::{bandwidth_efficiency, DramModel, PageStats};
-pub use hierarchy::{simulate_memory, simulate_memory_opts, MemoryReport, SimFidelity, SimOptions};
+pub use hierarchy::{
+    simulate_memory, simulate_memory_introspect, simulate_memory_opts, MemoryReport, SimFidelity,
+    SimOptions,
+};
+pub use introspect::{ClassTraffic, SimIntrospection, SmGroupTraffic, TrafficBucket, WaveSample};
 pub use progmodel::{CompilerModel, ProgModel};
 pub use reuse::{ReuseAnalyzer, ReuseProfile};
 pub use sim::{assemble, compile_only, simulate, simulate_opts, SimResult};

@@ -1,0 +1,169 @@
+//! Differential suite for simulator introspection.
+//!
+//! The attribution is held to the same standard as the fast path itself:
+//! exact `u64` equality, no tolerances. Three oracles:
+//!
+//! 1. **Conservation** — per-class traffic plus the flush bucket sums
+//!    bit-for-bit to the `MemoryReport` the same simulation returns, in
+//!    both fidelity modes, and the SM-group breakdown re-weights to the
+//!    merged L1.
+//! 2. **Non-perturbation** — running with introspection on yields the
+//!    identical report as running with it off.
+//! 3. **Fidelity agreement** — exact and fast modes produce identical
+//!    per-class rows (the fast path's scaled attribution is a pure
+//!    reformulation, like its totals).
+
+use brick_codegen::{generate, CodegenOptions, LayoutKind};
+use brick_core::{BrickDecomp, BrickDims, BrickNav, BrickOrdering};
+use brick_dsl::shape::StencilShape;
+use brick_vm::{KernelSpec, TraceGeometry};
+use gpu_sim::{
+    simulate_memory_introspect, simulate_memory_opts, CacheStats, GpuArch, MemoryReport,
+    SimFidelity, SimIntrospection, SimOptions,
+};
+use std::sync::Arc;
+
+fn brick_geom(n: usize, width: usize, radius: usize, ordering: BrickOrdering) -> TraceGeometry {
+    let d = Arc::new(BrickDecomp::new(
+        (n.max(width), n, n),
+        BrickDims::for_simd_width(width),
+        radius,
+        ordering,
+    ));
+    TraceGeometry::brick(Arc::new(BrickNav::new(d)))
+}
+
+fn vector_spec(shape: &StencilShape, layout: LayoutKind, width: usize) -> KernelSpec {
+    let st = shape.stencil();
+    let b = st.default_bindings();
+    KernelSpec::Vector(generate(&st, &b, layout, width, CodegenOptions::default()).unwrap())
+}
+
+fn assert_reports_equal(a: &MemoryReport, b: &MemoryReport, tag: &str) {
+    assert_eq!(a.l1, b.l1, "L1: {tag}");
+    assert_eq!(a.l2, b.l2, "L2: {tag}");
+    assert_eq!(a.dram_read_bytes, b.dram_read_bytes, "DRAM rd: {tag}");
+    assert_eq!(a.dram_write_bytes, b.dram_write_bytes, "DRAM wr: {tag}");
+    assert_eq!(a.pages, b.pages, "pages: {tag}");
+}
+
+/// Oracles 1 and 2 for one cell at one fidelity; returns the introspection.
+fn check_attribution(
+    spec: &KernelSpec,
+    geom: &TraceGeometry,
+    arch: &GpuArch,
+    fidelity: SimFidelity,
+) -> SimIntrospection {
+    let opts = SimOptions {
+        fidelity,
+        ..SimOptions::default()
+    };
+    let plain = simulate_memory_opts(spec, geom, arch, 8, &opts);
+    let (report, intro) = simulate_memory_introspect(spec, geom, arch, 8, &opts);
+    let tag = format!("{} on {} ({fidelity:?})", spec.name(), arch.name);
+
+    // 2: introspection must not perturb the simulation
+    assert_reports_equal(&plain, &report, &tag);
+
+    // 1: conservation — class buckets + flush == the report, bit for bit
+    assert_reports_equal(&intro.report(), &report, &tag);
+    assert_eq!(intro.counters(), report.counters(), "counters: {tag}");
+    assert_eq!(
+        intro.classes.iter().map(|c| c.blocks).sum::<u64>(),
+        intro.num_blocks,
+        "block census: {tag}"
+    );
+    assert_eq!(intro.classes.len() as u64, intro.num_classes, "{tag}");
+
+    // SM groups re-weight to the merged L1
+    let mut l1 = CacheStats::default();
+    for g in &intro.sm_groups {
+        l1.add_scaled(&g.l1, g.members);
+    }
+    assert_eq!(l1, report.l1, "SM groups: {tag}");
+
+    // timeline samples are cumulative, hence monotone
+    for w in intro.timeline.windows(2) {
+        assert!(w[1].wave > w[0].wave, "timeline order: {tag}");
+        assert!(
+            w[1].l2_requested_bytes >= w[0].l2_requested_bytes
+                && w[1].dram_read_bytes >= w[0].dram_read_bytes
+                && w[1].dram_write_bytes >= w[0].dram_write_bytes,
+            "timeline monotone: {tag}"
+        );
+    }
+    intro
+}
+
+/// Oracle 3 on top: both fidelities, identical per-class attribution.
+fn check_both_fidelities(spec: &KernelSpec, geom: &TraceGeometry, arch: &GpuArch) {
+    let exact = check_attribution(spec, geom, arch, SimFidelity::Exact);
+    let fast = check_attribution(spec, geom, arch, SimFidelity::Fast);
+    let tag = format!("{} on {}", spec.name(), arch.name);
+    assert_eq!(exact.classes, fast.classes, "per-class rows: {tag}");
+    assert_eq!(exact.flush, fast.flush, "flush bucket: {tag}");
+    assert_eq!(exact.num_blocks, fast.num_blocks, "{tag}");
+}
+
+#[test]
+fn attribution_conserves_both_layouts() {
+    let width = 32;
+    let arch = GpuArch::a100();
+    for shape in [StencilShape::star(2), StencilShape::cube(1)] {
+        let radius = shape.radius as usize;
+        let spec = vector_spec(&shape, LayoutKind::Brick, width);
+        let geom = brick_geom(64, width, radius, BrickOrdering::Lexicographic);
+        check_both_fidelities(&spec, &geom, &arch);
+
+        let spec = vector_spec(&shape, LayoutKind::Array, width);
+        let geom = TraceGeometry::array((64, 64, 64), radius, BrickDims::for_simd_width(width));
+        check_both_fidelities(&spec, &geom, &arch);
+    }
+}
+
+#[test]
+fn attribution_survives_fast_forward() {
+    // a launch with enough full waves that the fast path's wave-periodic
+    // fast-forward engages: the scaled per-class accumulators must still
+    // sum exactly, and the synthesized timeline samples must be flagged
+    let width = 32;
+    let arch = GpuArch::a100();
+    let shape = StencilShape::star(1);
+    let spec = vector_spec(&shape, LayoutKind::Brick, width);
+    let geom = brick_geom(192, width, 1, BrickOrdering::Lexicographic);
+
+    let fast = check_attribution(&spec, &geom, &arch, SimFidelity::Fast);
+    assert!(
+        fast.wave_period.is_some() && fast.waves_skipped > 0,
+        "expected fast-forward to engage: {:?} skipped {}",
+        fast.wave_period,
+        fast.waves_skipped
+    );
+    assert!(
+        fast.timeline.iter().any(|s| s.fast_forwarded),
+        "expected synthesized timeline samples"
+    );
+
+    // and the attribution still matches an exact run of the same launch
+    let exact = check_attribution(&spec, &geom, &arch, SimFidelity::Exact);
+    assert_eq!(exact.classes, fast.classes);
+    assert_eq!(exact.flush, fast.flush);
+}
+
+#[test]
+fn morton_attributes_many_classes() {
+    // Morton ordering fragments the launch into many block classes; the
+    // breakdown must stay conservative and fidelity-invariant
+    let width = 32;
+    let arch = GpuArch::a100();
+    let shape = StencilShape::star(2);
+    let spec = vector_spec(&shape, LayoutKind::Brick, width);
+    let geom = brick_geom(64, width, 2, BrickOrdering::Morton);
+    let intro = check_attribution(&spec, &geom, &arch, SimFidelity::Fast);
+    assert!(
+        intro.num_classes > 1,
+        "Morton should produce multiple classes, got {}",
+        intro.num_classes
+    );
+    check_both_fidelities(&spec, &geom, &arch);
+}

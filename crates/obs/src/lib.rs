@@ -32,9 +32,13 @@ pub mod trace;
 
 pub use logging::{log_emit, log_level_enabled, parse_filter, set_filter, EnvFilter, Level};
 pub use manifest::RunManifest;
-pub use metrics::{counter_add, gauge_set, histogram_record, MetricsSnapshot};
+pub use metrics::{counter_add, counter_value, gauge_set, histogram_record, MetricsSnapshot};
 pub use progress::Progress;
-pub use span::{set_tracing, span, span_cat, tracing_enabled, SpanGuard, SpanRecord};
+pub use span::{
+    clear_spans, set_alloc_clock, set_tracing, span, span_cat, tracing_enabled, SpanGuard,
+    SpanRecord,
+};
+pub use trace::SpanData;
 
 /// Initialise observability from the environment: `BRICK_LOG` selects the
 /// log filter (default `warn`), `BRICK_TRACE=1` enables span tracing.

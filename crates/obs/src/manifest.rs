@@ -27,6 +27,18 @@ pub struct RunManifest {
     pub spans_recorded: u64,
     /// Distinct metrics registered during the run.
     pub metrics_recorded: u64,
+    /// Simulation fidelity the run used (`"fast"`/`"exact"`), when the
+    /// producing workload has one.
+    pub fidelity: Option<String>,
+    /// Resolved worker-thread count of the run's cell fan-out, when the
+    /// producing workload schedules one.
+    pub jobs: Option<u64>,
+    /// Sweep result-cache hits during this run.
+    pub cache_hits: u64,
+    /// Sweep result-cache misses during this run.
+    pub cache_misses: u64,
+    /// Sweep result-cache entries found corrupt during this run.
+    pub cache_corrupt: u64,
 }
 
 impl RunManifest {
@@ -49,6 +61,22 @@ impl RunManifest {
         self.record_wall_s = record_wall_s;
         self.spans_recorded = spans_recorded();
         self.metrics_recorded = metrics_recorded();
+        self
+    }
+
+    /// Record the sweep-level provenance: fidelity mode, the resolved
+    /// worker count, and the run's result-cache outcome counts (hits,
+    /// misses, corrupt) — the parts of an incremental run's identity the
+    /// timing fields alone cannot reconstruct.
+    pub fn with_sweep_info(
+        mut self,
+        fidelity: &str,
+        jobs: u64,
+        cache: (u64, u64, u64),
+    ) -> RunManifest {
+        self.fidelity = Some(fidelity.to_string());
+        self.jobs = Some(jobs);
+        (self.cache_hits, self.cache_misses, self.cache_corrupt) = cache;
         self
     }
 
@@ -130,6 +158,11 @@ mod tests {
             record_wall_s: vec![0.5, 1.0],
             spans_recorded: 7,
             metrics_recorded: 3,
+            fidelity: Some("fast".into()),
+            jobs: Some(8),
+            cache_hits: 100,
+            cache_misses: 8,
+            cache_corrupt: 1,
         };
         let json = serde_json::to_string(&m).unwrap();
         let back: RunManifest = serde_json::from_str(&json).unwrap();

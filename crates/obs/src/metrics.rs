@@ -132,6 +132,19 @@ pub fn counter_add(name: &str, n: u64) {
     });
 }
 
+/// Current value of the counter `name` (0 if it was never incremented).
+/// Counters are process-cumulative; difference two readings to attribute
+/// counts to one run.
+pub fn counter_value(name: &str) -> u64 {
+    with_registry(|r| {
+        r.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    })
+}
+
 /// Set the gauge `name` to `v`.
 pub fn gauge_set(name: &str, v: f64) {
     with_registry(|r| match r.gauges.iter_mut().find(|(k, _)| k == name) {

@@ -18,6 +18,29 @@ use std::time::Instant;
 
 static TRACING: AtomicBool = AtomicBool::new(false);
 
+/// Pluggable per-thread allocation clock (monotone bytes-allocated
+/// counter). `brick-obs` stays dependency-free: the binary (or
+/// `brick-prof`) registers `prof_alloc::thread_allocated_bytes` here and
+/// every span then records the bytes allocated between entry and exit.
+static ALLOC_CLOCK: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Register the allocation clock spans sample at entry/exit. The clock
+/// must be monotone and per-thread (e.g.
+/// `prof_alloc::thread_allocated_bytes`). First registration wins;
+/// later calls are ignored, so it is safe to call from several
+/// entry points.
+pub fn set_alloc_clock(clock: fn() -> u64) {
+    let _ = ALLOC_CLOCK.set(clock);
+}
+
+#[inline]
+fn alloc_now() -> u64 {
+    match ALLOC_CLOCK.get() {
+        Some(f) => f(),
+        None => 0,
+    }
+}
+
 /// Enable or disable span recording process-wide.
 pub fn set_tracing(on: bool) {
     TRACING.store(on, Ordering::Relaxed);
@@ -46,6 +69,11 @@ pub struct SpanRecord {
     pub parent: Option<usize>,
     /// Nesting depth on its thread (0 = root).
     pub depth: u32,
+    /// Bytes allocated on the opening thread while the span was open
+    /// (0 unless an allocation clock is registered via
+    /// [`set_alloc_clock`]). While the span is still open this holds the
+    /// clock reading at entry — exports filter on [`SpanRecord::closed`].
+    pub alloc_bytes: u64,
 }
 
 impl SpanRecord {
@@ -102,6 +130,7 @@ pub fn span_cat(name: impl Into<Cow<'static, str>>, cat: &'static str) -> SpanGu
         dur_ns: u64::MAX,
         parent,
         depth,
+        alloc_bytes: alloc_now(),
     };
     let idx = {
         let mut store = STORE.lock().unwrap();
@@ -116,6 +145,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(idx) = self.idx else { return };
         let end = now_ns();
+        let alloc_end = alloc_now();
         STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // Guards drop in LIFO order per thread, but be tolerant of a
@@ -129,6 +159,7 @@ impl Drop for SpanGuard {
         let mut store = STORE.lock().unwrap();
         let rec = &mut store[idx];
         rec.dur_ns = end.saturating_sub(rec.start_ns);
+        rec.alloc_bytes = alloc_end.saturating_sub(rec.alloc_bytes);
     }
 }
 

@@ -1,0 +1,324 @@
+//! Hierarchical profile trees built from span captures.
+//!
+//! A raw span capture is schedule-dependent: with `--jobs 1` a sweep's
+//! per-cell spans nest under the scheduler span on the calling thread,
+//! while with `--jobs N` they are root spans on worker threads, and the
+//! cell *indices* each worker happens to run vary with timing. The
+//! profile tree removes both artifacts:
+//!
+//! * a root span named `label[i]` is re-parented under the unique span
+//!   named exactly `label` (the scheduler span `brick_sweep::map_cells`
+//!   opens on the calling thread);
+//! * sibling spans merge by *normalized* name — every `[...]` segment
+//!   becomes `[*]` — so `sweep.cells[0]` and `sweep.cells[63]` are one
+//!   node with `count = 64`.
+//!
+//! The resulting structure (the set of name paths) is identical at any
+//! jobs count, which `experiments/tests/prof_structure.rs` asserts
+//! byte-for-byte. Timings remain exact sums of the underlying spans.
+
+use brick_obs::SpanData;
+
+/// One merged node of a profile tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Normalized span name ([`normalize_name`]).
+    pub name: String,
+    /// Span category of the first merged instance.
+    pub cat: String,
+    /// Merged span instances.
+    pub count: u64,
+    /// Total (inclusive) nanoseconds across instances.
+    pub total_ns: u64,
+    /// Self nanoseconds: total minus time inside child spans, saturating
+    /// at zero when children ran concurrently on other threads.
+    pub self_ns: u64,
+    /// Bytes allocated on each instance's opening thread while open.
+    pub alloc_bytes: u64,
+    /// Child nodes, sorted by name.
+    pub children: Vec<ProfileNode>,
+}
+
+/// A merged, schedule-invariant profile forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileTree {
+    /// Root nodes, sorted by name.
+    pub roots: Vec<ProfileNode>,
+}
+
+/// Normalize a span name for merging: the content of every `[...]`
+/// segment becomes `*` (`sweep.cells[17]` → `sweep.cells[*]`).
+pub fn normalize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut rest = name;
+    while let Some(i) = rest.find('[') {
+        out.push_str(&rest[..=i]);
+        match rest[i + 1..].find(']') {
+            Some(j) => {
+                out.push('*');
+                rest = &rest[i + 1 + j..];
+            }
+            None => {
+                out.push_str(&rest[i + 1..]);
+                return out;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The scheduler label an indexed cell-span name refers to: `label[i]` →
+/// `label`. Returns `None` for names not of that shape.
+fn cell_label(name: &str) -> Option<&str> {
+    let open = name.rfind('[')?;
+    name.ends_with(']').then(|| &name[..open])
+}
+
+impl ProfileTree {
+    /// Build the merged tree from a span capture (only closed spans with
+    /// valid parent indices are expected — [`brick_obs::trace::spans_data`]
+    /// and [`brick_obs::trace::parse_spans_jsonl`] both qualify).
+    pub fn build(spans: &[SpanData]) -> ProfileTree {
+        // Effective parent: as recorded, except worker-thread roots named
+        // `label[i]` adopt the unique span named `label` as parent.
+        let mut parent: Vec<Option<usize>> = spans.iter().map(|s| s.parent).collect();
+        for (i, s) in spans.iter().enumerate() {
+            if s.parent.is_some() {
+                continue;
+            }
+            let Some(label) = cell_label(&s.name) else {
+                continue;
+            };
+            let mut matches = spans.iter().enumerate().filter(|(_, p)| p.name == label);
+            if let (Some((j, _)), None) = (matches.next(), matches.next()) {
+                if j != i {
+                    parent[i] = Some(j);
+                }
+            }
+        }
+
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, p) in parent.iter().enumerate() {
+            match p {
+                Some(j) if *j < spans.len() => children[*j].push(i),
+                _ => roots.push(i),
+            }
+        }
+
+        // Self time per original span against its *effective* children.
+        let mut self_ns: Vec<u64> = spans.iter().map(|s| s.dur_ns).collect();
+        for (i, kids) in children.iter().enumerate() {
+            let child_total: u64 = kids.iter().map(|&k| spans[k].dur_ns).sum();
+            self_ns[i] = spans[i].dur_ns.saturating_sub(child_total);
+        }
+
+        ProfileTree {
+            roots: merge_level(spans, &children, &self_ns, &roots),
+        }
+    }
+
+    /// First node (depth-first) whose normalized name equals `name`.
+    pub fn find(&self, name: &str) -> Option<&ProfileNode> {
+        fn walk<'a>(nodes: &'a [ProfileNode], name: &str) -> Option<&'a ProfileNode> {
+            for n in nodes {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(hit) = walk(&n.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        walk(&self.roots, name)
+    }
+
+    /// Visit every node depth-first.
+    pub fn walk(&self, f: &mut impl FnMut(&ProfileNode)) {
+        fn go(nodes: &[ProfileNode], f: &mut impl FnMut(&ProfileNode)) {
+            for n in nodes {
+                f(n);
+                go(&n.children, f);
+            }
+        }
+        go(&self.roots, f);
+    }
+
+    /// The tree's shape alone: one `;`-joined name path per line, in
+    /// depth-first order. Identical strings ⇔ identical structure.
+    pub fn structure_string(&self) -> String {
+        let mut out = String::new();
+        fn go(nodes: &[ProfileNode], prefix: &str, out: &mut String) {
+            for n in nodes {
+                let path = if prefix.is_empty() {
+                    n.name.clone()
+                } else {
+                    format!("{prefix};{}", n.name)
+                };
+                out.push_str(&path);
+                out.push('\n');
+                go(&n.children, &path, out);
+            }
+        }
+        go(&self.roots, "", &mut out);
+        out
+    }
+
+    /// Folded-stack export (`path;to;node weight`), weighted by self-time
+    /// in nanoseconds — directly consumable by flamegraph tooling. Nodes
+    /// with zero self-time are omitted.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        fn go(nodes: &[ProfileNode], prefix: &str, out: &mut String) {
+            for n in nodes {
+                let path = if prefix.is_empty() {
+                    n.name.clone()
+                } else {
+                    format!("{prefix};{}", n.name)
+                };
+                if n.self_ns > 0 {
+                    out.push_str(&format!("{path} {}\n", n.self_ns));
+                }
+                go(&n.children, &path, out);
+            }
+        }
+        go(&self.roots, "", &mut out);
+        out
+    }
+}
+
+/// Merge one sibling level: group span indices by normalized name, sum
+/// the counters, and recurse into the concatenated child lists.
+fn merge_level(
+    spans: &[SpanData],
+    children: &[Vec<usize>],
+    self_ns: &[u64],
+    level: &[usize],
+) -> Vec<ProfileNode> {
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for &i in level {
+        let name = normalize_name(&spans[i].name);
+        match groups.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => v.push(i),
+            None => groups.push((name, vec![i])),
+        }
+    }
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    groups
+        .into_iter()
+        .map(|(name, members)| {
+            let kid_level: Vec<usize> = members
+                .iter()
+                .flat_map(|&i| children[i].iter().copied())
+                .collect();
+            ProfileNode {
+                name,
+                cat: spans[members[0]].cat.clone(),
+                count: members.len() as u64,
+                total_ns: members.iter().map(|&i| spans[i].dur_ns).sum(),
+                self_ns: members.iter().map(|&i| self_ns[i]).sum(),
+                alloc_bytes: members.iter().map(|&i| spans[i].alloc_bytes).sum(),
+                children: merge_level(spans, children, self_ns, &kid_level),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn span(
+        name: &str,
+        cat: &str,
+        tid: u64,
+        start_ns: u64,
+        dur_ns: u64,
+        parent: Option<usize>,
+        depth: u32,
+        alloc_bytes: u64,
+    ) -> SpanData {
+        SpanData {
+            name: name.into(),
+            cat: cat.into(),
+            tid,
+            start_ns,
+            dur_ns,
+            parent,
+            depth,
+            alloc_bytes,
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize_name("sweep.cells[17]"), "sweep.cells[*]");
+        assert_eq!(normalize_name("a[1]b[2]"), "a[*]b[*]");
+        assert_eq!(normalize_name("plain"), "plain");
+        assert_eq!(normalize_name("sweep:64^3"), "sweep:64^3");
+        assert_eq!(normalize_name("odd[unclosed"), "odd[unclosed");
+    }
+
+    #[test]
+    fn serial_and_parallel_captures_share_structure() {
+        // jobs=1: cells nest under the scheduler span on one thread.
+        let serial = vec![
+            span("sweep:8^3", "sweep", 1, 0, 100, None, 0, 10),
+            span("work", "sched", 1, 5, 90, Some(0), 1, 0),
+            span("work[0]", "cell", 1, 10, 30, Some(1), 2, 4),
+            span("work[1]", "cell", 1, 50, 40, Some(1), 2, 6),
+        ];
+        // jobs=2: cells are worker-thread roots, indices swapped.
+        let parallel = vec![
+            span("sweep:8^3", "sweep", 1, 0, 70, None, 0, 10),
+            span("work", "sched", 1, 5, 60, Some(0), 1, 0),
+            span("work[1]", "cell", 2, 10, 40, None, 0, 6),
+            span("work[0]", "cell", 3, 10, 30, None, 0, 4),
+        ];
+        let ts = ProfileTree::build(&serial);
+        let tp = ProfileTree::build(&parallel);
+        assert_eq!(ts.structure_string(), tp.structure_string());
+        assert_eq!(
+            ts.structure_string(),
+            "sweep:8^3\nsweep:8^3;work\nsweep:8^3;work;work[*]\n"
+        );
+        let cells = tp.find("work[*]").unwrap();
+        assert_eq!(cells.count, 2);
+        assert_eq!(cells.total_ns, 70);
+        assert_eq!(cells.alloc_bytes, 10);
+        // parallel children exceeding the scheduler span saturate to 0 self
+        let sched = tp.find("work").unwrap();
+        assert_eq!(sched.self_ns, 0);
+        // serial self-times are exact
+        let sched_s = ts.find("work").unwrap();
+        assert_eq!(sched_s.self_ns, 90 - 70);
+    }
+
+    #[test]
+    fn reparenting_requires_a_unique_target() {
+        // two spans named "work": the cell root stays a root
+        let spans = vec![
+            span("work", "sched", 1, 0, 50, None, 0, 0),
+            span("work", "sched", 1, 60, 50, None, 0, 0),
+            span("work[0]", "cell", 2, 5, 10, None, 0, 0),
+        ];
+        let t = ProfileTree::build(&spans);
+        assert_eq!(t.roots.len(), 2, "{:?}", t.roots);
+        assert!(t.roots.iter().any(|r| r.name == "work[*]"));
+    }
+
+    #[test]
+    fn folded_weights_are_self_times() {
+        let spans = vec![
+            span("outer", "run", 1, 0, 100, None, 0, 0),
+            span("inner", "run", 1, 10, 40, Some(0), 1, 0),
+        ];
+        let t = ProfileTree::build(&spans);
+        let folded = t.folded();
+        assert!(folded.contains("outer 60\n"), "{folded}");
+        assert!(folded.contains("outer;inner 40\n"), "{folded}");
+    }
+}

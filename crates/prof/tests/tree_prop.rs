@@ -1,0 +1,102 @@
+//! Property tests of the profile-tree invariants.
+//!
+//! Forests are generated with nested timings by construction (every
+//! span's duration is its own self-weight plus its children's durations),
+//! so the merged tree must satisfy, exactly:
+//!
+//! * `self_ns + Σ child.total_ns == total_ns` at every node — child
+//!   self-times can never exceed the parent's total;
+//! * the sum of self-times across the whole forest equals the sum of
+//!   root totals (no time lost or invented by merging).
+
+use brick_obs::SpanData;
+use brick_prof::{ProfileNode, ProfileTree};
+use proptest::prelude::*;
+
+/// Decode `(parent_seed, weight, name_seed)` triples into a well-nested
+/// forest: node `i`'s parent is an earlier node (or none), and durations
+/// are built bottom-up so children always fit inside their parent.
+fn build_forest(descr: &[(u64, u64, u64)]) -> Vec<SpanData> {
+    let n = descr.len();
+    let parent: Vec<Option<usize>> = descr
+        .iter()
+        .enumerate()
+        .map(|(i, (p, _, _))| {
+            let r = p % (i as u64 + 1);
+            (r < i as u64).then_some(r as usize)
+        })
+        .collect();
+    let mut dur: Vec<u64> = descr.iter().map(|(_, w, _)| w % 1000).collect();
+    for i in (0..n).rev() {
+        if let Some(p) = parent[i] {
+            dur[p] += dur[i];
+        }
+    }
+    descr
+        .iter()
+        .enumerate()
+        .map(|(i, (_, w, name))| SpanData {
+            // few distinct names => plenty of sibling merging
+            name: format!("n{}", name % 4),
+            cat: "t".into(),
+            tid: 1,
+            start_ns: 0,
+            dur_ns: dur[i],
+            parent: parent[i],
+            depth: 0,
+            alloc_bytes: w % 64,
+        })
+        .collect()
+}
+
+fn check_node(node: &ProfileNode) -> (u64, u64) {
+    let child_total: u64 = node.children.iter().map(|c| c.total_ns).sum();
+    assert_eq!(
+        node.self_ns + child_total,
+        node.total_ns,
+        "self+children != total at {}",
+        node.name
+    );
+    assert!(node.self_ns <= node.total_ns);
+    let mut self_sum = node.self_ns;
+    for c in &node.children {
+        let (s, _) = check_node(c);
+        self_sum += s;
+    }
+    (self_sum, node.total_ns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nested_forests_conserve_time(
+        descr in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            1..40,
+        )
+    ) {
+        let spans = build_forest(&descr);
+        let tree = ProfileTree::build(&spans);
+
+        let mut self_sum = 0u64;
+        let mut root_total = 0u64;
+        for r in &tree.roots {
+            let (s, t) = check_node(r);
+            self_sum += s;
+            root_total += t;
+        }
+        prop_assert_eq!(self_sum, root_total);
+
+        // merging preserves the raw counters
+        let raw_alloc: u64 = spans.iter().map(|s| s.alloc_bytes).sum();
+        let mut merged_alloc = 0u64;
+        let mut merged_count = 0u64;
+        tree.walk(&mut |n| {
+            merged_alloc += n.alloc_bytes;
+            merged_count += n.count;
+        });
+        prop_assert_eq!(merged_alloc, raw_alloc);
+        prop_assert_eq!(merged_count, spans.len() as u64);
+    }
+}

@@ -102,6 +102,12 @@ where
         .expect("thread pool construction is infallible");
     let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
     slots.resize_with(total, || None);
+    // Scheduler span on the calling thread, named exactly `label`: cell
+    // spans (`label[i]`) either nest under it directly (serial fallback
+    // runs cells on this thread) or appear as worker-thread roots that
+    // brick-prof re-parents under it by name — so profile *structure* is
+    // identical at any jobs count.
+    let _sched = brick_obs::span_cat(label.to_string(), "sched");
     pool.install(|| {
         use rayon::prelude::*;
         slots.par_iter_mut().enumerate().for_each(|(i, slot)| {

@@ -36,7 +36,15 @@ usage:
   bricks tune     <star|cube> <radius> <gpu> <model>    autotune bricks
   bricks reuse    <star|cube> <radius> <width>          reuse distances
   bricks lint     [kernel.json] [--json]                static kernel analysis
-  bricks obs      <file>                                inspect saved observability
+  bricks obs      <file> [--summary]                    inspect saved observability
+  bricks prof sweep <spans.jsonl|PROF_sweep.json> [--json]
+                                                        sweep self-profile report
+  bricks prof sim <star|cube> <radius> <gpu> <model> [--n N]
+                  [--fidelity exact|fast] [--json]      simulator introspection
+  bricks prof diff <base.json> <new.json>               compare two BENCH_sim.json
+  bricks prof gate <base.json> <new.json>               diff + fail on regression
+  bricks prof history <file.jsonl> [--append BENCH_sim.json]
+                                                        bench history timeline
 
   gpu   = a100 | mi250x | pvc
   model = cuda | hip | sycl
@@ -54,9 +62,19 @@ emits machine-readable reports.
 
 `bricks obs` summarizes observability artifacts written by the
 experiments binary: trace.json (top spans by self-time), metrics.json
-(counter/gauge/histogram summaries) and manifest.json (run provenance).
-Set BRICK_LOG=info|debug|trace (with optional module=level filters) for
-diagnostic logging in any subcommand.
+(counter/gauge/histogram summaries), manifest.json (run provenance) and
+spans.jsonl with --summary (top spans by self-time plus per-span-name
+aggregates). Set BRICK_LOG=info|debug|trace (with optional module=level
+filters) for diagnostic logging in any subcommand.
+
+`bricks prof` is the performance-attribution suite. 'sweep' renders a
+sweep self-profile from a span capture or a saved PROF_sweep.json;
+'sim' runs one memory simulation with full attribution (per-block-class
+and per-SM-group traffic, wave timeline — rows sum bit-for-bit to the
+totals); 'diff'/'gate' compare two BENCH_sim.json documents with
+noise-aware tolerances (gate exits non-zero on a >10% regression, the CI
+contract); 'history' renders (or appends to) an append-only JSONL bench
+history keyed on each run's git SHA.
 
 For the paper's tables and figures use:
   cargo run -p experiments --release -- --all";
@@ -393,6 +411,17 @@ fn obs_cmd(path: &str) -> Result<(), String> {
         "  observability: {} spans, {} metrics recorded",
         m.spans_recorded, m.metrics_recorded
     );
+    if m.fidelity.is_some() || m.jobs.is_some() {
+        println!(
+            "  sweep        : fidelity {}, jobs {}",
+            m.fidelity.as_deref().unwrap_or("-"),
+            m.jobs.map_or("-".to_string(), |j| j.to_string())
+        );
+        println!(
+            "  result cache : {} hits, {} misses, {} corrupt",
+            m.cache_hits, m.cache_misses, m.cache_corrupt
+        );
+    }
     if let Some(slowest) = m
         .record_wall_s
         .iter()
@@ -401,6 +430,142 @@ fn obs_cmd(path: &str) -> Result<(), String> {
     {
         println!("  slowest rec  : {slowest:.3}s");
     }
+    Ok(())
+}
+
+/// Per-span-name aggregates of a spans.jsonl capture: top spans by
+/// self-time plus count/total/alloc per name.
+fn obs_summary_cmd(path: &str) -> Result<(), String> {
+    use bricks_repro::prof::{render_tree, ProfileTree};
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spans = bricks_repro::obs::trace::parse_spans_jsonl(&text)
+        .map_err(|e| format!("{path}: not a spans.jsonl capture: {e}"))?;
+    let tree = ProfileTree::build(&spans);
+
+    let mut by_self: Vec<(String, u64, u64)> = Vec::new();
+    tree.walk(&mut |n| by_self.push((n.name.clone(), n.self_ns, n.count)));
+    by_self.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    println!("{path}: {} spans\n", spans.len());
+    println!("top spans by self-time:");
+    for (name, self_ns, count) in by_self.iter().take(15).filter(|(_, s, _)| *s > 0) {
+        println!(
+            "  {:<44} {:>12} ({} calls)",
+            name,
+            bricks_repro::prof::report::fmt_ns(*self_ns),
+            count
+        );
+    }
+    println!("\nmerged profile tree:");
+    print!("{}", render_tree(&tree));
+    Ok(())
+}
+
+/// Render a sweep self-profile from a span capture (spans.jsonl) or a
+/// saved PROF_sweep.json.
+fn prof_sweep_cmd(path: &str, json: bool) -> Result<(), String> {
+    use bricks_repro::prof::{render_sweep_profile, SweepProfile};
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let profile = match serde_json::parse(&text) {
+        Ok(v) if v.get("schema").and_then(|s| s.as_str()).is_some() => {
+            serde_json::from_value::<SweepProfile>(&v).map_err(|e| format!("{path}: {e}"))?
+        }
+        _ => {
+            let spans = bricks_repro::obs::trace::parse_spans_jsonl(&text)
+                .map_err(|e| format!("{path}: neither PROF_sweep.json nor spans.jsonl: {e}"))?;
+            SweepProfile::from_spans(&spans)
+        }
+    };
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", render_sweep_profile(&profile));
+    }
+    Ok(())
+}
+
+/// Run one memory simulation with full attribution and report it.
+fn prof_sim_cmd(
+    shape: StencilShape,
+    arch: GpuArch,
+    model: ProgModel,
+    n: usize,
+    fidelity: SimFidelity,
+    json: bool,
+) -> Result<(), String> {
+    use bricks_repro::gpu_sim::{compile_only, simulate_memory_introspect};
+    use bricks_repro::prof::render_introspection;
+
+    let st = shape.stencil();
+    let b = st.default_bindings();
+    let w = arch.simd_width;
+    let kernel = generate(&st, &b, LayoutKind::Brick, w, CodegenOptions::default())
+        .map_err(|e| e.to_string())?;
+    let spec = KernelSpec::Vector(kernel);
+    let decomp = Arc::new(BrickDecomp::new(
+        (n, n, n),
+        BrickDims::for_simd_width(w),
+        shape.radius as usize,
+        BrickOrdering::Lexicographic,
+    ));
+    let geom = TraceGeometry::brick(Arc::new(BrickNav::new(decomp)));
+    let (_, _, occ) = compile_only(&spec, &arch, model)
+        .ok_or_else(|| format!("{model} is not supported on {}", arch.name))?;
+    let opts = SimOptions {
+        fidelity,
+        ..SimOptions::default()
+    };
+    let (_, intro) = simulate_memory_introspect(&spec, &geom, &arch, occ.blocks_per_sm, &opts);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&intro).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "bricks codegen, {n}^3 on {} / {model} ({fidelity} fidelity)\n",
+            arch.name
+        );
+        print!("{}", render_introspection(&intro));
+    }
+    Ok(())
+}
+
+fn load_json(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::parse(&text).map_err(|e| format!("{path}: not JSON: {e}"))
+}
+
+/// Diff two BENCH_sim.json documents; `gate` additionally fails the
+/// command on any beyond-tolerance regression (the CI contract).
+fn prof_diff_cmd(base: &str, new: &str, gate: bool) -> Result<(), String> {
+    use bricks_repro::prof::{diff_bench, render_diff, BENCH_RULES};
+
+    let deltas = diff_bench(&load_json(base)?, &load_json(new)?, BENCH_RULES);
+    print!("{}", render_diff(&deltas));
+    if gate {
+        bricks_repro::prof::gate(&deltas)?;
+        println!("gate: ok");
+    }
+    Ok(())
+}
+
+/// Render a bench-history JSONL timeline, optionally appending a new
+/// BENCH_sim.json record first.
+fn prof_history_cmd(path: &str, append: Option<&str>) -> Result<(), String> {
+    use bricks_repro::prof::{history_append, history_load, render_history};
+
+    if let Some(bench) = append {
+        history_append(std::path::Path::new(path), &load_json(bench)?)?;
+        println!("appended {bench} to {path}");
+    }
+    let history = history_load(std::path::Path::new(path))?;
+    print!("{}", render_history(&history));
     Ok(())
 }
 
@@ -436,6 +601,46 @@ fn run() -> Result<(), String> {
         ["lint", path] => lint_cmd(Some(path), false),
         ["lint", path, "--json"] => lint_cmd(Some(path), true),
         ["obs", path] => obs_cmd(path),
+        ["obs", path, "--summary"] => obs_summary_cmd(path),
+        ["prof", "sweep", path] => prof_sweep_cmd(path, false),
+        ["prof", "sweep", path, "--json"] => prof_sweep_cmd(path, true),
+        ["prof", "sim", kind, radius, gpu, model, rest @ ..] => {
+            let mut n = 256usize;
+            let mut fidelity = SimFidelity::default();
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match *flag {
+                    "--n" => {
+                        n = it
+                            .next()
+                            .ok_or("--n needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--n: {e}"))?;
+                    }
+                    "--fidelity" => {
+                        fidelity = it
+                            .next()
+                            .ok_or("--fidelity needs a value (exact|fast)")?
+                            .parse()?;
+                    }
+                    "--json" => json = true,
+                    other => return Err(format!("unknown prof sim flag {other}")),
+                }
+            }
+            prof_sim_cmd(
+                shape_of(kind, radius)?,
+                arch_of(gpu)?,
+                model_of(model)?,
+                n,
+                fidelity,
+                json,
+            )
+        }
+        ["prof", "diff", base, new] => prof_diff_cmd(base, new, false),
+        ["prof", "gate", base, new] => prof_diff_cmd(base, new, true),
+        ["prof", "history", path] => prof_history_cmd(path, None),
+        ["prof", "history", path, "--append", bench] => prof_history_cmd(path, Some(bench)),
         [] | ["--help"] | ["-h"] | ["help"] => {
             println!("{HELP}");
             Ok(())

@@ -11,6 +11,7 @@ pub use brick_core as core;
 pub use brick_dsl as dsl;
 pub use brick_lint as lint;
 pub use brick_obs as obs;
+pub use brick_prof as prof;
 pub use brick_sweep as sweep_engine;
 pub use brick_tuner as tuner;
 pub use brick_vm as vm;
