@@ -1,0 +1,214 @@
+//! Bounds proof: the analyzer facts brick-vm's native backend relies on.
+//!
+//! The native executor (`brick_vm::native`) lowers the IR to pointer code
+//! whose only guard rails are the invariants proved here. [`prove_bounds`]
+//! is [`crate::verify`] plus a *second, independent* re-check of exactly
+//! the op-level invariants the unsafe surface assumes — double-entry
+//! bookkeeping, so a future verifier refactor that accidentally drops a
+//! check cannot silently widen the unsafe surface. The returned
+//! [`BoundsProof`] carries the kernel's [`fingerprint`](crate::fingerprint)
+//! so a consumer can assert the proof still matches the kernel it is about
+//! to execute.
+//!
+//! What the proof guarantees, per op:
+//!
+//! * every register index is `< num_regs`, so each pre-computed row offset
+//!   `reg * width` stays inside a `num_regs * width` register file;
+//! * every `LoadRow` lane range satisfies `0 < lanes` and
+//!   `lane0 + lanes <= width`;
+//! * every `ShiftX` distance satisfies `0 < |dx| < width`, so the two-copy
+//!   lowering's ranges `[dx, width)` / `[0, dx)` are valid;
+//! * every coefficient index is inside the coefficient table;
+//! * every `StoreRow` row is inside the home block;
+//! * the footprint pass's [`reach`](Footprint::reach) bounds every load
+//!   address's distance outside the home block — the fact the executors
+//!   check against ghost/halo coverage before touching grid storage.
+
+use brick_codegen::{VOp, VectorKernel};
+
+use crate::diag::{Diagnostic, LintCode, Report};
+use crate::footprint::Footprint;
+
+/// Machine-checked preconditions for lowering a kernel to native code.
+///
+/// Only [`prove_bounds`] constructs one, so holding a `BoundsProof` whose
+/// [`covers`](Self::covers) returns `true` for a kernel certifies the
+/// invariants above for that kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundsProof {
+    /// Vector width the proof was established for.
+    pub width: usize,
+    /// Register count the row offsets were checked against.
+    pub num_regs: usize,
+    /// Per-axis load reach outside the home block (from the footprint
+    /// pass), in elements.
+    pub reach: [i64; 3],
+    /// Fingerprint of the proven kernel ([`crate::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl BoundsProof {
+    /// True when this proof was established for exactly `kernel`.
+    pub fn covers(&self, kernel: &VectorKernel) -> bool {
+        self.fingerprint == crate::fingerprint(kernel)
+            && self.width == kernel.width
+            && self.num_regs == kernel.num_regs
+    }
+}
+
+/// Establish the bounds proof for `kernel`: full verification
+/// ([`crate::verify`]) followed by the independent op-level re-check.
+/// Any violation rejects the kernel with a structured report.
+pub fn prove_bounds(kernel: &VectorKernel) -> Result<BoundsProof, Box<Report>> {
+    let fp: Footprint = crate::verify(kernel)?;
+    let mut report = Report::new(&kernel.name);
+    recheck_ops(kernel, &mut report);
+    if report.has_errors() {
+        return Err(Box::new(report));
+    }
+    Ok(BoundsProof {
+        width: kernel.width,
+        num_regs: kernel.num_regs,
+        reach: fp.reach,
+        fingerprint: crate::fingerprint(kernel),
+    })
+}
+
+/// The independent re-check: one linear pass asserting exactly the
+/// invariants the native lowering consumes. Kept deliberately free of any
+/// shared helper with the verifier pass.
+fn recheck_ops(kernel: &VectorKernel, report: &mut Report) {
+    let w = kernel.width;
+    let nr = kernel.num_regs;
+    let nc = kernel.coeffs.len();
+    let (by, bz) = (kernel.block.by as i64, kernel.block.bz as i64);
+    let reg = |r: u16, i: usize, report: &mut Report| {
+        if (r as usize) >= nr {
+            report.push(Diagnostic::at(
+                LintCode::RegOutOfRange,
+                i,
+                format!("bounds proof: r{r} outside {nr} registers"),
+            ));
+        }
+    };
+    for (i, op) in kernel.ops.iter().enumerate() {
+        match *op {
+            VOp::LoadRow {
+                dst, lane0, lanes, ..
+            } => {
+                reg(dst, i, report);
+                if lanes == 0 || lane0 as usize + lanes as usize > w {
+                    report.push(Diagnostic::at(
+                        LintCode::LaneRange,
+                        i,
+                        format!("bounds proof: lanes {lane0}+{lanes} escape width {w}"),
+                    ));
+                }
+            }
+            VOp::ShiftX { dst, src, edge, dx } => {
+                reg(dst, i, report);
+                reg(src, i, report);
+                reg(edge, i, report);
+                if dx == 0 || (dx.unsigned_abs() as usize) >= w {
+                    report.push(Diagnostic::at(
+                        LintCode::ShiftInvalid,
+                        i,
+                        format!("bounds proof: shift {dx} invalid for width {w}"),
+                    ));
+                }
+            }
+            VOp::Add { dst, a, b } => {
+                reg(dst, i, report);
+                reg(a, i, report);
+                reg(b, i, report);
+            }
+            VOp::Mul { dst, a, coeff } => {
+                reg(dst, i, report);
+                reg(a, i, report);
+                if coeff as usize >= nc {
+                    report.push(Diagnostic::at(
+                        LintCode::CoeffIndexOutOfRange,
+                        i,
+                        format!("bounds proof: c{coeff} outside {nc} coefficients"),
+                    ));
+                }
+            }
+            VOp::Fma { dst, acc, a, coeff } => {
+                reg(dst, i, report);
+                reg(acc, i, report);
+                reg(a, i, report);
+                if coeff as usize >= nc {
+                    report.push(Diagnostic::at(
+                        LintCode::CoeffIndexOutOfRange,
+                        i,
+                        format!("bounds proof: c{coeff} outside {nc} coefficients"),
+                    ));
+                }
+            }
+            VOp::StoreRow { src, ry, rz } => {
+                reg(src, i, report);
+                if (ry as i64) < 0 || ry as i64 >= by || (rz as i64) < 0 || rz as i64 >= bz {
+                    report.push(Diagnostic::at(
+                        LintCode::StoreOutsideBlock,
+                        i,
+                        format!("bounds proof: store row ({ry},{rz}) outside home block"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brick_codegen::{generate, CodegenOptions, LayoutKind};
+    use brick_dsl::shape::StencilShape;
+
+    #[test]
+    fn proof_established_for_the_paper_suite_and_covers_its_kernel() {
+        for shape in StencilShape::paper_suite() {
+            let st = shape.stencil();
+            let b = st.default_bindings();
+            for width in [16usize, 32] {
+                let k =
+                    generate(&st, &b, LayoutKind::Brick, width, CodegenOptions::default()).unwrap();
+                let proof = prove_bounds(&k).unwrap();
+                assert!(proof.covers(&k), "{shape} w{width}");
+                assert_eq!(proof.width, width);
+                assert_eq!(proof.num_regs, k.num_regs);
+                assert_eq!(proof.reach, crate::load_reach(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn proof_does_not_cover_a_mutated_kernel() {
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+        let proof = prove_bounds(&k).unwrap();
+        let mut other = k.clone();
+        other.coeffs[0] += 1.0;
+        assert!(!proof.covers(&other));
+    }
+
+    #[test]
+    fn recheck_catches_out_of_range_ops_independently() {
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+        // Sabotage after the fact: the re-check must flag these even
+        // without rerunning the full verifier.
+        let mut bad = k.clone();
+        if let Some(VOp::Fma { coeff, .. }) =
+            bad.ops.iter_mut().find(|op| matches!(op, VOp::Fma { .. }))
+        {
+            *coeff = u16::MAX;
+        }
+        let mut report = Report::new(&bad.name);
+        recheck_ops(&bad, &mut report);
+        assert!(report.has_errors());
+        assert!(!report.with_code(LintCode::CoeffIndexOutOfRange).is_empty());
+    }
+}

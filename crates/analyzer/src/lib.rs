@@ -24,12 +24,14 @@
 //! assume in-range indices. Each pass runs under a `brick-obs` span
 //! (category `lint`) for timing.
 
+pub mod bounds;
 pub mod diag;
 pub mod footprint;
 pub mod occupancy;
 pub mod reuse;
 pub mod verifier;
 
+pub use bounds::{prove_bounds, BoundsProof};
 pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use footprint::{load_reach, ExpectedStencil, Footprint};
 pub use occupancy::ArchBudget;

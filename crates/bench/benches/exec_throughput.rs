@@ -1,0 +1,135 @@
+//! Criterion bench: execution-backend throughput — the interpreter against
+//! the compiled portable backend and the SIMD backend `Auto` dispatches on
+//! this host, on identical kernels and grids.
+//!
+//! This is the micro-benchmark behind the `BENCH_exec.json` acceptance
+//! artifact (see `experiments --bench-exec` for the gated, manifest-carrying
+//! measurement): the backend is forced per series via
+//! `run_vector_*_backend`, so the series keep their meaning regardless of
+//! `BRICK_EXEC` or the host CPU. Backends the host cannot run are skipped,
+//! not failed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+use brick_codegen::{generate, CodegenOptions, LayoutKind};
+use brick_core::{ArrayGrid, BrickDims, BrickGrid};
+use brick_dsl::shape::StencilShape;
+use brick_dsl::DenseGrid;
+use brick_vm::{run_vector_array_backend, run_vector_brick_backend, Backend, CpuFeatures};
+
+const N: usize = 64;
+const WIDTH: usize = 32;
+
+/// Every backend this host can execute, interpreter first (the baseline
+/// series).
+fn backends() -> Vec<Backend> {
+    let feats = CpuFeatures::detect();
+    let mut v = vec![Backend::Interpreter, Backend::Portable];
+    if feats.avx2 && feats.fma {
+        v.push(Backend::Avx2);
+    }
+    if feats.neon {
+        v.push(Backend::Neon);
+    }
+    v
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements((N * N * N) as u64));
+
+    for shape in [
+        StencilShape::star(1),
+        StencilShape::star(4),
+        StencilShape::cube(2),
+    ] {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let halo = st.radius() as usize;
+        let mut dense = DenseGrid::cubic(N, halo);
+        dense.fill_test_pattern();
+
+        // bricks layout
+        {
+            let kernel =
+                generate(&st, &b, LayoutKind::Brick, WIDTH, CodegenOptions::default()).unwrap();
+            let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(WIDTH));
+            let mut output =
+                BrickGrid::with_metadata(Arc::clone(input.decomp()), Arc::clone(input.info()));
+            for backend in backends() {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("bricks/{backend}"), shape.label()),
+                    &kernel,
+                    |bench, k| {
+                        bench.iter(|| {
+                            run_vector_brick_backend(k, &input, &mut output, backend).unwrap()
+                        });
+                    },
+                );
+            }
+        }
+
+        // array layout
+        {
+            let kernel =
+                generate(&st, &b, LayoutKind::Array, WIDTH, CodegenOptions::default()).unwrap();
+            let input = ArrayGrid::from_dense(&dense);
+            let mut output = ArrayGrid::new(N, N, N, halo);
+            for backend in backends() {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("array/{backend}"), shape.label()),
+                    &kernel,
+                    |bench, k| {
+                        bench.iter(|| {
+                            run_vector_array_backend(k, &input, &mut output, backend).unwrap()
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// The acceptance-target cell at full paper scale: 7-point star (`star1`)
+/// at 512³, bricks layout, per backend. ~1 GiB per grid and an interpreted
+/// full sweep per sample — gated behind `BRICK_BENCH_FULL=1`.
+fn bench_full_scale(c: &mut Criterion) {
+    if std::env::var("BRICK_BENCH_FULL").as_deref() != Ok("1") {
+        return;
+    }
+    const NFULL: usize = 512;
+    let st = StencilShape::star(1).stencil();
+    let b = st.default_bindings();
+    let mut dense = DenseGrid::cubic(NFULL, 1);
+    dense.fill_test_pattern();
+    let kernel = generate(&st, &b, LayoutKind::Brick, WIDTH, CodegenOptions::default()).unwrap();
+    let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(WIDTH));
+    let mut output = BrickGrid::with_metadata(Arc::clone(input.decomp()), Arc::clone(input.info()));
+
+    let mut group = c.benchmark_group("exec_throughput_full");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(10))
+        .throughput(Throughput::Elements((NFULL * NFULL * NFULL) as u64));
+    for backend in backends() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("bricks/{backend}"), "star1-512"),
+            &kernel,
+            |bench, k| {
+                bench.iter(|| run_vector_brick_backend(k, &input, &mut output, backend).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_full_scale);
+criterion_main!(benches);

@@ -13,10 +13,19 @@ use brick_codegen::{generate, CodegenOptions, LayoutKind};
 use brick_core::{ArrayGrid, BrickDims, BrickGrid};
 use brick_dsl::shape::StencilShape;
 use brick_dsl::DenseGrid;
-use brick_vm::{run_scalar_array, run_vector_array, run_vector_brick, ScalarKernel};
+use brick_vm::{
+    run_scalar_array, run_vector_array_mode, run_vector_brick_mode, ExecutionMode, ScalarKernel,
+};
 
 const N: usize = 64;
 const WIDTH: usize = 32;
+
+/// Execution modes benchmarked per codegen configuration. `Scalar` pins the
+/// interpreter, so the historical `array-codegen`/`bricks-codegen` series
+/// keep their pre-native meaning; the `@auto` variants measure whatever
+/// `ExecutionMode::Auto` dispatches on this host (AVX2 on x86_64).
+const MODES: [(ExecutionMode, &str); 2] =
+    [(ExecutionMode::Scalar, ""), (ExecutionMode::Auto, "@auto")];
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_throughput");
@@ -52,36 +61,75 @@ fn bench_kernels(c: &mut Criterion) {
             );
         }
 
-        // array codegen
+        // array codegen — interpreter series plus the Auto-dispatched backend
         {
             let kernel =
                 generate(&st, &b, LayoutKind::Array, WIDTH, CodegenOptions::default()).unwrap();
             let input = ArrayGrid::from_dense(&dense);
             let mut output = ArrayGrid::new(N, N, N, halo);
-            group.bench_with_input(
-                BenchmarkId::new("array-codegen", shape.label()),
-                &kernel,
-                |bench, k| {
-                    bench.iter(|| run_vector_array(k, &input, &mut output).unwrap());
-                },
-            );
+            for (mode, suffix) in MODES {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("array-codegen{suffix}"), shape.label()),
+                    &kernel,
+                    |bench, k| {
+                        bench.iter(|| run_vector_array_mode(k, &input, &mut output, mode).unwrap());
+                    },
+                );
+            }
         }
 
-        // bricks codegen
+        // bricks codegen — interpreter series plus the Auto-dispatched backend
         {
             let kernel =
                 generate(&st, &b, LayoutKind::Brick, WIDTH, CodegenOptions::default()).unwrap();
             let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(WIDTH));
             let mut output =
                 BrickGrid::with_metadata(Arc::clone(input.decomp()), Arc::clone(input.info()));
-            group.bench_with_input(
-                BenchmarkId::new("bricks-codegen", shape.label()),
-                &kernel,
-                |bench, k| {
-                    bench.iter(|| run_vector_brick(k, &input, &mut output).unwrap());
-                },
-            );
+            for (mode, suffix) in MODES {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("bricks-codegen{suffix}"), shape.label()),
+                    &kernel,
+                    |bench, k| {
+                        bench.iter(|| run_vector_brick_mode(k, &input, &mut output, mode).unwrap());
+                    },
+                );
+            }
         }
+    }
+    group.finish();
+}
+
+/// Full-scale cell from the paper's problem size: the 7-point star at 512³,
+/// bricks layout, interpreter vs Auto. Expensive (two ~1 GiB grids and an
+/// interpreted full sweep per sample), so it only runs when
+/// `BRICK_BENCH_FULL=1` is set — CI and quick local runs skip it.
+fn bench_full_scale(c: &mut Criterion) {
+    if std::env::var("BRICK_BENCH_FULL").as_deref() != Ok("1") {
+        return;
+    }
+    const NFULL: usize = 512;
+    let st = StencilShape::star(1).stencil();
+    let b = st.default_bindings();
+    let mut dense = DenseGrid::cubic(NFULL, 1);
+    dense.fill_test_pattern();
+    let kernel = generate(&st, &b, LayoutKind::Brick, WIDTH, CodegenOptions::default()).unwrap();
+    let input = BrickGrid::from_dense(&dense, BrickDims::for_simd_width(WIDTH));
+    let mut output = BrickGrid::with_metadata(Arc::clone(input.decomp()), Arc::clone(input.info()));
+
+    let mut group = c.benchmark_group("kernel_throughput_full");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(10))
+        .throughput(Throughput::Elements((NFULL * NFULL * NFULL) as u64));
+    for (mode, suffix) in MODES {
+        group.bench_with_input(
+            BenchmarkId::new(format!("bricks-codegen{suffix}"), "star1-512"),
+            &kernel,
+            |bench, k| {
+                bench.iter(|| run_vector_brick_mode(k, &input, &mut output, mode).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -104,5 +152,10 @@ fn bench_layout_conversion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_layout_conversion);
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_layout_conversion,
+    bench_full_scale
+);
 criterion_main!(benches);

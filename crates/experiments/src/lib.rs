@@ -24,6 +24,7 @@
 //! The `experiments` binary drives them (`cargo run -p experiments
 //! --release -- --all`).
 
+pub mod bench_exec;
 pub mod bench_sim;
 pub mod cache;
 pub mod config;

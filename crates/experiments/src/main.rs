@@ -13,8 +13,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use brick_vm::ExecutionMode;
 use experiments::report::*;
-use experiments::{bench_sim, figures, golden, tables, ExperimentParams, SweepOptions};
+use experiments::{bench_exec, bench_sim, figures, golden, tables, ExperimentParams, SweepOptions};
 use gpu_sim::SimFidelity;
 
 struct Args {
@@ -26,7 +27,9 @@ struct Args {
     jobs: Option<usize>,
     no_cache: bool,
     fidelity: Option<SimFidelity>,
+    exec_mode: Option<ExecutionMode>,
     bench_sim: bool,
+    bench_exec: bool,
     bless: bool,
     table1: bool,
     table2: bool,
@@ -65,7 +68,9 @@ fn parse_args() -> Result<Args, String> {
         jobs: None,
         no_cache: false,
         fidelity: None,
+        exec_mode: None,
         bench_sim: false,
+        bench_exec: false,
         bless: false,
         table1: false,
         table2: false,
@@ -147,6 +152,14 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--bench-sim" => args.bench_sim = true,
+            "--bench-exec" => args.bench_exec = true,
+            "--exec-mode" => {
+                let v = it
+                    .next()
+                    .ok_or("--exec-mode needs a value (scalar|auto|avx2|neon)")?;
+                args.exec_mode =
+                    Some(ExecutionMode::parse(&v).map_err(|e| format!("--exec-mode: {e}"))?);
+            }
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
             "--help" | "-h" => {
                 return Err(HELP.to_string());
@@ -162,7 +175,8 @@ fn parse_args() -> Result<Args, String> {
 
 const HELP: &str = "usage: experiments [--all] [--table1..5] [--compare] [--fig3..7] [--listings]
                    [--n N] [--full] [--out DIR] [--jobs N] [--no-cache]
-                   [--fidelity exact|fast] [--bench-sim] [--bless] [--trace]
+                   [--fidelity exact|fast] [--bench-sim] [--bench-exec]
+                   [--exec-mode scalar|auto|avx2|neon] [--bless] [--trace]
                    [--prof]
 
 Regenerates the tables and figures of 'Performance Portability Evaluation
@@ -187,6 +201,15 @@ sweep throughput at 64^3 plus the exact-vs-fast wall-time ratio of the
 star-2 CUDA/A100 cell (128^3, or N^3 with --n/--full) and again at the
 paper's full 512^3; it exits non-zero if the fast path is slower than
 exact at either size.
+
+--bench-exec measures the native CPU execution backend and writes
+DIR/BENCH_exec.json: the 7-point star at 512^3 (or N^3 with --n), bricks
+layout, interpreter vs the backend selected by --exec-mode (default
+'auto': AVX2 on x86_64, NEON on aarch64, portable otherwise). It prints
+the detected CPU features and the dispatched backend, records the mode
+in the run manifest, and exits non-zero if a SIMD backend runs below the
+10x acceptance floor at full scale. --exec-mode also sets the dispatch
+for any other numeric kernel execution in the process.
 
 --trace records hierarchical spans of the run and writes DIR/trace.json
 (Chrome trace_event format, loadable in chrome://tracing or Perfetto) and
@@ -213,6 +236,11 @@ fn main() -> ExitCode {
     };
     if args.trace {
         brick_obs::set_tracing(true);
+    }
+    if let Some(mode) = args.exec_mode {
+        // Make the choice the process default so every numeric kernel
+        // execution (not just --bench-exec) dispatches under it.
+        std::env::set_var("BRICK_EXEC", mode.to_string());
     }
     let params = ExperimentParams { n: args.n };
     if let Err(e) = params.validate() {
@@ -295,6 +323,41 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("bench-sim failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.bench_exec {
+        let mode = args.exec_mode.unwrap_or(ExecutionMode::Auto);
+        let bench_n = if args.n_explicit {
+            args.n
+        } else {
+            bench_exec::BENCH_EXEC_N
+        };
+        let features = brick_vm::CpuFeatures::detect();
+        eprintln!(
+            "benchmarking execution backend: star-7 bricks at {bench_n}^3, \
+             cpu features [{features}], mode {mode} -> {}",
+            brick_vm::resolve_with(mode, features)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|e| format!("unsupported ({e})"))
+        );
+        match bench_exec::run_bench_exec(bench_n, mode, Some(&args.out)) {
+            Ok(b) => {
+                eprintln!(
+                    "interpreter: {:.2}s ({:.1} Mpts/s)  {}: {:.2}s ({:.1} Mpts/s) — {:.1}x speedup",
+                    b.interpreter.wall_s,
+                    b.interpreter.points_per_s / 1e6,
+                    b.native.backend,
+                    b.native.wall_s,
+                    b.native.points_per_s / 1e6,
+                    b.speedup
+                );
+                eprintln!("wrote {}", args.out.join("BENCH_exec.json").display());
+            }
+            Err(e) => {
+                eprintln!("bench-exec failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

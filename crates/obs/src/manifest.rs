@@ -39,6 +39,10 @@ pub struct RunManifest {
     pub cache_misses: u64,
     /// Sweep result-cache entries found corrupt during this run.
     pub cache_corrupt: u64,
+    /// Execution mode the run's vector kernels were dispatched under
+    /// (`"scalar"`/`"auto"`/`"avx2"`/`"neon"`), when the producing
+    /// workload executes kernels numerically.
+    pub exec_mode: Option<String>,
 }
 
 impl RunManifest {
@@ -77,6 +81,13 @@ impl RunManifest {
         self.fidelity = Some(fidelity.to_string());
         self.jobs = Some(jobs);
         (self.cache_hits, self.cache_misses, self.cache_corrupt) = cache;
+        self
+    }
+
+    /// Record the execution mode the run's vector kernels were dispatched
+    /// under, for workloads that execute kernels numerically.
+    pub fn with_exec_mode(mut self, exec_mode: &str) -> RunManifest {
+        self.exec_mode = Some(exec_mode.to_string());
         self
     }
 
@@ -163,6 +174,7 @@ mod tests {
             cache_hits: 100,
             cache_misses: 8,
             cache_corrupt: 1,
+            exec_mode: Some("avx2".into()),
         };
         let json = serde_json::to_string(&m).unwrap();
         let back: RunManifest = serde_json::from_str(&json).unwrap();

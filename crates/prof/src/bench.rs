@@ -66,6 +66,46 @@ pub const BENCH_RULES: &[MetricRule] = &[
     },
 ];
 
+/// The gated metrics of `BENCH_exec.json` (the native execution-backend
+/// acceptance cell): absolute throughput of both backends and the
+/// native-over-interpreter speedup. Each metric is noise-widened by the
+/// relative spread its producing run recorded across repetitions — the
+/// interpreter on a loaded single-core host can spread by well over the
+/// floor tolerance.
+pub const EXEC_RULES: &[MetricRule] = &[
+    MetricRule {
+        path: "interpreter.points_per_s",
+        higher_is_better: true,
+        tolerance: 0.10,
+        noise_path: Some("interpreter.spread"),
+    },
+    MetricRule {
+        path: "native.points_per_s",
+        higher_is_better: true,
+        tolerance: 0.10,
+        noise_path: Some("native.spread"),
+    },
+    MetricRule {
+        path: "speedup",
+        higher_is_better: true,
+        tolerance: 0.10,
+        noise_path: Some("speedup_spread"),
+    },
+];
+
+/// Pick the rule set for a bench document by its distinguishing key:
+/// `BENCH_exec.json` documents carry an `exec` object (the measured
+/// cell's identity), `BENCH_sim.json` documents do not. Keying on the
+/// document rather than the filename lets `bricks prof diff/gate/history`
+/// accept either artifact without a mode flag.
+pub fn rules_for(doc: &Value) -> &'static [MetricRule] {
+    if doc.get("exec").is_some() {
+        EXEC_RULES
+    } else {
+        BENCH_RULES
+    }
+}
+
 /// One metric's comparison across two documents.
 #[derive(Debug, Clone)]
 pub struct MetricDelta {
@@ -238,6 +278,39 @@ mod tests {
         let base = bench_doc(10.0, 100.0, 8.0);
         let faster = bench_doc(20.0, 250.0, 16.0);
         assert!(gate(&diff_bench(&base, &faster, BENCH_RULES)).is_ok());
+    }
+
+    fn exec_doc(interp: f64, native: f64, spread: f64) -> Value {
+        serde_json::parse(&format!(
+            r#"{{"schema": 1, "exec": {{"stencil": "7pt", "n": 512}},
+                 "interpreter": {{"points_per_s": {interp}, "spread": 0.05}},
+                 "native": {{"points_per_s": {native}, "spread": 0.05}},
+                 "speedup": {r}, "speedup_spread": {spread}}}"#,
+            r = native / interp
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn exec_docs_select_exec_rules_and_gate_on_native_throughput() {
+        let base = exec_doc(60.0e6, 230.0e6, 0.05);
+        assert_eq!(rules_for(&base)[0].path, "interpreter.points_per_s");
+        assert_eq!(
+            rules_for(&bench_doc(10.0, 100.0, 8.0))[0].path,
+            "sweep.cold_cells_per_s"
+        );
+        // identical run passes
+        assert!(gate(&diff_bench(&base, &base, rules_for(&base))).is_ok());
+        // native backend regressing 20% fails on both throughput and speedup
+        let slow = exec_doc(60.0e6, 184.0e6, 0.05);
+        let err = gate(&diff_bench(&base, &slow, rules_for(&base))).unwrap_err();
+        assert!(err.contains("native.points_per_s"), "{err}");
+        // a run that recorded large interpreter spread widens, capped
+        let noisy = exec_doc(56.0e6, 230.0e6, 1.8);
+        let deltas = diff_bench(&base, &noisy, rules_for(&base));
+        let sp = deltas.iter().find(|d| d.path == "speedup").unwrap();
+        assert_eq!(sp.tolerance, MAX_TOLERANCE);
+        assert!(gate(&deltas).is_ok());
     }
 
     fn noisy_doc(cold: f64, spread: f64) -> Value {

@@ -30,7 +30,8 @@ pub mod sweep;
 pub mod tree;
 
 pub use bench::{
-    diff_bench, gate, history_append, history_load, lookup, MetricDelta, MetricRule, BENCH_RULES,
+    diff_bench, gate, history_append, history_load, lookup, rules_for, MetricDelta, MetricRule,
+    BENCH_RULES, EXEC_RULES,
 };
 pub use report::{
     render_diff, render_history, render_introspection, render_sweep_profile, render_tree,

@@ -14,6 +14,7 @@ use brick_core::{ArrayGrid, BrickGrid, BrickNav};
 use rayon::prelude::*;
 
 use crate::geom::TraceGeometry;
+use crate::native::{self, Backend, ExecutionMode, NativeOps, Plan, RowOps};
 use crate::trace::TraceSink;
 
 /// Errors surfaced by the VM.
@@ -24,6 +25,9 @@ pub enum VmError {
     InvalidKernel(Box<brick_lint::Report>),
     /// Kernel and grid disagree (layout, block shape, extents, halo).
     Mismatch(String),
+    /// A forced [`ExecutionMode`] the running host cannot execute
+    /// (e.g. `avx2` without AVX2+FMA). `Auto` never produces this.
+    Unsupported(String),
 }
 
 impl VmError {
@@ -31,7 +35,7 @@ impl VmError {
     pub fn report(&self) -> Option<&brick_lint::Report> {
         match self {
             VmError::InvalidKernel(r) => Some(r),
-            VmError::Mismatch(_) => None,
+            VmError::Mismatch(_) | VmError::Unsupported(_) => None,
         }
     }
 }
@@ -41,6 +45,7 @@ impl std::fmt::Display for VmError {
         match self {
             VmError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
             VmError::Mismatch(e) => write!(f, "kernel/grid mismatch: {e}"),
+            VmError::Unsupported(e) => write!(f, "unsupported execution mode: {e}"),
         }
     }
 }
@@ -185,12 +190,62 @@ fn check_brick(
 /// Execute a brick-layout vector kernel out-of-place over all interior
 /// bricks, in parallel (one Rayon task per brick; output bricks are
 /// disjoint storage chunks, so no synchronisation is needed).
+///
+/// Back-compat wrapper for [`run_vector_brick_mode`] using the process
+/// default mode (`BRICK_EXEC`, else `Auto`). Every mode computes
+/// bit-identical results; see [`crate::native`].
 pub fn run_vector_brick(
     kernel: &VectorKernel,
     input: &BrickGrid,
     output: &mut BrickGrid,
 ) -> Result<(), VmError> {
+    run_vector_brick_mode(kernel, input, output, ExecutionMode::from_env())
+}
+
+/// [`run_vector_brick`] under an explicit [`ExecutionMode`].
+pub fn run_vector_brick_mode(
+    kernel: &VectorKernel,
+    input: &BrickGrid,
+    output: &mut BrickGrid,
+    mode: ExecutionMode,
+) -> Result<(), VmError> {
+    let backend = native::resolve(mode)?;
+    run_vector_brick_backend(kernel, input, output, backend)
+}
+
+/// [`run_vector_brick`] under an explicitly resolved [`Backend`] —
+/// the differential-test and benchmark entry (e.g. to force the portable
+/// compiled backend on a host whose `Auto` resolves to a SIMD one).
+/// Errors (never panics) when this host cannot execute `backend`.
+pub fn run_vector_brick_backend(
+    kernel: &VectorKernel,
+    input: &BrickGrid,
+    output: &mut BrickGrid,
+    backend: Backend,
+) -> Result<(), VmError> {
     check_brick(kernel, input, output)?;
+    match backend {
+        Backend::Interpreter => {
+            run_brick_interp(kernel, input, output);
+            Ok(())
+        }
+        backend => {
+            let plan = Plan::compile(kernel)?;
+            match native::ops_for(backend)? {
+                NativeOps::Portable(ops) => run_brick_plan(&plan, &ops, input, output),
+                #[cfg(target_arch = "x86_64")]
+                NativeOps::Avx2(ops) => run_brick_plan(&plan, &ops, input, output),
+                #[cfg(target_arch = "aarch64")]
+                NativeOps::Neon(ops) => run_brick_plan(&plan, &ops, input, output),
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The interpreter path of [`run_vector_brick_mode`] — retained verbatim
+/// as the differential oracle for the compiled backends.
+fn run_brick_interp(kernel: &VectorKernel, input: &BrickGrid, output: &mut BrickGrid) {
     let nav = input.nav().clone();
     let dims = input.dims();
     let vol = dims.volume();
@@ -224,16 +279,127 @@ pub fn run_vector_brick(
                 },
             );
         });
-    Ok(())
 }
 
-/// Execute an array-layout vector kernel out-of-place over all tiles, in
-/// parallel over z-slabs of tiles (whose output rows are disjoint,
-/// contiguous storage ranges).
-pub fn run_vector_array(
+/// Compiled-plan path of [`run_vector_brick_mode`]: same parallel
+/// structure as the interpreter, with the per-block IR walk replaced by
+/// [`Plan::exec_block`] over backend `B`. Input rows resolve through
+/// `BrickNav` exactly as the interpreter's do; the reach-vs-ghost check in
+/// [`check_brick`] (backed by the analyzer's bounds proof) guarantees every
+/// resolved row is inside the input allocation, so the row copies below
+/// cannot panic for a verified kernel.
+fn run_brick_plan<B: RowOps>(plan: &Plan, ops: &B, input: &BrickGrid, output: &mut BrickGrid) {
+    if let Some(fused) = plan.fused() {
+        return run_brick_fused(fused, plan, ops, input, output);
+    }
+    let nav = input.nav().clone();
+    let dims = input.dims();
+    let vol = dims.volume();
+    let w = plan.width();
+    let in_raw = input.raw();
+    let decomp = std::sync::Arc::clone(input.decomp());
+    output
+        .raw_mut()
+        .par_chunks_mut(vol)
+        .enumerate()
+        .for_each(|(id, out_chunk)| {
+            let home = id as u32;
+            if !decomp.is_interior(home) {
+                return;
+            }
+            let mut regs = vec![0.0; plan.regs_len()];
+            plan.exec_block(
+                ops,
+                &mut regs,
+                |rx, ry, rz, lane0, dst| {
+                    let (b, off) =
+                        nav.resolve_rel(home, rx as i64 * w as i64, ry as i64, rz as i64);
+                    let s = b as usize * vol + off + lane0;
+                    dst.copy_from_slice(&in_raw[s..s + dst.len()]);
+                },
+                |ry, rz, src| {
+                    let off = dims.row_offset(ry as usize, rz as usize);
+                    out_chunk[off..off + w].copy_from_slice(src);
+                },
+            );
+        });
+}
+
+/// Fused-row brick executor: per interior block, resolve every tap once
+/// through the 27-neighbour table (indices precomputed at plan-compile
+/// time — no `div_euclid` chains here), then evaluate each output row's
+/// tape straight from the input slab. The register file never exists;
+/// see [`crate::native::fuse`] for why this is bit-identical to the
+/// interpreter and the step machine.
+fn run_brick_fused<B: RowOps>(
+    fused: &crate::native::fuse::FusedKernel,
+    plan: &Plan,
+    ops: &B,
+    input: &BrickGrid,
+    output: &mut BrickGrid,
+) {
+    use crate::native::fuse::MAX_TAPS;
+    let ntaps = fused.taps_len();
+    assert!(ntaps <= MAX_TAPS, "fused tap table exceeds executor buffer");
+    // Tier the per-block tap buffer so common kernels don't pay a
+    // MAX_TAPS-sized zeroing per block (the table holds one entry per
+    // distinct (tap, row) pair: star-7 on a 32x4x4 brick needs 64,
+    // star-13 and cube-27 just over 100).
+    if ntaps <= SMALL_TAPS {
+        run_brick_fused_nt::<B, SMALL_TAPS>(fused, plan, ops, input, output)
+    } else if ntaps <= MID_TAPS {
+        run_brick_fused_nt::<B, MID_TAPS>(fused, plan, ops, input, output)
+    } else {
+        run_brick_fused_nt::<B, MAX_TAPS>(fused, plan, ops, input, output)
+    }
+}
+
+/// Tap-buffer tiers; SMALL covers star-7 on the default brick, MID the
+/// rest of the paper suite except star-25.
+const SMALL_TAPS: usize = 64;
+const MID_TAPS: usize = 128;
+
+fn run_brick_fused_nt<B: RowOps, const NT: usize>(
+    fused: &crate::native::fuse::FusedKernel,
+    plan: &Plan,
+    ops: &B,
+    input: &BrickGrid,
+    output: &mut BrickGrid,
+) {
+    use crate::native::fuse::RTap;
+    let info = std::sync::Arc::clone(input.info());
+    let dims = input.dims();
+    let vol = dims.volume();
+    let w = plan.width();
+    let in_raw = input.raw();
+    let decomp = std::sync::Arc::clone(input.decomp());
+    let ntaps = fused.taps_len();
+    debug_assert!(ntaps <= NT);
+    output
+        .raw_mut()
+        .par_chunks_mut(vol)
+        .enumerate()
+        .for_each(|(id, out_chunk)| {
+            let home = id as u32;
+            if !decomp.is_interior(home) {
+                return;
+            }
+            let mut rtaps = [RTap::Direct { base: 0 }; NT];
+            fused.resolve_brick(info.row(home), vol, &mut rtaps[..ntaps]);
+            ops.eval_block(fused, &rtaps[..ntaps], in_raw, w, out_chunk, |rp| {
+                rp.out_off
+            });
+        });
+}
+
+/// Shared validation for the array executors: layout, extents,
+/// divisibility, and the kernel's load reach against the halo. The reach
+/// check is what makes the compiled path's unguarded row reads total: a
+/// verified kernel's loads stay within `[-halo, n + halo)` on every axis.
+fn check_array(
     kernel: &VectorKernel,
     input: &ArrayGrid,
-    output: &mut ArrayGrid,
+    output: &ArrayGrid,
 ) -> Result<(), VmError> {
     let footprint = brick_lint::verify(kernel).map_err(VmError::InvalidKernel)?;
     if kernel.layout != LayoutKind::Array {
@@ -256,7 +422,75 @@ pub fn run_vector_array(
             "kernel reach {reach:?} exceeds array halo {halo}"
         )));
     }
+    if output.dense().halo() != halo {
+        return Err(VmError::Mismatch(format!(
+            "output halo {} != input halo {halo}",
+            output.dense().halo()
+        )));
+    }
+    Ok(())
+}
 
+/// Execute an array-layout vector kernel out-of-place over all tiles, in
+/// parallel over z-slabs of tiles (whose output rows are disjoint,
+/// contiguous storage ranges).
+///
+/// Back-compat wrapper for [`run_vector_array_mode`] using the process
+/// default mode (`BRICK_EXEC`, else `Auto`). Every mode computes
+/// bit-identical results; see [`crate::native`].
+pub fn run_vector_array(
+    kernel: &VectorKernel,
+    input: &ArrayGrid,
+    output: &mut ArrayGrid,
+) -> Result<(), VmError> {
+    run_vector_array_mode(kernel, input, output, ExecutionMode::from_env())
+}
+
+/// [`run_vector_array`] under an explicit [`ExecutionMode`].
+pub fn run_vector_array_mode(
+    kernel: &VectorKernel,
+    input: &ArrayGrid,
+    output: &mut ArrayGrid,
+    mode: ExecutionMode,
+) -> Result<(), VmError> {
+    let backend = native::resolve(mode)?;
+    run_vector_array_backend(kernel, input, output, backend)
+}
+
+/// [`run_vector_array`] under an explicitly resolved [`Backend`]; see
+/// [`run_vector_brick_backend`].
+pub fn run_vector_array_backend(
+    kernel: &VectorKernel,
+    input: &ArrayGrid,
+    output: &mut ArrayGrid,
+    backend: Backend,
+) -> Result<(), VmError> {
+    check_array(kernel, input, output)?;
+    match backend {
+        Backend::Interpreter => {
+            run_array_interp(kernel, input, output);
+            Ok(())
+        }
+        backend => {
+            let plan = Plan::compile(kernel)?;
+            match native::ops_for(backend)? {
+                NativeOps::Portable(ops) => run_array_plan(&plan, &ops, input, output),
+                #[cfg(target_arch = "x86_64")]
+                NativeOps::Avx2(ops) => run_array_plan(&plan, &ops, input, output),
+                #[cfg(target_arch = "aarch64")]
+                NativeOps::Neon(ops) => run_array_plan(&plan, &ops, input, output),
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The interpreter path of [`run_vector_array_mode`] — retained verbatim
+/// as the differential oracle for the compiled backends.
+fn run_array_interp(kernel: &VectorKernel, input: &ArrayGrid, output: &mut ArrayGrid) {
+    let (nx, ny, nz) = input.extents();
+    let block = kernel.block;
+    let halo = input.dense().halo();
     let w = kernel.width;
     let dense_in = input.dense();
     let (hx, hy) = (halo as i64, halo as i64);
@@ -267,12 +501,6 @@ pub fn run_vector_array(
     let tiles_y = ny / block.by;
 
     // Interior z planes as disjoint slabs of `bz` planes each.
-    if output.dense().halo() != halo {
-        return Err(VmError::Mismatch(format!(
-            "output halo {} != input halo {halo}",
-            output.dense().halo()
-        )));
-    }
     let raw_out = output.dense_mut().raw_mut();
     let body = &mut raw_out[halo * plane..(halo + nz) * plane];
     body.par_chunks_mut(block.bz * plane)
@@ -316,7 +544,127 @@ pub fn run_vector_array(
                 }
             }
         });
-    Ok(())
+}
+
+/// Compiled-plan path of [`run_vector_array_mode`]: the per-element halo
+/// branch of the interpreter's read path is replaced by one contiguous
+/// row copy from padded dense storage. The reach-vs-halo check in
+/// [`check_array`] (backed by the analyzer's bounds proof) guarantees
+/// every read row lies inside `[-halo, n + halo)` on all axes, so the
+/// slice copies below cannot panic for a verified kernel.
+fn run_array_plan<B: RowOps>(plan: &Plan, ops: &B, input: &ArrayGrid, output: &mut ArrayGrid) {
+    if let Some(fused) = plan.fused() {
+        return run_array_fused(fused, plan, ops, input, output);
+    }
+    let (nx, ny, nz) = input.extents();
+    let block = plan.block();
+    let halo = input.dense().halo();
+    let w = plan.width();
+    let raw_in = input.dense().raw();
+    let h = halo as i64;
+    let sx = nx + 2 * halo;
+    let sy = ny + 2 * halo;
+    let plane = sx * sy;
+    let tiles_x = nx / block.bx;
+    let tiles_y = ny / block.by;
+
+    let raw_out = output.dense_mut().raw_mut();
+    let body = &mut raw_out[halo * plane..(halo + nz) * plane];
+    body.par_chunks_mut(block.bz * plane)
+        .enumerate()
+        .for_each(|(tz, slab)| {
+            let oz = (tz * block.bz) as i64;
+            let mut regs = vec![0.0; plan.regs_len()];
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    let ox = (tx * block.bx) as i64;
+                    let oy = (ty * block.by) as i64;
+                    plan.exec_block(
+                        ops,
+                        &mut regs,
+                        |rx, ry, rz, lane0, dst| {
+                            let y = oy + ry as i64;
+                            let z = oz + rz as i64;
+                            let x0 = ox + rx as i64 * w as i64 + lane0 as i64;
+                            let start =
+                                (((z + h) * sy as i64 + (y + h)) * sx as i64 + (x0 + h)) as usize;
+                            dst.copy_from_slice(&raw_in[start..start + dst.len()]);
+                        },
+                        |ry, rz, src| {
+                            // Index within the slab: z-local plane, full row.
+                            let zloc = rz as usize;
+                            let row = ((zloc * sy) as i64 + (oy + ry as i64 + h)) as usize;
+                            let start = row * sx + (ox + h) as usize;
+                            slab[start..start + w].copy_from_slice(src);
+                        },
+                    );
+                }
+            }
+        });
+}
+
+/// Fused-row array executor. On the dense layout every tap — including
+/// shifted ones, since rows are contiguous in `x` across tile seams —
+/// collapses to a single stride delta from the tile origin, computed once
+/// per run; per tile the taps resolve with one add each. The kernel's
+/// reach stays within the halo ([`check_array`]), so every resolved row
+/// lies inside the padded slab.
+fn run_array_fused<B: RowOps>(
+    fused: &crate::native::fuse::FusedKernel,
+    plan: &Plan,
+    ops: &B,
+    input: &ArrayGrid,
+    output: &mut ArrayGrid,
+) {
+    use crate::native::fuse::{RTap, Tap, MAX_TAPS};
+    let (nx, ny, nz) = input.extents();
+    let block = plan.block();
+    let halo = input.dense().halo();
+    let w = plan.width();
+    let raw_in = input.dense().raw();
+    let h = halo as i64;
+    let sx = nx + 2 * halo;
+    let sy = ny + 2 * halo;
+    let plane = (sx * sy) as i64;
+    let tiles_x = nx / block.bx;
+    let tiles_y = ny / block.by;
+    let ntaps = fused.taps_len();
+    assert!(ntaps <= MAX_TAPS, "fused tap table exceeds executor buffer");
+    let deltas: Vec<i64> = fused
+        .taps()
+        .iter()
+        .map(|t| match *t {
+            Tap::Direct { rx, ry, rz } => {
+                rz as i64 * plane + ry as i64 * sx as i64 + rx as i64 * w as i64
+            }
+            Tap::Shifted { ry, rz, dx } => rz as i64 * plane + ry as i64 * sx as i64 + dx as i64,
+        })
+        .collect();
+
+    let raw_out = output.dense_mut().raw_mut();
+    let body = &mut raw_out[halo * (plane as usize)..(halo + nz) * (plane as usize)];
+    body.par_chunks_mut(block.bz * plane as usize)
+        .enumerate()
+        .for_each(|(tz, slab)| {
+            let oz = (tz * block.bz) as i64;
+            let mut rtaps = [RTap::Direct { base: 0 }; MAX_TAPS];
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    let ox = (tx * block.bx) as i64;
+                    let oy = (ty * block.by) as i64;
+                    let origin = ((oz + h) * sy as i64 + (oy + h)) * sx as i64 + (ox + h);
+                    for (slot, d) in deltas.iter().enumerate() {
+                        rtaps[slot] = RTap::Direct {
+                            base: (origin + d) as usize,
+                        };
+                    }
+                    ops.eval_block(fused, &rtaps[..ntaps], raw_in, w, slab, |rp| {
+                        let row = rp.rz as i64 * sy as i64 + (oy + rp.ry as i64 + h);
+                        (row * sx as i64 + ox + h) as usize
+                    });
+                }
+            }
+        });
 }
 
 /// Cheap per-trace compatibility check between a kernel and a geometry.

@@ -15,12 +15,17 @@
 pub mod classes;
 pub mod exec;
 pub mod geom;
+pub mod native;
 pub mod scalar;
 pub mod trace;
 
 pub use classes::{BlockClasses, CompiledTrace, StreamEvent};
-pub use exec::{kernel_reach, run_vector_array, run_vector_brick, trace_vector_block, VmError};
+pub use exec::{
+    kernel_reach, run_vector_array, run_vector_array_backend, run_vector_array_mode,
+    run_vector_brick, run_vector_brick_backend, run_vector_brick_mode, trace_vector_block, VmError,
+};
 pub use geom::{ArrayAddr, TraceGeometry, DEFAULT_IN_BASE, DEFAULT_OUT_BASE};
+pub use native::{resolve, resolve_with, Backend, CpuFeatures, ExecutionMode, Plan};
 pub use scalar::{run_scalar_array, run_scalar_brick, trace_scalar_block, ScalarKernel};
 pub use trace::{CountingSink, NullSink, RecordingSink, TraceSink};
 
@@ -91,7 +96,21 @@ impl KernelSpec {
 ///
 /// Builds the layout-appropriate grids (brick decomposition or padded
 /// array), executes out-of-place, and converts back.
+///
+/// Back-compat wrapper for [`run_numeric_dense_mode`] using the process
+/// default mode (`BRICK_EXEC`, else `Auto`); all modes are bit-identical.
 pub fn run_numeric_dense(spec: &KernelSpec, input: &DenseGrid) -> Result<DenseGrid, VmError> {
+    run_numeric_dense_mode(spec, input, ExecutionMode::from_env())
+}
+
+/// [`run_numeric_dense`] under an explicit [`ExecutionMode`]. Scalar
+/// (SIMT) kernels have no vector IR to compile and always run their own
+/// reference loop, whatever the mode.
+pub fn run_numeric_dense_mode(
+    spec: &KernelSpec,
+    input: &DenseGrid,
+    mode: ExecutionMode,
+) -> Result<DenseGrid, VmError> {
     match (spec, spec.layout()) {
         (KernelSpec::Vector(k), LayoutKind::Brick) => {
             let in_grid = BrickGrid::from_dense(input, k.block);
@@ -99,14 +118,14 @@ pub fn run_numeric_dense(spec: &KernelSpec, input: &DenseGrid) -> Result<DenseGr
                 std::sync::Arc::clone(in_grid.decomp()),
                 std::sync::Arc::clone(in_grid.info()),
             );
-            run_vector_brick(k, &in_grid, &mut out_grid)?;
+            run_vector_brick_mode(k, &in_grid, &mut out_grid, mode)?;
             Ok(out_grid.to_dense())
         }
         (KernelSpec::Vector(k), LayoutKind::Array) => {
             let in_grid = ArrayGrid::from_dense(input);
             let (nx, ny, nz) = input.extents();
             let mut out_grid = ArrayGrid::new(nx, ny, nz, input.halo());
-            run_vector_array(k, &in_grid, &mut out_grid)?;
+            run_vector_array_mode(k, &in_grid, &mut out_grid, mode)?;
             Ok(out_grid.to_dense())
         }
         (KernelSpec::Scalar(k), LayoutKind::Brick) => {

@@ -1,0 +1,719 @@
+//! AVX2+FMA row backend (x86-64).
+//!
+//! This module and [`super::neon`] are the only places in the workspace
+//! allowed to use `unsafe` (the crate downgrades the workspace-wide
+//! `unsafe_code = "forbid"` to `deny` exactly for them; see
+//! `crates/vm/Cargo.toml`). The safety argument has three layers:
+//!
+//! 1. [`Plan::compile`](super::Plan::compile) only emits row offsets it
+//!    validated against the kernel's register count, after the analyzer's
+//!    bounds proof ([`brick_lint::prove_bounds`]) re-checked every register,
+//!    lane, shift, and coefficient index in the IR.
+//! 2. Each safe wrapper below re-asserts, per call, that every row offset
+//!    plus the width fits inside the register file and that the width is a
+//!    whole number of 4-lane vectors — no pointer is formed otherwise.
+//! 3. [`Avx2Ops::new`] returns `None` unless `is_x86_feature_detected!`
+//!    confirms `avx2` *and* `fma`, so the `#[target_feature]` functions are
+//!    only ever reached on hosts that support them.
+//!
+//! `_mm256_fmadd_pd` computes the correctly-rounded IEEE-754 fused
+//! multiply-add — the same value `f64::mul_add` produces lane-by-lane — so
+//! this backend is bit-identical to the interpreter (ULP bound 0).
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::{
+    __m256d, _mm256_add_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+    _mm256_setzero_pd, _mm256_storeu_pd, _mm256_stream_pd, _mm_prefetch, _mm_sfence, _MM_HINT_T0,
+};
+
+use super::fuse::{self, RTap, TapeOp, MAX_STACK};
+use super::RowOps;
+
+/// AVX2+FMA rows. Constructible only when the host supports both features.
+pub(crate) struct Avx2Ops(());
+
+impl Avx2Ops {
+    /// Detect and construct; `None` when the host lacks `avx2`/`fma`.
+    pub(crate) fn new() -> Option<Avx2Ops> {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            Some(Avx2Ops(()))
+        } else {
+            None
+        }
+    }
+}
+
+/// Check the preconditions of the pointer loops: `w` is a positive whole
+/// number of 4-lane vectors and every row `[off, off + w)` lies inside
+/// `regs`. Panics (never UB) on violation — unreachable for offsets
+/// produced by `Plan::compile`.
+fn check_rows(len: usize, w: usize, offs: [usize; 3]) {
+    assert!(
+        w >= 4 && w.is_multiple_of(4),
+        "width {w} is not a multiple of 4"
+    );
+    for off in offs {
+        assert!(off + w <= len, "row {off}+{w} escapes register file {len}");
+    }
+}
+
+impl RowOps for Avx2Ops {
+    fn add(&self, regs: &mut [f64], dst0: usize, a0: usize, b0: usize, w: usize) {
+        check_rows(regs.len(), w, [dst0, a0, b0]);
+        // SAFETY: rows checked in-bounds above; avx2+fma verified by `new`.
+        unsafe { add_rows(regs.as_mut_ptr(), dst0, a0, b0, w) }
+    }
+
+    fn mul(&self, regs: &mut [f64], dst0: usize, a0: usize, c: f64, w: usize) {
+        check_rows(regs.len(), w, [dst0, a0, a0]);
+        // SAFETY: rows checked in-bounds above; avx2+fma verified by `new`.
+        unsafe { mul_rows(regs.as_mut_ptr(), dst0, a0, c, w) }
+    }
+
+    fn fma(&self, regs: &mut [f64], dst0: usize, acc0: usize, a0: usize, c: f64, w: usize) {
+        check_rows(regs.len(), w, [dst0, acc0, a0]);
+        // SAFETY: rows checked in-bounds above; avx2+fma verified by `new`.
+        unsafe { fma_rows(regs.as_mut_ptr(), dst0, acc0, a0, c, w) }
+    }
+
+    fn eval_row(&self, tape: &[TapeOp], rtaps: &[RTap], raw: &[f64], w: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), w, "output row length mismatch");
+        // `check_tape` walks the whole program first: every tap row it
+        // will load is proven inside `raw`, shift distances are in
+        // `(0, w)`, and the value stack stays within MAX_STACK — no
+        // pointer below is formed otherwise. Straight-chain tapes (the
+        // common case) dispatch to a stackless instantiation so no stack
+        // array is materialized per row.
+        let max_sp = fuse::check_tape(tape, rtaps, raw.len(), w);
+        // SAFETY: bounds established by `check_tape`/the assert above;
+        // avx2+fma verified by `Avx2Ops::new`. The width is dispatched to
+        // a const chunk count so the accumulators live in ymm registers.
+        unsafe {
+            match (w, max_sp) {
+                (16, 0) => eval_tape::<4, 0>(tape, rtaps, raw, out),
+                (16, _) => eval_tape::<4, MAX_STACK>(tape, rtaps, raw, out),
+                (32, 0) => eval_tape::<8, 0>(tape, rtaps, raw, out),
+                (32, _) => eval_tape::<8, MAX_STACK>(tape, rtaps, raw, out),
+                (64, 0) => eval_tape::<16, 0>(tape, rtaps, raw, out),
+                (64, _) => eval_tape::<16, MAX_STACK>(tape, rtaps, raw, out),
+                _ => fuse::eval_row_portable(tape, rtaps, raw, w, out),
+            }
+        }
+    }
+
+    fn eval_block<F: Fn(&fuse::RowProg) -> usize>(
+        &self,
+        fused: &fuse::FusedKernel,
+        rtaps: &[RTap],
+        raw: &[f64],
+        w: usize,
+        out: &mut [f64],
+        row_start: F,
+    ) {
+        // Once-per-block half of the safety argument: every row base the
+        // tapes can load is proven inside `raw` and shift distances are
+        // in `(0, w)`. The per-tape half (tap ids, stack discipline) is
+        // enforced by ordinary bounds-checked indexing inside
+        // `eval_tape`/`eval_fast`, so no pointer can escape the slab even
+        // for a malformed tape.
+        fuse::check_taps(rtaps, raw.len(), w);
+        // The block's input rows are short bursts (a few cache lines
+        // each) scattered across up to 27 neighbour bricks — a pattern
+        // the hardware prefetcher cannot follow across slab boundaries.
+        // Issue one prefetch per cache line of every tap row up front so
+        // the DRAM fetches overlap the first rows' arithmetic.
+        let touch = |base: usize| {
+            let mut line = 0;
+            while line < w {
+                // SAFETY: prefetch is a hint — it cannot fault — and
+                // `base + w <= raw.len()` was checked above anyway.
+                unsafe {
+                    _mm_prefetch::<_MM_HINT_T0>(raw.as_ptr().add(base + line).cast());
+                }
+                line += 8;
+            }
+        };
+        for rt in rtaps {
+            match *rt {
+                RTap::Direct { base } => touch(base),
+                RTap::Split { home, nbr, .. } => {
+                    touch(home);
+                    touch(nbr);
+                }
+            }
+        }
+        for rp in fused.rows() {
+            let s = row_start(rp);
+            let out_row = &mut out[s..s + w];
+            // SAFETY: tap table checked above; `out_row.len() == w` by
+            // the slice; avx2+fma verified by `Avx2Ops::new`. `max_sp`
+            // was fixed at linearization — a stale value only shifts
+            // which instantiation runs, and the stack indexing inside
+            // stays bounds-checked.
+            unsafe {
+                match (w, &rp.fast) {
+                    (16, Some(fr)) => eval_fast::<4>(fr, rtaps, raw, out_row),
+                    (32, Some(fr)) => eval_fast::<8>(fr, rtaps, raw, out_row),
+                    (64, Some(fr)) => eval_fast::<16>(fr, rtaps, raw, out_row),
+                    (16, None) if rp.max_sp == 0 => {
+                        eval_tape::<4, 0>(&rp.tape, rtaps, raw, out_row)
+                    }
+                    (16, None) => eval_tape::<4, MAX_STACK>(&rp.tape, rtaps, raw, out_row),
+                    (32, None) if rp.max_sp == 0 => {
+                        eval_tape::<8, 0>(&rp.tape, rtaps, raw, out_row)
+                    }
+                    (32, None) => eval_tape::<8, MAX_STACK>(&rp.tape, rtaps, raw, out_row),
+                    (64, None) if rp.max_sp == 0 => {
+                        eval_tape::<16, 0>(&rp.tape, rtaps, raw, out_row)
+                    }
+                    (64, None) => eval_tape::<16, MAX_STACK>(&rp.tape, rtaps, raw, out_row),
+                    _ => fuse::eval_row_portable(&rp.tape, rtaps, raw, w, out_row),
+                }
+            }
+        }
+        // Drain the write-combining buffers of `eval_fast`'s non-temporal
+        // stores before the output chunk is handed back (required for
+        // cross-thread visibility under a parallel executor; a plain
+        // store fence, negligible once per block).
+        // SAFETY: SFENCE is baseline SSE on x86-64, no memory operand.
+        unsafe { _mm_sfence() };
+    }
+}
+
+/// Straight-chain row evaluator — the hot path for star stencils. Unlike
+/// [`eval_tape`], the loop body is uniform (always a broadcast + `NC`
+/// fused multiply-adds), so LLVM keeps all `NC` accumulators in ymm
+/// registers for the whole row; the seam gather of split taps is
+/// outlined cold to keep the hot loop's control flow trivial.
+///
+/// # Safety
+/// Same contract as [`eval_tape`]: tap table validated against
+/// `raw.len()`/`w` ([`fuse::check_taps`]), `out.len() == w == 4·NC`,
+/// avx2+fma present. Tap ids are bounds-checked slice accesses.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn eval_fast<const NC: usize>(
+    fr: &fuse::FastRow,
+    rtaps: &[RTap],
+    raw: &[f64],
+    out: &mut [f64],
+) {
+    let p = raw.as_ptr();
+    let mut acc = [_mm256_setzero_pd(); NC];
+    // SAFETY (all loads): rows validated by check_taps; chunk offsets
+    // stay inside one validated row (see `apply`).
+    match rtaps[fr.first as usize] {
+        RTap::Direct { base } => {
+            for (c, a) in acc.iter_mut().enumerate() {
+                *a = unsafe { _mm256_loadu_pd(p.add(base + 4 * c)) };
+            }
+        }
+        rt => {
+            for (c, a) in acc.iter_mut().enumerate() {
+                *a = unsafe { load_split::<NC>(rt, p, c) };
+            }
+        }
+    }
+    for &(t, coeff) in &fr.fmas {
+        let cv = _mm256_set1_pd(coeff);
+        match rtaps[t as usize] {
+            RTap::Direct { base } => {
+                for (c, a) in acc.iter_mut().enumerate() {
+                    let tv = unsafe { _mm256_loadu_pd(p.add(base + 4 * c)) };
+                    *a = _mm256_fmadd_pd(tv, cv, *a);
+                }
+            }
+            rt => {
+                for (c, a) in acc.iter_mut().enumerate() {
+                    let tv = unsafe { load_split::<NC>(rt, p, c) };
+                    *a = _mm256_fmadd_pd(tv, cv, *a);
+                }
+            }
+        }
+    }
+    if let Some(s) = fr.scale {
+        let sv = _mm256_set1_pd(s);
+        for a in acc.iter_mut() {
+            *a = _mm256_mul_pd(*a, sv);
+        }
+    }
+    let op = out.as_mut_ptr();
+    if (op as usize).is_multiple_of(32) {
+        // Non-temporal stores: the output is write-only during a sweep,
+        // so bypassing the cache avoids the read-for-ownership — a third
+        // of the sweep's DRAM traffic at full scale. Rows are whole
+        // cache lines here (aligned, w ≥ 16). The caller fences once per
+        // block (`_mm_sfence`) before the chunk is handed back.
+        for (c, a) in acc.iter().enumerate() {
+            // SAFETY: out.len() == 4·NC asserted by the caller; 32-byte
+            // alignment checked above.
+            unsafe { _mm256_stream_pd(op.add(4 * c), *a) };
+        }
+    } else {
+        for (c, a) in acc.iter().enumerate() {
+            // SAFETY: out.len() == 4·NC asserted by the caller.
+            unsafe { _mm256_storeu_pd(op.add(4 * c), *a) };
+        }
+    }
+}
+
+/// One 4-lane chunk of a split (shifted) tap; the rare mixed chunk at the
+/// home/neighbour seam goes through the cold outlined gather.
+///
+/// # Safety
+/// `check_taps` invariants (`home/nbr + w ≤ raw.len()`, `0 < |dx| < w`)
+/// with `w = 4·NC` and `c < NC`.
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn load_split<const NC: usize>(rt: RTap, p: *const f64, c: usize) -> __m256d {
+    let RTap::Split { home, nbr, dx } = rt else {
+        // Direct taps are handled by the callers' fast arms; reloading
+        // here keeps this total for the (cold) mixed dispatch.
+        let RTap::Direct { base } = rt else {
+            unreachable!()
+        };
+        // SAFETY: validated row `base`.
+        return unsafe { _mm256_loadu_pd(p.add(base + 4 * c)) };
+    };
+    let w = (NC * 4) as isize;
+    let j0 = (4 * c) as isize + dx;
+    // SAFETY (all branches): lane j of `home` is read only for
+    // 0 ≤ j < w; the wrapped lane j∓w ∈ [0, w) of `nbr` otherwise.
+    unsafe {
+        if j0 >= 0 && j0 + 3 < w {
+            _mm256_loadu_pd(p.add(home).offset(j0))
+        } else if dx > 0 && j0 >= w {
+            _mm256_loadu_pd(p.add(nbr).offset(j0 - w))
+        } else if dx < 0 && j0 + 3 < 0 {
+            _mm256_loadu_pd(p.add(nbr).offset(j0 + w))
+        } else {
+            gather_seam(p, home, nbr, w, j0)
+        }
+    }
+}
+
+/// Lane-by-lane gather of the one chunk per row that straddles the
+/// home/neighbour seam. Cold + never inlined so the hot chunk loops above
+/// stay branch-light and fully register-allocated.
+///
+/// # Safety
+/// Same invariants as [`load_split`]; `j0` is the chunk's first lane
+/// index relative to the home row.
+#[target_feature(enable = "avx2,fma")]
+#[cold]
+#[inline(never)]
+unsafe fn gather_seam(p: *const f64, home: usize, nbr: usize, w: isize, j0: isize) -> __m256d {
+    let mut t = [0.0f64; 4];
+    for (l, v) in t.iter_mut().enumerate() {
+        let j = j0 + l as isize;
+        // SAFETY: each lane reads inside the validated home or wrapped
+        // neighbour row.
+        *v = unsafe {
+            if j < 0 {
+                *p.add(nbr).offset(j + w)
+            } else if j < w {
+                *p.add(home).offset(j)
+            } else {
+                *p.add(nbr).offset(j - w)
+            }
+        };
+    }
+    // SAFETY: `t` is a local 4-lane buffer.
+    unsafe { _mm256_loadu_pd(t.as_ptr()) }
+}
+
+/// Combine one accumulator chunk with one tap chunk; `MODE` selects the
+/// operation at monomorphization time (0 = set, 1 = acc+t, 2 = t+acc,
+/// 3 = fma(t,c,acc), 4 = fma(acc,c,t)) so the per-op dispatch happens
+/// once per tape op, not once per chunk. Operand order is preserved
+/// exactly — the bit-identity contract.
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+fn combine<const MODE: u8>(acc: __m256d, t: __m256d, cv: __m256d) -> __m256d {
+    match MODE {
+        0 => t,
+        1 => _mm256_add_pd(acc, t),
+        2 => _mm256_add_pd(t, acc),
+        3 => _mm256_fmadd_pd(t, cv, acc),
+        _ => _mm256_fmadd_pd(acc, cv, t),
+    }
+}
+
+/// Apply one tap op across all `NC` accumulator chunks. Direct taps
+/// compile to a fully unrolled run of contiguous loads; split (shifted)
+/// taps branch per chunk, but only the one seam chunk per row gathers
+/// lane by lane.
+///
+/// # Safety
+/// `check_tape` invariants: `base/home/nbr + w ≤ raw.len()` and
+/// `0 < |dx| < w`, with `w = 4·NC`.
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn apply<const NC: usize, const MODE: u8>(
+    acc: &mut [__m256d; NC],
+    rt: RTap,
+    p: *const f64,
+    cv: __m256d,
+) {
+    match rt {
+        RTap::Direct { base } => {
+            for (c, a) in acc.iter_mut().enumerate() {
+                // SAFETY: lanes [4c, 4c+4) of the checked row `base`.
+                let t = unsafe { _mm256_loadu_pd(p.add(base + 4 * c)) };
+                *a = combine::<MODE>(*a, t, cv);
+            }
+        }
+        RTap::Split { home, nbr, dx } => {
+            let w = (NC * 4) as isize;
+            for (c, a) in acc.iter_mut().enumerate() {
+                let j0 = (4 * c) as isize + dx;
+                // SAFETY: lane j of `home` is read only for 0 ≤ j < w and
+                // the wrapped lane j∓w ∈ [0, w) of `nbr` otherwise; both
+                // rows checked in-bounds.
+                let t = unsafe {
+                    if j0 >= 0 && j0 + 3 < w {
+                        _mm256_loadu_pd(p.add(home).offset(j0))
+                    } else if dx > 0 && j0 >= w {
+                        _mm256_loadu_pd(p.add(nbr).offset(j0 - w))
+                    } else if dx < 0 && j0 + 3 < 0 {
+                        _mm256_loadu_pd(p.add(nbr).offset(j0 + w))
+                    } else {
+                        let mut t = [0.0f64; 4];
+                        for (l, v) in t.iter_mut().enumerate() {
+                            let j = j0 + l as isize;
+                            *v = if j < 0 {
+                                *p.add(nbr).offset(j + w)
+                            } else if j < w {
+                                *p.add(home).offset(j)
+                            } else {
+                                *p.add(nbr).offset(j - w)
+                            };
+                        }
+                        _mm256_loadu_pd(t.as_ptr())
+                    }
+                };
+                *a = combine::<MODE>(*a, t, cv);
+            }
+        }
+    }
+}
+
+/// In-register fused-tape interpreter: the accumulator row is `NC` ymm
+/// vectors (`w = 4·NC`), every tap op streams its chunks straight from
+/// the input slab, and nothing round-trips through memory until the final
+/// row store. `SP` sizes the value stack (0 for straight-chain tapes, so
+/// the common case touches no stack memory at all).
+///
+/// # Safety
+/// Caller must have validated the tap table against `raw.len()` and `w`
+/// ([`fuse::check_taps`], or [`fuse::check_tape`] for this one tape),
+/// `out.len() == w == 4·NC` must hold, and the host must support
+/// avx2+fma. Tap ids and the `SP`-sized value stack are accessed with
+/// bounds-checked indexing, so a malformed tape panics rather than
+/// forming a stray pointer.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn eval_tape<const NC: usize, const SP: usize>(
+    tape: &[TapeOp],
+    rtaps: &[RTap],
+    raw: &[f64],
+    out: &mut [f64],
+) {
+    let p = raw.as_ptr();
+    let zero = _mm256_setzero_pd();
+    let mut acc = [zero; NC];
+    let mut stack = [[zero; NC]; SP];
+    let mut sp = 0usize;
+    for op in tape {
+        // SAFETY (all `apply` calls): tap rows checked by check_tape.
+        match *op {
+            TapeOp::Set { tap } => unsafe {
+                apply::<NC, 0>(&mut acc, rtaps[tap as usize], p, zero)
+            },
+            TapeOp::AddTap { tap } => unsafe {
+                apply::<NC, 1>(&mut acc, rtaps[tap as usize], p, zero)
+            },
+            TapeOp::TapAdd { tap } => unsafe {
+                apply::<NC, 2>(&mut acc, rtaps[tap as usize], p, zero)
+            },
+            TapeOp::Mul { c } => {
+                let cv = _mm256_set1_pd(c);
+                for a in acc.iter_mut() {
+                    *a = _mm256_mul_pd(*a, cv);
+                }
+            }
+            TapeOp::Fma { tap, c } => unsafe {
+                apply::<NC, 3>(&mut acc, rtaps[tap as usize], p, _mm256_set1_pd(c))
+            },
+            TapeOp::FmaRev { tap, c } => unsafe {
+                apply::<NC, 4>(&mut acc, rtaps[tap as usize], p, _mm256_set1_pd(c))
+            },
+            TapeOp::Push => {
+                stack[sp] = acc;
+                sp += 1;
+            }
+            TapeOp::PopAdd => {
+                sp -= 1;
+                for c in 0..NC {
+                    acc[c] = _mm256_add_pd(stack[sp][c], acc[c]);
+                }
+            }
+            TapeOp::PopFma { c } => {
+                sp -= 1;
+                let cv = _mm256_set1_pd(c);
+                for ch in 0..NC {
+                    acc[ch] = _mm256_fmadd_pd(acc[ch], cv, stack[sp][ch]);
+                }
+            }
+        }
+    }
+    for (c, a) in acc.iter().enumerate() {
+        // SAFETY: out.len() == 4·NC asserted by the caller.
+        unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(4 * c), *a) };
+    }
+}
+
+/// # Safety
+/// `p + off + w <=` allocation for every offset; `w % 4 == 0`; host
+/// supports avx2+fma (checked by [`Avx2Ops::new`]).
+#[target_feature(enable = "avx2,fma")]
+unsafe fn add_rows(p: *mut f64, dst0: usize, a0: usize, b0: usize, w: usize) {
+    for i in (0..w).step_by(4) {
+        // SAFETY: i + 4 <= w, so every lane is inside the checked rows.
+        unsafe {
+            let a = _mm256_loadu_pd(p.add(a0 + i));
+            let b = _mm256_loadu_pd(p.add(b0 + i));
+            _mm256_storeu_pd(p.add(dst0 + i), _mm256_add_pd(a, b));
+        }
+    }
+}
+
+/// # Safety
+/// Same contract as [`add_rows`].
+#[target_feature(enable = "avx2,fma")]
+unsafe fn mul_rows(p: *mut f64, dst0: usize, a0: usize, c: f64, w: usize) {
+    let cv = _mm256_set1_pd(c);
+    for i in (0..w).step_by(4) {
+        // SAFETY: i + 4 <= w, so every lane is inside the checked rows.
+        unsafe {
+            let a = _mm256_loadu_pd(p.add(a0 + i));
+            _mm256_storeu_pd(p.add(dst0 + i), _mm256_mul_pd(a, cv));
+        }
+    }
+}
+
+/// # Safety
+/// Same contract as [`add_rows`].
+#[target_feature(enable = "avx2,fma")]
+unsafe fn fma_rows(p: *mut f64, dst0: usize, acc0: usize, a0: usize, c: f64, w: usize) {
+    let cv = _mm256_set1_pd(c);
+    for i in (0..w).step_by(4) {
+        // SAFETY: i + 4 <= w, so every lane is inside the checked rows.
+        unsafe {
+            let a = _mm256_loadu_pd(p.add(a0 + i));
+            let acc = _mm256_loadu_pd(p.add(acc0 + i));
+            _mm256_storeu_pd(p.add(dst0 + i), _mm256_fmadd_pd(a, cv, acc));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avx2_rows_are_bit_identical_to_mul_add() {
+        let Some(ops) = Avx2Ops::new() else {
+            return; // host without avx2+fma: constructor refuses, nothing to test
+        };
+        let w = 16;
+        let mut regs = vec![0.0; 3 * w];
+        for i in 0..w {
+            regs[w + i] = 0.1 * (i as f64) - 0.3;
+            regs[2 * w + i] = 1.0 / (1.0 + i as f64);
+        }
+        let (r1, r2) = (regs[w..2 * w].to_vec(), regs[2 * w..3 * w].to_vec());
+        let c = 0.123456789;
+        ops.fma(&mut regs, 0, w, 2 * w, c, w);
+        for i in 0..w {
+            let want = r2[i].mul_add(c, r1[i]);
+            assert_eq!(regs[i].to_bits(), want.to_bits(), "lane {i}");
+        }
+        ops.add(&mut regs, 0, 0, w, w);
+        ops.mul(&mut regs, 0, 0, -2.5, w);
+        for i in 0..w {
+            let want = (r2[i].mul_add(c, r1[i]) + r1[i]) * -2.5;
+            assert_eq!(regs[i].to_bits(), want.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn fused_tape_matches_the_portable_evaluator_bitwise() {
+        let Some(ops) = Avx2Ops::new() else {
+            return; // host without avx2+fma
+        };
+        for w in [16usize, 32, 64] {
+            let raw: Vec<f64> = (0..4 * w).map(|i| 0.173 * (i as f64) - 11.0).collect();
+            let rtaps = [
+                RTap::Direct { base: 0 },
+                RTap::Split {
+                    home: w,
+                    nbr: 2 * w,
+                    dx: 3,
+                },
+                RTap::Split {
+                    home: w,
+                    nbr: 3 * w,
+                    dx: -5,
+                },
+            ];
+            let tape = [
+                TapeOp::Set { tap: 1 },
+                TapeOp::TapAdd { tap: 0 },
+                TapeOp::Push,
+                TapeOp::Set { tap: 2 },
+                TapeOp::Mul { c: 0.75 },
+                TapeOp::PopFma { c: -1.25 },
+                TapeOp::Fma { tap: 0, c: 2.5 },
+                TapeOp::FmaRev { tap: 2, c: 0.5 },
+                TapeOp::AddTap { tap: 1 },
+            ];
+            let mut want = vec![0.0; w];
+            fuse::eval_row_portable(&tape, &rtaps, &raw, w, &mut want);
+            let mut got = vec![0.0; w];
+            ops.eval_row(&tape, &rtaps, &raw, w, &mut got);
+            for i in 0..w {
+                assert_eq!(got[i].to_bits(), want[i].to_bits(), "w={w} lane {i}");
+            }
+        }
+    }
+
+    // Micro-benchmark for the fused evaluator, kept out of normal runs:
+    // `cargo test -p brick-vm --release -- --ignored --nocapture eval_row_micro`
+    #[test]
+    #[ignore]
+    fn eval_row_micro() {
+        let Some(ops) = Avx2Ops::new() else {
+            return;
+        };
+        let w = 32usize;
+        let raw: Vec<f64> = (0..64 * w).map(|i| 0.173 * (i as f64) - 11.0).collect();
+        // star-7-shaped tape: 7 direct/split taps, straight chain
+        let rtaps: Vec<RTap> = (0..7)
+            .map(|t| {
+                if t < 5 {
+                    RTap::Direct { base: t * w }
+                } else {
+                    RTap::Split {
+                        home: t * w,
+                        nbr: (t + 1) * w,
+                        dx: if t == 5 { 1 } else { -1 },
+                    }
+                }
+            })
+            .collect();
+        let tape = [
+            TapeOp::Set { tap: 0 },
+            TapeOp::Fma { tap: 1, c: 0.1 },
+            TapeOp::Fma { tap: 2, c: 0.2 },
+            TapeOp::Fma { tap: 3, c: 0.3 },
+            TapeOp::Fma { tap: 4, c: 0.4 },
+            TapeOp::Fma { tap: 5, c: 0.5 },
+            TapeOp::Fma { tap: 6, c: 0.6 },
+        ];
+        let mut out = vec![0.0; w];
+        let iters = 4_000_000u64;
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            ops.eval_row(&tape, &rtaps, &raw, w, &mut out);
+            std::hint::black_box(&mut out);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let rows_per_s = iters as f64 / dt;
+        println!(
+            "eval_row micro: {:.1} Mrows/s ({:.1} Mpts/s, {:.0} cycles/row at 2.1GHz)",
+            rows_per_s / 1e6,
+            rows_per_s * w as f64 / 1e6,
+            2.1e9 / rows_per_s
+        );
+    }
+
+    // Same, but through the block path on a real fused star-7 kernel —
+    // the executor's hot loop minus grid traffic.
+    // `cargo test -p brick-vm --release -- --ignored --nocapture eval_block_micro`
+    #[test]
+    #[ignore]
+    fn eval_block_micro() {
+        use brick_codegen::{generate, CodegenOptions, LayoutKind};
+        use brick_dsl::shape::StencilShape;
+
+        let Some(ops) = Avx2Ops::new() else {
+            return;
+        };
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let k = generate(&st, &b, LayoutKind::Brick, 32, CodegenOptions::default()).unwrap();
+        let fused = fuse::fuse(&k).expect("star-7 fuses");
+        let w = k.width;
+        let vol = k.block.bx * k.block.by * k.block.bz;
+        let raw: Vec<f64> = (0..32 * vol).map(|i| 0.173 * (i as f64) - 11.0).collect();
+        // resolve every tap into the middle of the buffer, mimicking a
+        // brick whose neighbours are all allocated
+        let rtaps: Vec<RTap> = fused
+            .taps()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match *t {
+                fuse::Tap::Direct { .. } => RTap::Direct {
+                    base: (i % 16) * vol / 16,
+                },
+                fuse::Tap::Shifted { dx, .. } => RTap::Split {
+                    home: (i % 16) * vol / 16,
+                    nbr: 16 * vol + (i % 16) * w,
+                    dx: dx as isize,
+                },
+            })
+            .collect();
+        let mut out = vec![0.0; vol];
+        let iters = 400_000u64;
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            ops.eval_block(&fused, &rtaps, &raw, w, &mut out, |rp| rp.out_off);
+            std::hint::black_box(&mut out);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let rows = fused.rows().len() as f64;
+        let rows_per_s = iters as f64 * rows / dt;
+        println!(
+            "eval_block micro: {:.1} Mrows/s ({:.1} Mpts/s, {:.0} cycles/row at 2.1GHz)",
+            rows_per_s / 1e6,
+            rows_per_s * w as f64 / 1e6,
+            2.1e9 / rows_per_s
+        );
+
+        // per-brick resolve cost, the other half of the executor loop
+        let row27: [u32; 27] = std::array::from_fn(|i| i as u32);
+        let mut rbuf = vec![RTap::Direct { base: 0 }; fused.taps_len()];
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            fused.resolve_brick(&row27, 0, &mut rbuf);
+            std::hint::black_box(&mut rbuf);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "resolve micro: {:.0} cycles/brick ({:.1} cycles/row)",
+            2.1e9 * dt / iters as f64,
+            2.1e9 * dt / (iters as f64 * rows)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes register file")]
+    fn out_of_bounds_rows_panic_before_any_pointer_forms() {
+        let Some(ops) = Avx2Ops::new() else {
+            panic!("escapes register file (host lacks avx2; nothing to check)")
+        };
+        let mut regs = vec![0.0; 8];
+        ops.add(&mut regs, 8, 0, 0, 8);
+    }
+}

@@ -1,0 +1,908 @@
+//! Fused-row fast path: output rows evaluated straight from the grid.
+//!
+//! The step machine ([`super::Plan::exec_block`]) materializes every
+//! intermediate IR register as a row in an in-memory register file. For
+//! low-arithmetic kernels (the 7-point star moves ~13 rows through the
+//! file per output row it stores) that movement — plus the per-step
+//! dispatch and the per-row neighbour resolution — dominates the wall
+//! time, and a SIMD backend that only accelerates the arithmetic steps
+//! barely moves the total. This module removes the register file from the
+//! hot loop entirely:
+//!
+//! 1. **Symbolic analysis** ([`fuse`], compile time): the verified IR is
+//!    re-executed over *symbolic* register values. A full-row load is the
+//!    symbol `Row(rx, ry, rz)`; a `ShiftX` whose edge row provably covers
+//!    the wrapped lanes becomes `Off(ry, rz, dx)` — lane `i` reads grid
+//!    element `x0 + i + dx`, with no edge row at runtime; arithmetic
+//!    builds an expression tree over those leaves. Any op the analysis
+//!    cannot prove equivalent (an edge row consumed directly, a shift of
+//!    a computed row as the scatter strategy emits, …) aborts fusion and
+//!    the plan falls back to the step machine — fusion is an optimization,
+//!    never a semantics change.
+//! 2. **Tape linearization**: each stored tree is flattened to a short
+//!    accumulator program ([`TapeOp`]) over *taps* — the distinct grid
+//!    rows the tree reads. Operand order of every `Add`/`Mul`/`Fma` is
+//!    preserved exactly (left/right variants, a tiny value stack for
+//!    two-sided subtrees), so each output lane computes the identical
+//!    floating-point expression the interpreter does: the fused path
+//!    stays bit-identical to the oracle (ULP bound 0).
+//! 3. **Tap pre-resolution**: for brick layouts every tap's neighbour
+//!    table index and in-brick offset are computed here, once; per block
+//!    the executor does one table read and one multiply-add per tap —
+//!    no `div_euclid` chains in the hot loop. Array taps collapse to a
+//!    single stride delta per run ([`Tap`] is layout-independent; the
+//!    executors in `crate::exec` own the stride math).
+//!
+//! Everything in this module is safe code. The SIMD evaluators in
+//! [`super::avx2`]/[`super::neon`] re-check, per row, that every tap row
+//! lies inside the input slab before forming a pointer; the portable
+//! evaluator below is ordinary checked Rust and doubles as the reference
+//! for what a tape computes.
+
+use brick_codegen::{LayoutKind, VOp, VectorKernel};
+use brick_core::{neighbor_index, BrickDims, NO_BRICK};
+
+/// Widest vector width the fixed row buffers accommodate (the generated
+/// kernels use 16/32/64).
+pub(crate) const MAX_W: usize = 64;
+
+/// Most taps a fused kernel may read (a 5×5×5 cube kernel needs 125).
+pub(crate) const MAX_TAPS: usize = 256;
+
+/// Deepest value stack a row tape may use; trees needing more bail out
+/// of fusion at compile time.
+pub(crate) const MAX_STACK: usize = 4;
+
+/// Longest tape per output row; guards against pathological expression
+/// DAGs re-expanding into huge trees.
+const MAX_TAPE: usize = 1024;
+
+/// A distinct input row a fused row program reads, in kernel-relative
+/// coordinates (layout-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tap {
+    /// Lane `i` reads grid element `(x0 + rx·w + i, y0 + ry, z0 + rz)`.
+    Direct { rx: i8, ry: i16, rz: i16 },
+    /// Lane `i` reads grid element `(x0 + i + dx, y0 + ry, z0 + rz)` —
+    /// a `ShiftX` folded into its loads, `0 < |dx| < w`.
+    Shifted { ry: i16, rz: i16, dx: i16 },
+}
+
+/// A [`Tap`] pre-resolved against the brick adjacency geometry: the
+/// 27-entry neighbour index (or indices) and the in-brick row offset.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BrickTap {
+    /// Whole row in one brick.
+    Direct { nidx: usize, off: usize },
+    /// Shifted row spanning the home-column brick and its x-neighbour
+    /// (both at the same `(ry, rz)` row offset `off`).
+    Split {
+        hnidx: usize,
+        nnidx: usize,
+        off: usize,
+        dx: isize,
+    },
+}
+
+/// A tap resolved to concrete bases in the input slab, per block/tile.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RTap {
+    /// Lane `i` reads `raw[base + i]`.
+    Direct { base: usize },
+    /// Lane `i` reads `raw[home + i + dx]` when `0 ≤ i + dx < w`, else
+    /// the wrapped lane `i + dx ∓ w` of the `nbr` row.
+    Split { home: usize, nbr: usize, dx: isize },
+}
+
+/// One instruction of a row program. `acc` is the current row value; tap
+/// operands load lanes through the resolved [`RTap`] table. The left/
+/// right and reversed variants preserve the IR's operand order exactly —
+/// the bit-identity contract.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TapeOp {
+    /// `acc = tap`.
+    Set { tap: u16 },
+    /// `acc = acc + tap` (tap was the right operand).
+    AddTap { tap: u16 },
+    /// `acc = tap + acc` (tap was the left operand).
+    TapAdd { tap: u16 },
+    /// `acc = acc · c`.
+    Mul { c: f64 },
+    /// `acc = fma(tap, c, acc)`.
+    Fma { tap: u16, c: f64 },
+    /// `acc = fma(acc, c, tap)`.
+    FmaRev { tap: u16, c: f64 },
+    /// Push `acc` onto the value stack.
+    Push,
+    /// `acc = pop() + acc` (popped value was the left operand).
+    PopAdd,
+    /// `acc = fma(acc, c, pop())`.
+    PopFma { c: f64 },
+}
+
+impl TapeOp {
+    /// The tap this op loads, if any (for the executors' bounds checks).
+    pub(crate) fn tap(&self) -> Option<u16> {
+        match *self {
+            TapeOp::Set { tap }
+            | TapeOp::AddTap { tap }
+            | TapeOp::TapAdd { tap }
+            | TapeOp::Fma { tap, .. }
+            | TapeOp::FmaRev { tap, .. } => Some(tap),
+            _ => None,
+        }
+    }
+}
+
+/// One output row: where it goes and the tape that computes it.
+#[derive(Debug, Clone)]
+pub(crate) struct RowProg {
+    /// Home-block y row (in `0..by`).
+    pub(crate) ry: u16,
+    /// Home-block z row (in `0..bz`).
+    pub(crate) rz: u16,
+    /// Flat offset of the row inside a brick (`row_offset(ry, rz)`).
+    pub(crate) out_off: usize,
+    /// The accumulator program.
+    pub(crate) tape: Vec<TapeOp>,
+    /// Maximum value-stack depth of `tape` (0 for straight chains), fixed
+    /// at linearization; lets block evaluators pick a stackless
+    /// instantiation without re-walking the tape per row.
+    pub(crate) max_sp: usize,
+    /// Chain form of `tape` when it is a straight accumulation
+    /// (`Set · {Fma,AddTap,TapAdd}* · Mul?`) — the shape every star
+    /// stencil linearizes to. SIMD backends evaluate this with a uniform
+    /// tap loop instead of the general tape interpreter, which keeps the
+    /// row accumulators register-resident (the interpreter's many-armed
+    /// dispatch forces them onto the stack).
+    pub(crate) fast: Option<FastRow>,
+}
+
+/// Straight accumulation chain: `acc = tap[first]`, then
+/// `acc = fma(tap, c, acc)` per entry, then optionally `acc *= scale`.
+/// Additions ride as `c = 1.0` entries: `fma(t, 1.0, acc)` rounds once
+/// with `t·1.0` exact, so it is bit-identical to the tape's `acc + t` /
+/// `t + acc` for all non-NaN inputs (addition is commutative in IEEE-754
+/// up to NaN payload selection).
+#[derive(Debug, Clone)]
+pub(crate) struct FastRow {
+    /// Tap that seeds the accumulator.
+    pub(crate) first: u16,
+    /// `(tap, coefficient)` accumulation entries, in tape order.
+    pub(crate) fmas: Vec<(u16, f64)>,
+    /// Trailing scale, if the tape ends in a `Mul`.
+    pub(crate) scale: Option<f64>,
+}
+
+/// Extract the chain form from a finished tape, if it has the shape.
+fn fast_row(tape: &[TapeOp]) -> Option<FastRow> {
+    let Some((&TapeOp::Set { tap: first }, rest)) = tape.split_first() else {
+        return None;
+    };
+    let mut fmas = Vec::with_capacity(rest.len());
+    let mut scale = None;
+    for (i, op) in rest.iter().enumerate() {
+        match *op {
+            TapeOp::Fma { tap, c } => fmas.push((tap, c)),
+            TapeOp::AddTap { tap } | TapeOp::TapAdd { tap } => fmas.push((tap, 1.0)),
+            // a Mul is only chain-compatible as the final op
+            TapeOp::Mul { c } if i == rest.len() - 1 => scale = Some(c),
+            _ => return None,
+        }
+    }
+    Some(FastRow { first, fmas, scale })
+}
+
+/// A fully fused kernel: the tap table and one program per output row.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedKernel {
+    taps: Vec<Tap>,
+    /// Parallel to `taps`; populated only for brick-layout kernels.
+    brick_taps: Vec<BrickTap>,
+    rows: Vec<RowProg>,
+}
+
+impl FusedKernel {
+    /// The tap table (layout-independent form).
+    pub(crate) fn taps(&self) -> &[Tap] {
+        &self.taps
+    }
+
+    /// Number of taps (the executors size their resolved tables by it).
+    pub(crate) fn taps_len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// The per-output-row programs.
+    pub(crate) fn rows(&self) -> &[RowProg] {
+        &self.rows
+    }
+
+    /// Resolve every tap against one brick's 27-neighbour row. `out` must
+    /// hold [`FusedKernel::taps_len`] entries; `vol` is the brick volume.
+    /// Panics on a `NO_BRICK` neighbour — unreachable for interior bricks
+    /// of a decomposition whose ghost shell covers the kernel's reach
+    /// (checked by `check_brick` before execution).
+    pub(crate) fn resolve_brick(&self, row27: &[u32; 27], vol: usize, out: &mut [RTap]) {
+        let brick = |n: usize| -> usize {
+            let b = row27[n];
+            assert_ne!(b, NO_BRICK, "fused tap crosses the allocated brick shell");
+            b as usize * vol
+        };
+        for (slot, bt) in self.brick_taps.iter().enumerate() {
+            out[slot] = match *bt {
+                BrickTap::Direct { nidx, off } => RTap::Direct {
+                    base: brick(nidx) + off,
+                },
+                BrickTap::Split {
+                    hnidx,
+                    nnidx,
+                    off,
+                    dx,
+                } => RTap::Split {
+                    home: brick(hnidx) + off,
+                    nbr: brick(nnidx) + off,
+                    dx,
+                },
+            };
+        }
+    }
+}
+
+/// Symbolic value of an IR register during the analysis walk.
+#[derive(Debug, Clone, Copy)]
+enum Sym {
+    /// Full input row `(rx, ry, rz)`.
+    Row { rx: i8, ry: i16, rz: i16 },
+    /// Partial (edge) load: lanes `[lane0, lane0 + lanes)` hold the row,
+    /// the rest are zero. Only consumable as a `ShiftX` edge operand.
+    Edge {
+        rx: i8,
+        ry: i16,
+        rz: i16,
+        lane0: u16,
+        lanes: u16,
+    },
+    /// Shifted row: lane `i` is grid element `x0 + i + dx` of `(ry, rz)`.
+    Off { ry: i16, rz: i16, dx: i16 },
+    /// Node in the expression arena.
+    Expr(u32),
+    /// Unknown (never written, or past an unfusable op).
+    Opaque,
+}
+
+/// Expression-tree node. Children are symbolic *values*, so rebinding a
+/// register later never invalidates a node that captured its old value.
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    /// `a + b`, operand order as in the IR.
+    Add(Sym, Sym),
+    /// `a · c`.
+    Mul(Sym, f64),
+    /// `fma(a, c, acc)` — the IR's `dst = acc + a·c`, fused.
+    Fma { acc: Sym, a: Sym, c: f64 },
+}
+
+/// Try to fuse a verified kernel. `None` means "use the step machine" —
+/// any IR shape the analysis cannot prove row-fusable (edge rows consumed
+/// arithmetically, shifts of computed rows, out-of-range geometry, …).
+pub(crate) fn fuse(kernel: &VectorKernel) -> Option<FusedKernel> {
+    let w = kernel.width;
+    if !(w == 16 || w == 32 || w == 64) || kernel.block.bx != w {
+        return None;
+    }
+    let mut regs: Vec<Sym> = vec![Sym::Opaque; kernel.num_regs];
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut taps: Vec<Tap> = Vec::new();
+    let mut rows: Vec<RowProg> = Vec::new();
+
+    // A register is a *value* operand when it holds a row, a shifted row,
+    // or an expression — never a zero-filled edge or an unwritten slot.
+    let value = |regs: &[Sym], r: u16| -> Option<Sym> {
+        match *regs.get(r as usize)? {
+            s @ (Sym::Row { .. } | Sym::Off { .. } | Sym::Expr(_)) => Some(s),
+            Sym::Edge { .. } | Sym::Opaque => None,
+        }
+    };
+
+    for op in &kernel.ops {
+        match *op {
+            VOp::LoadRow {
+                dst,
+                rx,
+                ry,
+                rz,
+                lane0,
+                lanes,
+            } => {
+                let full = lane0 == 0 && lanes as usize == w;
+                *regs.get_mut(dst as usize)? = if full {
+                    Sym::Row { rx, ry, rz }
+                } else {
+                    Sym::Edge {
+                        rx,
+                        ry,
+                        rz,
+                        lane0,
+                        lanes,
+                    }
+                };
+            }
+            VOp::ShiftX { dst, src, edge, dx } => {
+                let off = shift_sym(*regs.get(src as usize)?, *regs.get(edge as usize)?, dx, w)?;
+                *regs.get_mut(dst as usize)? = off;
+            }
+            VOp::Add { dst, a, b } => {
+                let node = Node::Add(value(&regs, a)?, value(&regs, b)?);
+                *regs.get_mut(dst as usize)? = push_node(&mut nodes, node)?;
+            }
+            VOp::Mul { dst, a, coeff } => {
+                let c = *kernel.coeffs.get(coeff as usize)?;
+                let node = Node::Mul(value(&regs, a)?, c);
+                *regs.get_mut(dst as usize)? = push_node(&mut nodes, node)?;
+            }
+            VOp::Fma { dst, acc, a, coeff } => {
+                let c = *kernel.coeffs.get(coeff as usize)?;
+                let node = Node::Fma {
+                    acc: value(&regs, acc)?,
+                    a: value(&regs, a)?,
+                    c,
+                };
+                *regs.get_mut(dst as usize)? = push_node(&mut nodes, node)?;
+            }
+            VOp::StoreRow { src, ry, rz } => {
+                let (ry, rz) = (usize::try_from(ry).ok()?, usize::try_from(rz).ok()?);
+                if ry >= kernel.block.by || rz >= kernel.block.bz {
+                    return None;
+                }
+                let mut tape = Vec::new();
+                let mut depth = Depth::default();
+                linearize(value(&regs, src)?, &nodes, &mut taps, &mut tape, &mut depth)?;
+                if depth.max > MAX_STACK || tape.len() > MAX_TAPE {
+                    return None;
+                }
+                let fast = fast_row(&tape);
+                rows.push(RowProg {
+                    ry: ry as u16,
+                    rz: rz as u16,
+                    out_off: kernel.block.row_offset(ry, rz),
+                    tape,
+                    max_sp: depth.max,
+                    fast,
+                });
+            }
+        }
+        if taps.len() > MAX_TAPS {
+            return None;
+        }
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    let brick_taps = if kernel.layout == LayoutKind::Brick {
+        let mut v = Vec::with_capacity(taps.len());
+        for t in &taps {
+            v.push(brick_tap(t, kernel.block)?);
+        }
+        v
+    } else {
+        Vec::new()
+    };
+    Some(FusedKernel {
+        taps,
+        brick_taps,
+        rows,
+    })
+}
+
+/// Fold a `ShiftX` into a shifted-row symbol, iff the edge row provably
+/// supplies exactly the wrapped lanes. `dst[i] = src[i+dx]` in range;
+/// for `dx > 0` lanes `[w-d, w)` wrap to `edge[0..d)`, which must equal
+/// grid lanes `[0, d)` of the `+x` neighbour row — i.e. an edge load at
+/// `rx = +1` covering `[0, d)` (mirrored for `dx < 0`).
+fn shift_sym(src: Sym, edge: Sym, dx: i16, w: usize) -> Option<Sym> {
+    let Sym::Row { rx: 0, ry, rz } = src else {
+        return None;
+    };
+    let Sym::Edge {
+        rx: erx,
+        ry: ery,
+        rz: erz,
+        lane0,
+        lanes,
+    } = edge
+    else {
+        return None;
+    };
+    if (ery, erz) != (ry, rz) || dx == 0 {
+        return None;
+    }
+    let d = dx.unsigned_abs() as usize;
+    if d >= w {
+        return None;
+    }
+    let (lane0, lanes) = (lane0 as usize, lanes as usize);
+    let covered = if dx > 0 {
+        erx == 1 && lane0 == 0 && lanes >= d
+    } else {
+        erx == -1 && lane0 <= w - d && lane0 + lanes >= w
+    };
+    covered.then_some(Sym::Off { ry, rz, dx })
+}
+
+/// Intern an expression node, bailing past `u32` ids (never in practice).
+fn push_node(nodes: &mut Vec<Node>, node: Node) -> Option<Sym> {
+    let id = u32::try_from(nodes.len()).ok()?;
+    nodes.push(node);
+    Some(Sym::Expr(id))
+}
+
+/// Value-stack depth bookkeeping during linearization.
+#[derive(Default)]
+struct Depth {
+    cur: usize,
+    max: usize,
+}
+
+/// Intern a leaf symbol as a tap id.
+fn tap_of(taps: &mut Vec<Tap>, leaf: Sym) -> Option<u16> {
+    let t = match leaf {
+        Sym::Row { rx, ry, rz } => Tap::Direct { rx, ry, rz },
+        Sym::Off { ry, rz, dx } => Tap::Shifted { ry, rz, dx },
+        _ => return None,
+    };
+    let idx = match taps.iter().position(|&u| u == t) {
+        Some(i) => i,
+        None => {
+            taps.push(t);
+            taps.len() - 1
+        }
+    };
+    u16::try_from(idx).ok()
+}
+
+fn is_leaf(s: Sym) -> bool {
+    matches!(s, Sym::Row { .. } | Sym::Off { .. })
+}
+
+/// Flatten an expression tree into a [`TapeOp`] program, preserving the
+/// operand order of every node (see the bit-identity argument in the
+/// module docs). Two-sided nodes (both children computed) evaluate the
+/// left child first, park it on the value stack, and combine — exactly
+/// the tree value, no re-association.
+fn linearize(
+    sym: Sym,
+    nodes: &[Node],
+    taps: &mut Vec<Tap>,
+    tape: &mut Vec<TapeOp>,
+    depth: &mut Depth,
+) -> Option<()> {
+    if tape.len() > MAX_TAPE {
+        return None;
+    }
+    match sym {
+        Sym::Row { .. } | Sym::Off { .. } => {
+            let tap = tap_of(taps, sym)?;
+            tape.push(TapeOp::Set { tap });
+        }
+        Sym::Expr(id) => match *nodes.get(id as usize)? {
+            Node::Add(l, r) => {
+                if is_leaf(r) {
+                    linearize(l, nodes, taps, tape, depth)?;
+                    tape.push(TapeOp::AddTap {
+                        tap: tap_of(taps, r)?,
+                    });
+                } else if is_leaf(l) {
+                    linearize(r, nodes, taps, tape, depth)?;
+                    tape.push(TapeOp::TapAdd {
+                        tap: tap_of(taps, l)?,
+                    });
+                } else {
+                    linearize(l, nodes, taps, tape, depth)?;
+                    tape.push(TapeOp::Push);
+                    depth.cur += 1;
+                    depth.max = depth.max.max(depth.cur);
+                    linearize(r, nodes, taps, tape, depth)?;
+                    tape.push(TapeOp::PopAdd);
+                    depth.cur -= 1;
+                }
+            }
+            Node::Mul(a, c) => {
+                linearize(a, nodes, taps, tape, depth)?;
+                tape.push(TapeOp::Mul { c });
+            }
+            Node::Fma { acc, a, c } => {
+                if is_leaf(a) {
+                    linearize(acc, nodes, taps, tape, depth)?;
+                    tape.push(TapeOp::Fma {
+                        tap: tap_of(taps, a)?,
+                        c,
+                    });
+                } else if is_leaf(acc) {
+                    linearize(a, nodes, taps, tape, depth)?;
+                    tape.push(TapeOp::FmaRev {
+                        tap: tap_of(taps, acc)?,
+                        c,
+                    });
+                } else {
+                    linearize(acc, nodes, taps, tape, depth)?;
+                    tape.push(TapeOp::Push);
+                    depth.cur += 1;
+                    depth.max = depth.max.max(depth.cur);
+                    linearize(a, nodes, taps, tape, depth)?;
+                    tape.push(TapeOp::PopFma { c });
+                    depth.cur -= 1;
+                }
+            }
+        },
+        Sym::Edge { .. } | Sym::Opaque => return None,
+    }
+    Some(())
+}
+
+/// Split a relative row coordinate into (brick step, local row); fusable
+/// only one brick out (the verifier's reach-vs-ghost check already bounds
+/// real kernels to that).
+fn split_axis(r: i16, extent: usize) -> Option<(i32, usize)> {
+    let e = i16::try_from(extent).ok()?;
+    let (s, l) = (r.div_euclid(e), r.rem_euclid(e));
+    (-1..=1).contains(&s).then_some((s as i32, l as usize))
+}
+
+/// Pre-resolve one tap against the brick geometry.
+fn brick_tap(t: &Tap, b: BrickDims) -> Option<BrickTap> {
+    match *t {
+        Tap::Direct { rx, ry, rz } => {
+            if !(-1..=1).contains(&rx) {
+                return None;
+            }
+            let (sy, ly) = split_axis(ry, b.by)?;
+            let (sz, lz) = split_axis(rz, b.bz)?;
+            Some(BrickTap::Direct {
+                nidx: neighbor_index(rx as i32, sy, sz),
+                off: b.row_offset(ly, lz),
+            })
+        }
+        Tap::Shifted { ry, rz, dx } => {
+            let (sy, ly) = split_axis(ry, b.by)?;
+            let (sz, lz) = split_axis(rz, b.bz)?;
+            let sx = if dx > 0 { 1 } else { -1 };
+            Some(BrickTap::Split {
+                hnidx: neighbor_index(0, sy, sz),
+                nnidx: neighbor_index(sx, sy, sz),
+                off: b.row_offset(ly, lz),
+                dx: dx as isize,
+            })
+        }
+    }
+}
+
+/// Copy one tap row into `buf[..w]` (the portable evaluator's load).
+fn load_tap(rt: &RTap, raw: &[f64], w: usize, buf: &mut [f64]) {
+    match *rt {
+        RTap::Direct { base } => buf[..w].copy_from_slice(&raw[base..base + w]),
+        RTap::Split { home, nbr, dx } => {
+            if dx > 0 {
+                let d = dx as usize;
+                buf[..w - d].copy_from_slice(&raw[home + d..home + w]);
+                buf[w - d..w].copy_from_slice(&raw[nbr..nbr + d]);
+            } else {
+                let d = (-dx) as usize;
+                buf[..d].copy_from_slice(&raw[nbr + w - d..nbr + w]);
+                buf[d..w].copy_from_slice(&raw[home..home + w - d]);
+            }
+        }
+    }
+}
+
+/// Evaluate one row program in safe code — the `Auto` floor's fused
+/// executor and the reference semantics of a tape. Panics (cleanly, via
+/// slice checks) on malformed input; `Plan::compile` only produces tapes
+/// whose taps, stack depth, and widths are in range.
+// `*a = *t + *a`, not `*a += *t`: the tap is the *left* addend and the
+// operand order is part of the bit-identity contract with the interpreter
+// (NaN payload propagation follows the first operand).
+#[allow(clippy::assign_op_pattern)]
+pub(crate) fn eval_row_portable(
+    tape: &[TapeOp],
+    rtaps: &[RTap],
+    raw: &[f64],
+    w: usize,
+    out: &mut [f64],
+) {
+    assert!(w <= MAX_W, "width {w} exceeds fused row buffer");
+    assert_eq!(out.len(), w, "output row length mismatch");
+    let mut acc = [0.0f64; MAX_W];
+    let mut tbuf = [0.0f64; MAX_W];
+    let mut stack = [[0.0f64; MAX_W]; MAX_STACK];
+    let mut sp = 0usize;
+    for op in tape {
+        if let Some(t) = op.tap() {
+            load_tap(&rtaps[t as usize], raw, w, &mut tbuf);
+        }
+        match *op {
+            TapeOp::Set { .. } => acc[..w].copy_from_slice(&tbuf[..w]),
+            TapeOp::AddTap { .. } => {
+                for i in 0..w {
+                    acc[i] += tbuf[i];
+                }
+            }
+            TapeOp::TapAdd { .. } => {
+                for (a, t) in acc[..w].iter_mut().zip(&tbuf[..w]) {
+                    *a = *t + *a;
+                }
+            }
+            TapeOp::Mul { c } => {
+                for a in acc[..w].iter_mut() {
+                    *a *= c;
+                }
+            }
+            TapeOp::Fma { c, .. } => {
+                for i in 0..w {
+                    acc[i] = tbuf[i].mul_add(c, acc[i]);
+                }
+            }
+            TapeOp::FmaRev { c, .. } => {
+                for i in 0..w {
+                    acc[i] = acc[i].mul_add(c, tbuf[i]);
+                }
+            }
+            TapeOp::Push => {
+                stack[sp][..w].copy_from_slice(&acc[..w]);
+                sp += 1;
+            }
+            TapeOp::PopAdd => {
+                sp -= 1;
+                for (a, t) in acc[..w].iter_mut().zip(&stack[sp][..w]) {
+                    *a = *t + *a;
+                }
+            }
+            TapeOp::PopFma { c } => {
+                sp -= 1;
+                for i in 0..w {
+                    acc[i] = acc[i].mul_add(c, stack[sp][i]);
+                }
+            }
+        }
+    }
+    out.copy_from_slice(&acc[..w]);
+}
+
+/// Validate everything a SIMD tape evaluator dereferences: every tap id
+/// resolves, every tap row lies inside `raw`, shift distances are in
+/// `(0, w)`, and the value stack stays within [`MAX_STACK`]. Called by
+/// the unsafe backends before any pointer is formed; panics on violation
+/// (unreachable for programs built by [`fuse`] over verified kernels).
+/// Returns the tape's maximum value-stack depth so the evaluators can
+/// skip materializing a stack for the (common) straight-chain tapes.
+pub(crate) fn check_tape(tape: &[TapeOp], rtaps: &[RTap], raw_len: usize, w: usize) -> usize {
+    let mut sp = 0usize;
+    let mut max_sp = 0usize;
+    for op in tape {
+        if let Some(t) = op.tap() {
+            match rtaps[t as usize] {
+                RTap::Direct { base } => {
+                    assert!(
+                        base + w <= raw_len,
+                        "tap row {base}+{w} escapes slab {raw_len}"
+                    );
+                }
+                RTap::Split { home, nbr, dx } => {
+                    assert!(
+                        home + w <= raw_len,
+                        "tap row {home}+{w} escapes slab {raw_len}"
+                    );
+                    assert!(
+                        nbr + w <= raw_len,
+                        "tap row {nbr}+{w} escapes slab {raw_len}"
+                    );
+                    assert!(dx != 0 && dx.unsigned_abs() < w, "shift {dx} out of range");
+                }
+            }
+        }
+        match op {
+            TapeOp::Push => {
+                sp += 1;
+                max_sp = max_sp.max(sp);
+                assert!(sp <= MAX_STACK, "tape value stack overflow");
+            }
+            TapeOp::PopAdd | TapeOp::PopFma { .. } => {
+                sp = sp.checked_sub(1).expect("tape value stack underflow");
+            }
+            _ => {}
+        }
+    }
+    max_sp
+}
+
+/// Validate a resolved tap table against the input slab: every row a
+/// SIMD evaluator may load lies inside `raw`, and every shift distance is
+/// in `(0, w)`. This is the once-per-block half of the safety argument;
+/// the per-tape half (tap ids in range, stack discipline) is enforced
+/// with ordinary bounds-checked indexing inside the evaluators, so after
+/// this check no out-of-slab pointer can form regardless of tape
+/// contents. Panics on violation (unreachable for tables resolved from
+/// [`fuse`] output over verified kernels).
+pub(crate) fn check_taps(rtaps: &[RTap], raw_len: usize, w: usize) {
+    for rt in rtaps {
+        match *rt {
+            RTap::Direct { base } => {
+                assert!(
+                    base + w <= raw_len,
+                    "tap row {base}+{w} escapes slab {raw_len}"
+                );
+            }
+            RTap::Split { home, nbr, dx } => {
+                assert!(
+                    home + w <= raw_len,
+                    "tap row {home}+{w} escapes slab {raw_len}"
+                );
+                assert!(
+                    nbr + w <= raw_len,
+                    "tap row {nbr}+{w} escapes slab {raw_len}"
+                );
+                assert!(dx != 0 && dx.unsigned_abs() < w, "shift {dx} out of range");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brick_codegen::{generate, CodegenOptions, Strategy};
+    use brick_dsl::shape::StencilShape;
+
+    fn kernel(shape: StencilShape, layout: LayoutKind, strategy: Strategy) -> VectorKernel {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        let opts = CodegenOptions {
+            strategy,
+            ..CodegenOptions::default()
+        };
+        generate(&st, &b, layout, 32, opts).unwrap()
+    }
+
+    #[test]
+    fn star_gather_kernels_fuse_with_one_row_per_store() {
+        for shape in [StencilShape::star(1), StencilShape::star(4)] {
+            for layout in [LayoutKind::Brick, LayoutKind::Array] {
+                let k = kernel(shape, layout, Strategy::Gather);
+                let f = fuse(&k).expect("gather kernels fuse");
+                let stores = k
+                    .ops
+                    .iter()
+                    .filter(|op| matches!(op, VOp::StoreRow { .. }))
+                    .count();
+                assert_eq!(f.rows().len(), stores, "{shape} {layout}");
+                assert!(f.taps_len() > 0 && f.taps_len() <= MAX_TAPS);
+                for rp in f.rows() {
+                    assert!(!rp.tape.is_empty());
+                    check_tape(&rp.tape, &resolve_identity(&f), usize::MAX / 2, k.width);
+                }
+            }
+        }
+    }
+
+    /// Stand-in resolution (base 0 everywhere) so `check_tape`'s tap-id
+    /// and stack-discipline checks can run without a grid.
+    fn resolve_identity(f: &FusedKernel) -> Vec<RTap> {
+        f.taps()
+            .iter()
+            .map(|t| match *t {
+                Tap::Direct { .. } => RTap::Direct { base: 0 },
+                Tap::Shifted { dx, .. } => RTap::Split {
+                    home: 0,
+                    nbr: 0,
+                    dx: dx as isize,
+                },
+            })
+            .collect()
+    }
+
+    // Diagnostic: print fused-program shape for the bench kernel.
+    // `cargo test -p brick-vm --release -- --ignored --nocapture fused_shape`
+    #[test]
+    #[ignore]
+    fn fused_shape_report() {
+        for shape in StencilShape::paper_suite() {
+            for layout in [LayoutKind::Brick, LayoutKind::Array] {
+                let k = kernel(shape, layout, Strategy::Gather);
+                if let Some(f) = fuse(&k) {
+                    let ops: usize = f.rows().iter().map(|r| r.tape.len()).sum();
+                    println!(
+                        "{shape} {layout:?}: taps={} rows={} ops/row={:.1}",
+                        f.taps_len(),
+                        f.rows().len(),
+                        ops as f64 / f.rows().len() as f64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_never_panics_across_the_paper_suite() {
+        for shape in StencilShape::paper_suite() {
+            for layout in [LayoutKind::Brick, LayoutKind::Array] {
+                for strategy in [Strategy::Gather, Strategy::Scatter] {
+                    let k = kernel(shape, layout, strategy);
+                    // Some shapes fuse, some (scatter pipelines) bail to
+                    // the step machine; both outcomes are valid. What is
+                    // not valid is a panic or a malformed program.
+                    if let Some(f) = fuse(&k) {
+                        let rt = resolve_identity(&f);
+                        for rp in f.rows() {
+                            check_tape(&rp.tape, &rt, usize::MAX / 2, k.width);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tape_evaluates_the_exact_expression() {
+        // acc = fma(t1, c, t0 + t1) with operand order preserved:
+        // portable eval vs a hand scalar evaluation, bit for bit.
+        let w = 16;
+        let raw: Vec<f64> = (0..2 * w).map(|i| 0.37 * (i as f64) - 2.0).collect();
+        let rtaps = [RTap::Direct { base: 0 }, RTap::Direct { base: w }];
+        let tape = [
+            TapeOp::Set { tap: 0 },
+            TapeOp::AddTap { tap: 1 },
+            TapeOp::Fma { tap: 1, c: 0.125 },
+            TapeOp::Mul { c: -3.0 },
+        ];
+        let mut out = vec![0.0; w];
+        eval_row_portable(&tape, &rtaps, &raw, w, &mut out);
+        for i in 0..w {
+            let (t0, t1) = (raw[i], raw[w + i]);
+            let want = t1.mul_add(0.125, t0 + t1) * -3.0;
+            assert_eq!(out[i].to_bits(), want.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index i mirrors the lane math under test
+    fn split_taps_read_across_the_seam() {
+        let w = 16;
+        // home row = 0..16, neighbour row = 100..116
+        let mut raw = vec![0.0; 2 * w];
+        for i in 0..w {
+            raw[i] = i as f64;
+            raw[w + i] = 100.0 + i as f64;
+        }
+        for dx in [-3isize, -1, 1, 3] {
+            let rtaps = [RTap::Split {
+                home: 0,
+                nbr: w,
+                dx,
+            }];
+            let tape = [TapeOp::Set { tap: 0 }];
+            let mut out = vec![0.0; w];
+            eval_row_portable(&tape, &rtaps, &raw, w, &mut out);
+            for i in 0..w {
+                let j = i as isize + dx;
+                let want = if (0..w as isize).contains(&j) {
+                    j as f64
+                } else if j >= w as isize {
+                    100.0 + (j - w as isize) as f64
+                } else {
+                    100.0 + (j + w as isize) as f64
+                };
+                assert_eq!(out[i], want, "dx={dx} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_tape_rejects_escaping_rows_and_bad_stacks() {
+        let tape = [TapeOp::Set { tap: 0 }];
+        let rtaps = [RTap::Direct { base: 100 }];
+        check_tape(&tape, &rtaps, 116, 16); // exactly fits
+        assert!(std::panic::catch_unwind(|| check_tape(&tape, &rtaps, 115, 16)).is_err());
+        let underflow = [TapeOp::PopAdd];
+        assert!(std::panic::catch_unwind(|| check_tape(&underflow, &rtaps, 116, 16)).is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! NEON row backend (aarch64).
+//!
+//! Mirrors [`super::avx2`] with 2-lane `float64x2_t` vectors; see that
+//! module for the three-layer safety argument (analyzer bounds proof,
+//! per-call row assertions, feature-gated construction). NEON is part of
+//! the aarch64 baseline, so detection is trivially true on this
+//! architecture. `vfmaq_f64` is the correctly-rounded IEEE-754 fused
+//! multiply-add — bit-identical to `f64::mul_add` — so this backend is
+//! exact against the interpreter (ULP bound 0).
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use core::arch::aarch64::{
+    float64x2_t, vaddq_f64, vdupq_n_f64, vfmaq_f64, vld1q_f64, vmovq_n_f64, vmulq_f64, vst1q_f64,
+};
+
+use super::fuse::{self, RTap, TapeOp, MAX_STACK};
+use super::RowOps;
+
+/// NEON rows. On aarch64 the feature is baseline, so construction is
+/// infallible there (the type does not exist on other architectures).
+pub(crate) struct NeonOps(());
+
+impl NeonOps {
+    /// Construct the backend (NEON is baseline on aarch64).
+    pub(crate) fn new() -> NeonOps {
+        NeonOps(())
+    }
+}
+
+/// Same contract as the AVX2 `check_rows`, with 2-lane vectors.
+fn check_rows(len: usize, w: usize, offs: [usize; 3]) {
+    assert!(w >= 2 && w % 2 == 0, "width {w} is not a multiple of 2");
+    for off in offs {
+        assert!(off + w <= len, "row {off}+{w} escapes register file {len}");
+    }
+}
+
+impl RowOps for NeonOps {
+    fn add(&self, regs: &mut [f64], dst0: usize, a0: usize, b0: usize, w: usize) {
+        check_rows(regs.len(), w, [dst0, a0, b0]);
+        // SAFETY: rows checked in-bounds above; NEON is aarch64 baseline.
+        unsafe { add_rows(regs.as_mut_ptr(), dst0, a0, b0, w) }
+    }
+
+    fn mul(&self, regs: &mut [f64], dst0: usize, a0: usize, c: f64, w: usize) {
+        check_rows(regs.len(), w, [dst0, a0, a0]);
+        // SAFETY: rows checked in-bounds above; NEON is aarch64 baseline.
+        unsafe { mul_rows(regs.as_mut_ptr(), dst0, a0, c, w) }
+    }
+
+    fn fma(&self, regs: &mut [f64], dst0: usize, acc0: usize, a0: usize, c: f64, w: usize) {
+        check_rows(regs.len(), w, [dst0, acc0, a0]);
+        // SAFETY: rows checked in-bounds above; NEON is aarch64 baseline.
+        unsafe { fma_rows(regs.as_mut_ptr(), dst0, acc0, a0, c, w) }
+    }
+
+    fn eval_row(&self, tape: &[TapeOp], rtaps: &[RTap], raw: &[f64], w: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), w, "output row length mismatch");
+        // Same contract as the AVX2 evaluator: check_tape proves every
+        // row the program loads is inside `raw` before any pointer forms,
+        // and its returned stack depth picks a stackless instantiation
+        // for straight-chain tapes.
+        let max_sp = fuse::check_tape(tape, rtaps, raw.len(), w);
+        // SAFETY: bounds established above; NEON is aarch64 baseline.
+        unsafe {
+            match (w, max_sp) {
+                (16, 0) => eval_tape::<8, 0>(tape, rtaps, raw, out),
+                (16, _) => eval_tape::<8, MAX_STACK>(tape, rtaps, raw, out),
+                (32, 0) => eval_tape::<16, 0>(tape, rtaps, raw, out),
+                (32, _) => eval_tape::<16, MAX_STACK>(tape, rtaps, raw, out),
+                (64, 0) => eval_tape::<32, 0>(tape, rtaps, raw, out),
+                (64, _) => eval_tape::<32, MAX_STACK>(tape, rtaps, raw, out),
+                _ => fuse::eval_row_portable(tape, rtaps, raw, w, out),
+            }
+        }
+    }
+
+    fn eval_block<F: Fn(&fuse::RowProg) -> usize>(
+        &self,
+        fused: &fuse::FusedKernel,
+        rtaps: &[RTap],
+        raw: &[f64],
+        w: usize,
+        out: &mut [f64],
+        row_start: F,
+    ) {
+        // Same split as the AVX2 backend: validate the tap table once per
+        // block; tap ids and stack depth stay bounds-checked per op.
+        fuse::check_taps(rtaps, raw.len(), w);
+        for rp in fused.rows() {
+            let s = row_start(rp);
+            let out_row = &mut out[s..s + w];
+            // SAFETY: tap table checked above; `out_row.len() == w` by
+            // the slice; NEON is aarch64 baseline.
+            unsafe {
+                match (w, &rp.fast) {
+                    (16, Some(fr)) => eval_fast::<8>(fr, rtaps, raw, out_row),
+                    (32, Some(fr)) => eval_fast::<16>(fr, rtaps, raw, out_row),
+                    (64, Some(fr)) => eval_fast::<32>(fr, rtaps, raw, out_row),
+                    (16, None) if rp.max_sp == 0 => {
+                        eval_tape::<8, 0>(&rp.tape, rtaps, raw, out_row)
+                    }
+                    (16, None) => eval_tape::<8, MAX_STACK>(&rp.tape, rtaps, raw, out_row),
+                    (32, None) if rp.max_sp == 0 => {
+                        eval_tape::<16, 0>(&rp.tape, rtaps, raw, out_row)
+                    }
+                    (32, None) => eval_tape::<16, MAX_STACK>(&rp.tape, rtaps, raw, out_row),
+                    (64, None) if rp.max_sp == 0 => {
+                        eval_tape::<32, 0>(&rp.tape, rtaps, raw, out_row)
+                    }
+                    (64, None) => eval_tape::<32, MAX_STACK>(&rp.tape, rtaps, raw, out_row),
+                    _ => fuse::eval_row_portable(&rp.tape, rtaps, raw, w, out_row),
+                }
+            }
+        }
+    }
+}
+
+/// Combine one accumulator chunk with one tap chunk; mirrors the AVX2
+/// `combine` (0 = set, 1 = acc+t, 2 = t+acc, 3 = acc+t·c fused,
+/// 4 = t+acc·c fused). Operand order is preserved exactly.
+#[target_feature(enable = "neon")]
+#[inline]
+fn combine<const MODE: u8>(acc: float64x2_t, t: float64x2_t, cv: float64x2_t) -> float64x2_t {
+    match MODE {
+        0 => t,
+        1 => vaddq_f64(acc, t),
+        2 => vaddq_f64(t, acc),
+        // vfmaq_f64(a, b, c) = a + b·c, fused
+        3 => vfmaq_f64(acc, t, cv),
+        _ => vfmaq_f64(t, acc, cv),
+    }
+}
+
+/// Apply one tap op across all `NC` accumulator chunks; mirrors the AVX2
+/// `apply` with 2-lane chunks.
+///
+/// # Safety
+/// `check_tape` invariants: `base/home/nbr + w ≤ raw.len()` and
+/// `0 < |dx| < w`, with `w = 2·NC`.
+#[target_feature(enable = "neon")]
+#[inline]
+unsafe fn apply<const NC: usize, const MODE: u8>(
+    acc: &mut [float64x2_t; NC],
+    rt: RTap,
+    p: *const f64,
+    cv: float64x2_t,
+) {
+    match rt {
+        RTap::Direct { base } => {
+            for c in 0..NC {
+                // SAFETY: lanes [2c, 2c+2) of the checked row `base`.
+                let t = unsafe { vld1q_f64(p.add(base + 2 * c)) };
+                acc[c] = combine::<MODE>(acc[c], t, cv);
+            }
+        }
+        RTap::Split { home, nbr, dx } => {
+            let w = (NC * 2) as isize;
+            for c in 0..NC {
+                let j0 = (2 * c) as isize + dx;
+                // SAFETY: lane j of `home` is read only for 0 ≤ j < w and
+                // the wrapped lane j∓w ∈ [0, w) of `nbr` otherwise; both
+                // rows checked in-bounds.
+                let t = unsafe {
+                    if j0 >= 0 && j0 + 1 < w {
+                        vld1q_f64(p.add(home).offset(j0))
+                    } else if dx > 0 && j0 >= w {
+                        vld1q_f64(p.add(nbr).offset(j0 - w))
+                    } else if dx < 0 && j0 + 1 < 0 {
+                        vld1q_f64(p.add(nbr).offset(j0 + w))
+                    } else {
+                        let mut t = [0.0f64; 2];
+                        for (l, v) in t.iter_mut().enumerate() {
+                            let j = j0 + l as isize;
+                            *v = if j < 0 {
+                                *p.add(nbr).offset(j + w)
+                            } else if j < w {
+                                *p.add(home).offset(j)
+                            } else {
+                                *p.add(nbr).offset(j - w)
+                            };
+                        }
+                        vld1q_f64(t.as_ptr())
+                    }
+                };
+                acc[c] = combine::<MODE>(acc[c], t, cv);
+            }
+        }
+    }
+}
+
+/// Straight-chain fast path: mirrors the AVX2 `eval_fast` with 2-lane
+/// chunks. [`fuse::FastRow`] is a `Set · Fma* · Mul?` chain, so the body
+/// is pure unrolled FMA with no per-op dispatch — the accumulators stay
+/// in registers for the whole row. Plain stores only: A64 streaming
+/// stores (STNP) have no stable intrinsic, and this backend cannot be
+/// perf-validated on the x86 reference host anyway.
+///
+/// # Safety
+/// Caller must have validated the tap table against `raw.len()` and `w`
+/// ([`fuse::check_taps`]) and `out.len() == w == 2·NC` must hold. Tap
+/// ids are accessed with bounds-checked indexing.
+#[target_feature(enable = "neon")]
+unsafe fn eval_fast<const NC: usize>(
+    fr: &fuse::FastRow,
+    rtaps: &[RTap],
+    raw: &[f64],
+    out: &mut [f64],
+) {
+    let p = raw.as_ptr();
+    let zero = vmovq_n_f64(0.0);
+    let mut acc = [zero; NC];
+    // SAFETY (both `apply` calls): tap rows checked by check_taps; tap
+    // ids bounds-checked by the slice index.
+    unsafe { apply::<NC, 0>(&mut acc, rtaps[fr.first as usize], p, zero) };
+    for &(t, coeff) in &fr.fmas {
+        unsafe { apply::<NC, 3>(&mut acc, rtaps[t as usize], p, vdupq_n_f64(coeff)) };
+    }
+    if let Some(s) = fr.scale {
+        let sv = vdupq_n_f64(s);
+        for a in acc.iter_mut() {
+            *a = vmulq_f64(*a, sv);
+        }
+    }
+    for (c, a) in acc.iter().enumerate() {
+        // SAFETY: out.len() == 2·NC asserted by the caller.
+        unsafe { vst1q_f64(out.as_mut_ptr().add(2 * c), *a) };
+    }
+}
+
+/// In-register fused-tape interpreter over `NC` 2-lane vectors
+/// (`w = 2·NC`); mirrors the AVX2 evaluator. `SP` sizes the value stack
+/// (0 for straight-chain tapes).
+///
+/// # Safety
+/// Caller must have validated the tap table against `raw.len()` and `w`
+/// ([`fuse::check_taps`], or [`fuse::check_tape`] for this one tape),
+/// and `out.len() == w == 2·NC` must hold. Tap ids and the `SP`-sized
+/// value stack are accessed with bounds-checked indexing, so a malformed
+/// tape panics rather than forming a stray pointer.
+#[target_feature(enable = "neon")]
+unsafe fn eval_tape<const NC: usize, const SP: usize>(
+    tape: &[TapeOp],
+    rtaps: &[RTap],
+    raw: &[f64],
+    out: &mut [f64],
+) {
+    let p = raw.as_ptr();
+    let zero = vmovq_n_f64(0.0);
+    let mut acc = [zero; NC];
+    let mut stack = [[zero; NC]; SP];
+    let mut sp = 0usize;
+    for op in tape {
+        // SAFETY (all `apply` calls): tap rows checked by check_tape.
+        match *op {
+            TapeOp::Set { tap } => unsafe {
+                apply::<NC, 0>(&mut acc, rtaps[tap as usize], p, zero)
+            },
+            TapeOp::AddTap { tap } => unsafe {
+                apply::<NC, 1>(&mut acc, rtaps[tap as usize], p, zero)
+            },
+            TapeOp::TapAdd { tap } => unsafe {
+                apply::<NC, 2>(&mut acc, rtaps[tap as usize], p, zero)
+            },
+            TapeOp::Mul { c } => {
+                let cv = vdupq_n_f64(c);
+                for a in acc.iter_mut() {
+                    *a = vmulq_f64(*a, cv);
+                }
+            }
+            TapeOp::Fma { tap, c } => unsafe {
+                apply::<NC, 3>(&mut acc, rtaps[tap as usize], p, vdupq_n_f64(c))
+            },
+            TapeOp::FmaRev { tap, c } => unsafe {
+                apply::<NC, 4>(&mut acc, rtaps[tap as usize], p, vdupq_n_f64(c))
+            },
+            TapeOp::Push => {
+                stack[sp] = acc;
+                sp += 1;
+            }
+            TapeOp::PopAdd => {
+                sp -= 1;
+                for c in 0..NC {
+                    acc[c] = vaddq_f64(stack[sp][c], acc[c]);
+                }
+            }
+            TapeOp::PopFma { c } => {
+                sp -= 1;
+                let cv = vdupq_n_f64(c);
+                for ch in 0..NC {
+                    // pop + acc·c, fused
+                    acc[ch] = vfmaq_f64(stack[sp][ch], acc[ch], cv);
+                }
+            }
+        }
+    }
+    for (c, a) in acc.iter().enumerate() {
+        // SAFETY: out.len() == 2·NC asserted by the caller.
+        unsafe { vst1q_f64(out.as_mut_ptr().add(2 * c), *a) };
+    }
+}
+
+/// # Safety
+/// `p + off + w <=` allocation for every offset; `w % 2 == 0`.
+#[target_feature(enable = "neon")]
+unsafe fn add_rows(p: *mut f64, dst0: usize, a0: usize, b0: usize, w: usize) {
+    for i in (0..w).step_by(2) {
+        // SAFETY: i + 2 <= w, so every lane is inside the checked rows.
+        unsafe {
+            let a = vld1q_f64(p.add(a0 + i));
+            let b = vld1q_f64(p.add(b0 + i));
+            vst1q_f64(p.add(dst0 + i), vaddq_f64(a, b));
+        }
+    }
+}
+
+/// # Safety
+/// Same contract as [`add_rows`].
+#[target_feature(enable = "neon")]
+unsafe fn mul_rows(p: *mut f64, dst0: usize, a0: usize, c: f64, w: usize) {
+    let cv = vdupq_n_f64(c);
+    for i in (0..w).step_by(2) {
+        // SAFETY: i + 2 <= w, so every lane is inside the checked rows.
+        unsafe {
+            let a = vld1q_f64(p.add(a0 + i));
+            vst1q_f64(p.add(dst0 + i), vmulq_f64(a, cv));
+        }
+    }
+}
+
+/// # Safety
+/// Same contract as [`add_rows`].
+#[target_feature(enable = "neon")]
+unsafe fn fma_rows(p: *mut f64, dst0: usize, acc0: usize, a0: usize, c: f64, w: usize) {
+    let cv = vdupq_n_f64(c);
+    for i in (0..w).step_by(2) {
+        // SAFETY: i + 2 <= w, so every lane is inside the checked rows.
+        unsafe {
+            let a = vld1q_f64(p.add(a0 + i));
+            let acc = vld1q_f64(p.add(acc0 + i));
+            // vfmaq_f64(acc, a, c) = acc + a*c, fused
+            vst1q_f64(p.add(dst0 + i), vfmaq_f64(acc, a, cv));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neon_rows_are_bit_identical_to_mul_add() {
+        let ops = NeonOps::new();
+        let w = 16;
+        let mut regs = vec![0.0; 3 * w];
+        for i in 0..w {
+            regs[w + i] = 0.1 * (i as f64) - 0.3;
+            regs[2 * w + i] = 1.0 / (1.0 + i as f64);
+        }
+        let (r1, r2) = (regs[w..2 * w].to_vec(), regs[2 * w..3 * w].to_vec());
+        let c = 0.123456789;
+        ops.fma(&mut regs, 0, w, 2 * w, c, w);
+        for i in 0..w {
+            let want = r2[i].mul_add(c, r1[i]);
+            assert_eq!(regs[i].to_bits(), want.to_bits(), "lane {i}");
+        }
+    }
+}

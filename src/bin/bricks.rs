@@ -37,6 +37,7 @@ usage:
   bricks reuse    <star|cube> <radius> <width>          reuse distances
   bricks lint     [kernel.json] [--json]                static kernel analysis
   bricks obs      <file> [--summary]                    inspect saved observability
+  bricks exec     [--bench N]                           execution-backend report
   bricks prof sweep <spans.jsonl|PROF_sweep.json> [--json]
                                                         sweep self-profile report
   bricks prof sim <star|cube> <radius> <gpu> <model> [--n N]
@@ -71,10 +72,18 @@ filters) for diagnostic logging in any subcommand.
 sweep self-profile from a span capture or a saved PROF_sweep.json;
 'sim' runs one memory simulation with full attribution (per-block-class
 and per-SM-group traffic, wave timeline — rows sum bit-for-bit to the
-totals); 'diff'/'gate' compare two BENCH_sim.json documents with
-noise-aware tolerances (gate exits non-zero on a >10% regression, the CI
-contract); 'history' renders (or appends to) an append-only JSONL bench
-history keyed on each run's git SHA.
+totals); 'diff'/'gate' compare two bench documents — BENCH_sim.json
+or BENCH_exec.json, recognised by content — with noise-aware tolerances
+(gate exits non-zero on a >10% regression, the CI contract); 'history'
+renders (or appends to) an append-only JSONL bench history keyed on each
+run's git SHA.
+
+`bricks exec` reports how the CPU execution backend resolves on this
+host: detected SIMD features, the BRICK_EXEC default, and the backend
+each mode (scalar|auto|avx2|neon) dispatches to. With --bench N it also
+measures the star-7 cell at N^3 under the interpreter and the Auto
+backend and prints the speedup (every backend is bit-identical to the
+interpreter; see the differential suite in brick-vm).
 
 For the paper's tables and figures use:
   cargo run -p experiments --release -- --all";
@@ -541,12 +550,52 @@ fn load_json(path: &str) -> Result<serde_json::Value, String> {
     serde_json::parse(&text).map_err(|e| format!("{path}: not JSON: {e}"))
 }
 
-/// Diff two BENCH_sim.json documents; `gate` additionally fails the
-/// command on any beyond-tolerance regression (the CI contract).
-fn prof_diff_cmd(base: &str, new: &str, gate: bool) -> Result<(), String> {
-    use bricks_repro::prof::{diff_bench, render_diff, BENCH_RULES};
+/// Report the host's execution-backend resolution: CPU features, the
+/// `BRICK_EXEC` default, and the backend each [`ExecutionMode`] would
+/// dispatch to; with `--bench N`, also a quick interpreter-vs-native
+/// throughput measurement of the star-7 cell at `N`³.
+fn exec_cmd(bench_n: Option<usize>) -> Result<(), String> {
+    use bricks_repro::vm::{resolve_with, CpuFeatures, ExecutionMode};
 
-    let deltas = diff_bench(&load_json(base)?, &load_json(new)?, BENCH_RULES);
+    let features = CpuFeatures::detect();
+    println!("cpu features: [{features}]");
+    println!("BRICK_EXEC default: {}", ExecutionMode::from_env());
+    for mode in ExecutionMode::ALL {
+        let name = format!("{mode:<6}", mode = mode.to_string());
+        match resolve_with(mode, features) {
+            Ok(b) => println!("  {name} -> {b}"),
+            Err(e) => println!("  {name} -> unavailable: {e}"),
+        }
+    }
+    if let Some(n) = bench_n {
+        if n == 0 || n % 64 != 0 {
+            return Err(format!(
+                "--bench size {n} must be a positive multiple of 64"
+            ));
+        }
+        let bench =
+            bricks_repro::experiments::bench_exec::run_bench_exec(n, ExecutionMode::Auto, None)?;
+        println!(
+            "star-7 at {n}^3: interpreter {:.1} Mpts/s, {} {:.1} Mpts/s — {:.2}x",
+            bench.interpreter.points_per_s / 1e6,
+            bench.native.backend,
+            bench.native.points_per_s / 1e6,
+            bench.speedup,
+        );
+    }
+    Ok(())
+}
+
+/// Diff two bench documents (`BENCH_sim.json` or `BENCH_exec.json` —
+/// the rule set is picked from the document itself); `gate` additionally
+/// fails the command on any beyond-tolerance regression (the CI
+/// contract).
+fn prof_diff_cmd(base: &str, new: &str, gate: bool) -> Result<(), String> {
+    use bricks_repro::prof::{diff_bench, render_diff, rules_for};
+
+    let base_doc = load_json(base)?;
+    let rules = rules_for(&base_doc);
+    let deltas = diff_bench(&base_doc, &load_json(new)?, rules);
     print!("{}", render_diff(&deltas));
     if gate {
         bricks_repro::prof::gate(&deltas)?;
@@ -636,6 +685,11 @@ fn run() -> Result<(), String> {
                 fidelity,
                 json,
             )
+        }
+        ["exec"] => exec_cmd(None),
+        ["exec", "--bench", n] => {
+            let n: usize = n.parse().map_err(|e| format!("--bench size: {e}"))?;
+            exec_cmd(Some(n))
         }
         ["prof", "diff", base, new] => prof_diff_cmd(base, new, false),
         ["prof", "gate", base, new] => prof_diff_cmd(base, new, true),
