@@ -28,10 +28,17 @@ impl fmt::Display for Severity {
     }
 }
 
-/// Every lint the analyzer can raise, with a stable `BLxxx` code.
+/// Every lint the analyzer can raise, with a stable `BLxxx` code, plus
+/// the brick-safe proof obligations (`BSxxx`) the VM's native-backend
+/// safety prover discharges over compiled plans.
 ///
 /// `BL0xx` are structural errors (verifier pass), `BL02x` semantic errors
 /// (footprint pass), `BL1xx` warnings (dead code, reuse, occupancy).
+/// `BSxxx` codes are raised by `brick_vm`'s compile-time safety pass over
+/// lowered `Plan`/`RowProg` programs; each names one precondition the
+/// `unsafe` SIMD row backends rely on (see DESIGN.md §13 for the
+/// obligation catalog). Any `BSxxx` finding means the plan must not be
+/// dispatched to a native backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LintCode {
     /// Block x extent disagrees with the vector width.
@@ -82,6 +89,41 @@ pub enum LintCode {
     /// Register demand caps resident warps below the bandwidth-saturation
     /// occupancy of an architecture.
     LowOccupancy,
+    /// brick-safe: a tap row's resolved address range can escape its
+    /// operand slab for some block of some grid.
+    UnsafeTapEscapesSlab,
+    /// brick-safe: a brick tap names a neighbour outside the 27-entry
+    /// adjacency row.
+    UnsafeTapNeighborInvalid,
+    /// brick-safe: a split tap's seam shift distance is zero or at least
+    /// the vector width.
+    UnsafeSeamInvalid,
+    /// brick-safe: a tape op (or fast-row program) references a tap slot
+    /// outside the kernel's tap table, or the table exceeds the executors'
+    /// fixed capacity.
+    UnsafeTapIndexInvalid,
+    /// brick-safe: a row program's value stack underflows, overflows the
+    /// fixed evaluator stack, or its declared depth disagrees with the
+    /// tape.
+    UnsafeStackDiscipline,
+    /// brick-safe: an output row offset escapes the block volume, is not
+    /// row-aligned, or disagrees with its declared row coordinates.
+    UnsafeStoreEscapesBlock,
+    /// brick-safe: two row programs write overlapping output rows, so
+    /// streaming-store ordering is not discharged by disjointness.
+    UnsafeStoreOverlap,
+    /// brick-safe: the plan's vector width is not a whole number of SIMD
+    /// lanes for every native backend, or a fused plan's block x extent
+    /// disagrees with the width.
+    UnsafeLaneGeometry,
+    /// brick-safe: a step program row offset (or lane range) escapes the
+    /// register file the plan sizes.
+    UnsafeRegRowEscapesFile,
+    /// brick-safe: a step shift distance is invalid, or an aliased shift
+    /// was not routed through the scratch row.
+    UnsafeShiftInvalid,
+    /// brick-safe: a row program's fast-row form diverges from its tape.
+    UnsafeFastRowDivergent,
 }
 
 impl LintCode {
@@ -109,6 +151,17 @@ impl LintCode {
             LintCode::OverProvisionedRegs => "BL104",
             LintCode::WillSpill => "BL110",
             LintCode::LowOccupancy => "BL111",
+            LintCode::UnsafeTapEscapesSlab => "BS001",
+            LintCode::UnsafeTapNeighborInvalid => "BS002",
+            LintCode::UnsafeSeamInvalid => "BS003",
+            LintCode::UnsafeTapIndexInvalid => "BS004",
+            LintCode::UnsafeStackDiscipline => "BS005",
+            LintCode::UnsafeStoreEscapesBlock => "BS006",
+            LintCode::UnsafeStoreOverlap => "BS007",
+            LintCode::UnsafeLaneGeometry => "BS008",
+            LintCode::UnsafeRegRowEscapesFile => "BS009",
+            LintCode::UnsafeShiftInvalid => "BS010",
+            LintCode::UnsafeFastRowDivergent => "BS011",
         }
     }
 
@@ -128,7 +181,18 @@ impl LintCode {
             | LintCode::CoeffIndexOutOfRange
             | LintCode::FootprintMismatch
             | LintCode::CoeffValueMismatch
-            | LintCode::InconsistentFootprint => Severity::Error,
+            | LintCode::InconsistentFootprint
+            | LintCode::UnsafeTapEscapesSlab
+            | LintCode::UnsafeTapNeighborInvalid
+            | LintCode::UnsafeSeamInvalid
+            | LintCode::UnsafeTapIndexInvalid
+            | LintCode::UnsafeStackDiscipline
+            | LintCode::UnsafeStoreEscapesBlock
+            | LintCode::UnsafeStoreOverlap
+            | LintCode::UnsafeLaneGeometry
+            | LintCode::UnsafeRegRowEscapesFile
+            | LintCode::UnsafeShiftInvalid
+            | LintCode::UnsafeFastRowDivergent => Severity::Error,
             LintCode::DeadDef
             | LintCode::DuplicateLoad
             | LintCode::RedundantShift
@@ -389,6 +453,17 @@ mod tests {
             LintCode::OverProvisionedRegs,
             LintCode::WillSpill,
             LintCode::LowOccupancy,
+            LintCode::UnsafeTapEscapesSlab,
+            LintCode::UnsafeTapNeighborInvalid,
+            LintCode::UnsafeSeamInvalid,
+            LintCode::UnsafeTapIndexInvalid,
+            LintCode::UnsafeStackDiscipline,
+            LintCode::UnsafeStoreEscapesBlock,
+            LintCode::UnsafeStoreOverlap,
+            LintCode::UnsafeLaneGeometry,
+            LintCode::UnsafeRegRowEscapesFile,
+            LintCode::UnsafeShiftInvalid,
+            LintCode::UnsafeFastRowDivergent,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

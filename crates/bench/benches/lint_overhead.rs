@@ -112,9 +112,83 @@ fn assert_verification_under_two_percent(_c: &mut Criterion) {
     );
 }
 
+/// Assert the brick-safe memory-safety proof adds under 2% to native
+/// plan compilation.
+///
+/// `Plan::compile` embeds the proof, so the overhead in question is the
+/// prover's share of compile time. It is measured directly: the numerator
+/// re-runs the identical proof standalone (`verify_safety`) plus the
+/// per-run array-geometry premise at the paper's largest 512³ domain
+/// (pure address arithmetic — no 512³ allocation) over every kernel in
+/// the sweep set; the denominator is full `Plan::compile` over the same
+/// set. This is the contract that lets `compile` reject unprovable plans
+/// unconditionally rather than behind a debug flag.
+fn assert_safety_proof_under_two_percent(_c: &mut Criterion) {
+    use brick_vm::Plan;
+
+    let kernels: Vec<(VectorKernel, usize)> = {
+        let mut out = Vec::new();
+        for shape in StencilShape::paper_suite() {
+            let st = shape.stencil();
+            let b = st.default_bindings();
+            for layout in [LayoutKind::Brick, LayoutKind::Array] {
+                for width in [16usize, 32, 64] {
+                    let k = generate(&st, &b, layout, width, CodegenOptions::default()).unwrap();
+                    out.push((k, shape.radius as usize));
+                }
+            }
+        }
+        out
+    };
+    let plans: Vec<(Plan, usize)> = kernels
+        .iter()
+        .map(|(k, halo)| (Plan::compile(k).unwrap(), *halo))
+        .collect();
+
+    let compile_median = median_secs(
+        (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                for (k, _) in &kernels {
+                    black_box(Plan::compile(black_box(k)).unwrap());
+                }
+                t0.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let prove_median = median_secs(
+        (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                for (plan, halo) in &plans {
+                    black_box(plan.verify_safety().unwrap());
+                    // Array plans also discharge the 512³ run premise;
+                    // brick plans return Ok immediately here.
+                    plan.check_array_geometry(512, 512, 512, *halo).unwrap();
+                }
+                t0.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+
+    let pct = 100.0 * prove_median / compile_median;
+    println!(
+        "lint_overhead: {:.2}ms to prove {} plans safe (incl. 512^3 geometry) \
+         vs {:.2}ms to compile them ({pct:.2}% overhead, limit 2%)",
+        prove_median * 1e3,
+        plans.len(),
+        compile_median * 1e3,
+    );
+    assert!(
+        pct < 2.0,
+        "brick-safe proof costs {pct:.2}% of plan compilation (limit 2%)"
+    );
+}
+
 criterion_group!(
     benches,
     bench_analyze_suite,
-    assert_verification_under_two_percent
+    assert_verification_under_two_percent,
+    assert_safety_proof_under_two_percent
 );
 criterion_main!(benches);

@@ -28,13 +28,18 @@ pub enum VmError {
     /// A forced [`ExecutionMode`] the running host cannot execute
     /// (e.g. `avx2` without AVX2+FMA). `Auto` never produces this.
     Unsupported(String),
+    /// The lowered plan failed the brick-safe memory-safety proof; the
+    /// report carries the undischarged `BSxxx` obligations. Such a plan
+    /// is never dispatched to a native backend.
+    UnsafePlan(Box<brick_lint::Report>),
 }
 
 impl VmError {
-    /// The analyzer report, when the error is a rejected kernel.
+    /// The analyzer report, when the error is a rejected kernel or an
+    /// unprovable plan.
     pub fn report(&self) -> Option<&brick_lint::Report> {
         match self {
-            VmError::InvalidKernel(r) => Some(r),
+            VmError::InvalidKernel(r) | VmError::UnsafePlan(r) => Some(r),
             VmError::Mismatch(_) | VmError::Unsupported(_) => None,
         }
     }
@@ -46,6 +51,7 @@ impl std::fmt::Display for VmError {
             VmError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
             VmError::Mismatch(e) => write!(f, "kernel/grid mismatch: {e}"),
             VmError::Unsupported(e) => write!(f, "unsupported execution mode: {e}"),
+            VmError::UnsafePlan(e) => write!(f, "unsafe plan rejected: {e}"),
         }
     }
 }
@@ -375,6 +381,24 @@ fn run_brick_fused_nt<B: RowOps, const NT: usize>(
     let decomp = std::sync::Arc::clone(input.decomp());
     let ntaps = fused.taps_len();
     debug_assert!(ntaps <= NT);
+    // Per-run premise of the compile-time tap-bounds proof (BS001/BS002):
+    // the slab is whole bricks, and every adjacency entry of an interior
+    // brick names an allocated one. Combined with the proved per-tap fact
+    // `off + w ≤ vol`, every resolved base `id·vol + off` then satisfies
+    // `base + w ≤ in_raw.len()` — which is why the hot loop below no
+    // longer re-checks the resolved taps per block.
+    let nb = in_raw.len() / vol;
+    assert_eq!(in_raw.len(), nb * vol, "input slab is not whole bricks");
+    for id in 0..nb as u32 {
+        if decomp.is_interior(id) {
+            for &n in info.row(id) {
+                assert!(
+                    n != brick_core::NO_BRICK && (n as usize) < nb,
+                    "adjacency entry {n} of interior brick {id} outside the {nb}-brick slab"
+                );
+            }
+        }
+    }
     output
         .raw_mut()
         .par_chunks_mut(vol)
@@ -630,6 +654,13 @@ fn run_array_fused<B: RowOps>(
     let tiles_y = ny / block.by;
     let ntaps = fused.taps_len();
     assert!(ntaps <= MAX_TAPS, "fused tap table exceeds executor buffer");
+    // Per-run instantiation of the tap-bounds obligation (BS001) for this
+    // concrete geometry: every tap row of every tile stays inside the
+    // padded slab. `check_array` already bounds the reach by the halo;
+    // this is the direct interval check the hot loop relies on instead of
+    // re-validating resolved taps per block.
+    plan.check_array_geometry(nx, ny, nz, halo)
+        .expect("array geometry violates the compile-time tap-bounds proof");
     let deltas: Vec<i64> = fused
         .taps()
         .iter()

@@ -25,7 +25,7 @@ pub use exec::{
     run_vector_brick, run_vector_brick_backend, run_vector_brick_mode, trace_vector_block, VmError,
 };
 pub use geom::{ArrayAddr, TraceGeometry, DEFAULT_IN_BASE, DEFAULT_OUT_BASE};
-pub use native::{resolve, resolve_with, Backend, CpuFeatures, ExecutionMode, Plan};
+pub use native::{resolve, resolve_with, Backend, CpuFeatures, ExecutionMode, Plan, SafetySummary};
 pub use scalar::{run_scalar_array, run_scalar_brick, trace_scalar_block, ScalarKernel};
 pub use trace::{CountingSink, NullSink, RecordingSink, TraceSink};
 

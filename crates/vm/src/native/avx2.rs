@@ -5,10 +5,17 @@
 //! `unsafe_code = "forbid"` to `deny` exactly for them; see
 //! `crates/vm/Cargo.toml`). The safety argument has three layers:
 //!
-//! 1. [`Plan::compile`](super::Plan::compile) only emits row offsets it
-//!    validated against the kernel's register count, after the analyzer's
-//!    bounds proof ([`brick_lint::prove_bounds`]) re-checked every register,
-//!    lane, shift, and coefficient index in the IR.
+//! 1. [`Plan::compile`](super::Plan::compile) only emits programs the
+//!    brick-safe prover ([`super::safe`]) accepts: every obligation the
+//!    pointer code below relies on — tap rows inside their slab (BS001,
+//!    with the per-run premise checks in `crate::exec`), neighbour and
+//!    tap indices in range (BS002/BS004), seam shifts in `(0, w)`
+//!    (BS003), value-stack discipline (BS005), stores inside the home
+//!    block and non-overlapping (BS006/BS007), lane geometry (BS008),
+//!    register rows inside the file (BS009/BS010), and fast-chain
+//!    fidelity (BS011) — is discharged *statically*, before a plan
+//!    exists. Debug builds re-assert the per-block conditions
+//!    ([`fuse::check_taps`]); release builds run on the proof alone.
 //! 2. Each safe wrapper below re-asserts, per call, that every row offset
 //!    plus the width fits inside the register file and that the width is a
 //!    whole number of 4-lane vectors — no pointer is formed otherwise.
@@ -112,13 +119,17 @@ impl RowOps for Avx2Ops {
         out: &mut [f64],
         row_start: F,
     ) {
-        // Once-per-block half of the safety argument: every row base the
-        // tapes can load is proven inside `raw` and shift distances are
-        // in `(0, w)`. The per-tape half (tap ids, stack discipline) is
+        // The tap-bounds argument (every row base the tapes can load is
+        // inside `raw`, shift distances in `(0, w)`) is discharged at
+        // compile time by brick-safe (BS001–BS003) plus the per-run
+        // premise checks in `crate::exec`; debug builds re-assert it per
+        // block. The per-tape half (tap ids, stack discipline) is
         // enforced by ordinary bounds-checked indexing inside
         // `eval_tape`/`eval_fast`, so no pointer can escape the slab even
         // for a malformed tape.
-        fuse::check_taps(rtaps, raw.len(), w);
+        if cfg!(debug_assertions) {
+            fuse::check_taps(rtaps, raw.len(), w);
+        }
         // The block's input rows are short bursts (a few cache lines
         // each) scattered across up to 27 neighbour bricks — a pattern
         // the hardware prefetcher cannot follow across slab boundaries.
@@ -128,7 +139,8 @@ impl RowOps for Avx2Ops {
             let mut line = 0;
             while line < w {
                 // SAFETY: prefetch is a hint — it cannot fault — and
-                // `base + w <= raw.len()` was checked above anyway.
+                // `base + w <= raw.len()` holds by the BS001 proof plus
+                // the executor's per-run premise anyway.
                 unsafe {
                     _mm_prefetch::<_MM_HINT_T0>(raw.as_ptr().add(base + line).cast());
                 }
@@ -147,11 +159,13 @@ impl RowOps for Avx2Ops {
         for rp in fused.rows() {
             let s = row_start(rp);
             let out_row = &mut out[s..s + w];
-            // SAFETY: tap table checked above; `out_row.len() == w` by
-            // the slice; avx2+fma verified by `Avx2Ops::new`. `max_sp`
-            // was fixed at linearization — a stale value only shifts
-            // which instantiation runs, and the stack indexing inside
-            // stays bounds-checked.
+            // SAFETY: tap rows in-bounds by the BS001–BS003 proof plus
+            // the executor's per-run premise (re-asserted above in debug
+            // builds); `out_row.len() == w` by the slice; avx2+fma
+            // verified by `Avx2Ops::new`. `max_sp` was proven equal to
+            // the tape's true depth (BS005) — and a stale value would
+            // only shift which instantiation runs, with the stack
+            // indexing inside staying bounds-checked.
             unsafe {
                 match (w, &rp.fast) {
                     (16, Some(fr)) => eval_fast::<4>(fr, rtaps, raw, out_row),
@@ -189,9 +203,11 @@ impl RowOps for Avx2Ops {
 /// outlined cold to keep the hot loop's control flow trivial.
 ///
 /// # Safety
-/// Same contract as [`eval_tape`]: tap table validated against
-/// `raw.len()`/`w` ([`fuse::check_taps`]), `out.len() == w == 4·NC`,
-/// avx2+fma present. Tap ids are bounds-checked slice accesses.
+/// Same contract as [`eval_tape`]: every tap row in-bounds for
+/// `raw.len()`/`w` (the brick-safe proof BS001–BS003 plus the executor's
+/// per-run premise, or an explicit [`fuse::check_taps`] run),
+/// `out.len() == w == 4·NC`, avx2+fma present. Tap ids are
+/// bounds-checked slice accesses.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn eval_fast<const NC: usize>(
     fr: &fuse::FastRow,
@@ -201,16 +217,18 @@ unsafe fn eval_fast<const NC: usize>(
 ) {
     let p = raw.as_ptr();
     let mut acc = [_mm256_setzero_pd(); NC];
-    // SAFETY (all loads): rows validated by check_taps; chunk offsets
-    // stay inside one validated row (see `apply`).
     match rtaps[fr.first as usize] {
         RTap::Direct { base } => {
             for (c, a) in acc.iter_mut().enumerate() {
+                // SAFETY: lanes [4c, 4c+4) of row `base`, in-bounds by
+                // BS001 + the per-run premise (this fn's contract).
                 *a = unsafe { _mm256_loadu_pd(p.add(base + 4 * c)) };
             }
         }
         rt => {
             for (c, a) in acc.iter_mut().enumerate() {
+                // SAFETY: split-row contract of `load_split` (BS001 rows
+                // + BS003 shift), chunk c < NC.
                 *a = unsafe { load_split::<NC>(rt, p, c) };
             }
         }
@@ -220,12 +238,16 @@ unsafe fn eval_fast<const NC: usize>(
         match rtaps[t as usize] {
             RTap::Direct { base } => {
                 for (c, a) in acc.iter_mut().enumerate() {
+                    // SAFETY: lanes [4c, 4c+4) of row `base`, in-bounds
+                    // by BS001 + the per-run premise.
                     let tv = unsafe { _mm256_loadu_pd(p.add(base + 4 * c)) };
                     *a = _mm256_fmadd_pd(tv, cv, *a);
                 }
             }
             rt => {
                 for (c, a) in acc.iter_mut().enumerate() {
+                    // SAFETY: split-row contract of `load_split` (BS001
+                    // rows + BS003 shift), chunk c < NC.
                     let tv = unsafe { load_split::<NC>(rt, p, c) };
                     *a = _mm256_fmadd_pd(tv, cv, *a);
                 }
@@ -278,8 +300,9 @@ unsafe fn load_split<const NC: usize>(rt: RTap, p: *const f64, c: usize) -> __m2
     };
     let w = (NC * 4) as isize;
     let j0 = (4 * c) as isize + dx;
-    // SAFETY (all branches): lane j of `home` is read only for
-    // 0 ≤ j < w; the wrapped lane j∓w ∈ [0, w) of `nbr` otherwise.
+    // SAFETY: in every branch, lane j of `home` is read only for
+    // 0 ≤ j < w; the wrapped lane j∓w ∈ [0, w) of `nbr` otherwise —
+    // both rows in-bounds per this fn's contract (BS001 + premise).
     unsafe {
         if j0 >= 0 && j0 + 3 < w {
             _mm256_loadu_pd(p.add(home).offset(j0))
@@ -406,9 +429,10 @@ unsafe fn apply<const NC: usize, const MODE: u8>(
 /// the common case touches no stack memory at all).
 ///
 /// # Safety
-/// Caller must have validated the tap table against `raw.len()` and `w`
-/// ([`fuse::check_taps`], or [`fuse::check_tape`] for this one tape),
-/// `out.len() == w == 4·NC` must hold, and the host must support
+/// Every tap row must be in-bounds for `raw.len()` and `w` — established
+/// by the brick-safe proof (BS001–BS003) plus the executor's per-run
+/// premise, or by an explicit [`fuse::check_taps`]/[`fuse::check_tape`]
+/// run — `out.len() == w == 4·NC` must hold, and the host must support
 /// avx2+fma. Tap ids and the `SP`-sized value stack are accessed with
 /// bounds-checked indexing, so a malformed tape panics rather than
 /// forming a stray pointer.
@@ -425,14 +449,17 @@ unsafe fn eval_tape<const NC: usize, const SP: usize>(
     let mut stack = [[zero; NC]; SP];
     let mut sp = 0usize;
     for op in tape {
-        // SAFETY (all `apply` calls): tap rows checked by check_tape.
         match *op {
+            // SAFETY: tap rows in-bounds per this fn's contract
+            // (BS001–BS003 + premise); tap id bounds-checked here.
             TapeOp::Set { tap } => unsafe {
                 apply::<NC, 0>(&mut acc, rtaps[tap as usize], p, zero)
             },
+            // SAFETY: as for Set.
             TapeOp::AddTap { tap } => unsafe {
                 apply::<NC, 1>(&mut acc, rtaps[tap as usize], p, zero)
             },
+            // SAFETY: as for Set.
             TapeOp::TapAdd { tap } => unsafe {
                 apply::<NC, 2>(&mut acc, rtaps[tap as usize], p, zero)
             },
@@ -442,9 +469,11 @@ unsafe fn eval_tape<const NC: usize, const SP: usize>(
                     *a = _mm256_mul_pd(*a, cv);
                 }
             }
+            // SAFETY: as for Set.
             TapeOp::Fma { tap, c } => unsafe {
                 apply::<NC, 3>(&mut acc, rtaps[tap as usize], p, _mm256_set1_pd(c))
             },
+            // SAFETY: as for Set.
             TapeOp::FmaRev { tap, c } => unsafe {
                 apply::<NC, 4>(&mut acc, rtaps[tap as usize], p, _mm256_set1_pd(c))
             },

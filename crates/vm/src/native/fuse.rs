@@ -33,11 +33,15 @@
 //!    single stride delta per run ([`Tap`] is layout-independent; the
 //!    executors in `crate::exec` own the stride math).
 //!
-//! Everything in this module is safe code. The SIMD evaluators in
-//! [`super::avx2`]/[`super::neon`] re-check, per row, that every tap row
-//! lies inside the input slab before forming a pointer; the portable
-//! evaluator below is ordinary checked Rust and doubles as the reference
-//! for what a tape computes.
+//! Everything in this module is safe code. The preconditions the SIMD
+//! evaluators in [`super::avx2`]/[`super::neon`] rely on are discharged
+//! *statically* by the brick-safe prover ([`super::safe`]) at
+//! `Plan::compile` time (BS001–BS011), plus one cheap per-run premise
+//! check in `crate::exec` (slab length and adjacency-table validity);
+//! [`check_taps`]/[`check_tape`] remain as the debug-build and test-entry
+//! restatements of the same conditions. The portable evaluator below is
+//! ordinary checked Rust and doubles as the reference for what a tape
+//! computes.
 
 use brick_codegen::{LayoutKind, VOp, VectorKernel};
 use brick_core::{neighbor_index, BrickDims, NO_BRICK};
@@ -98,7 +102,7 @@ pub(crate) enum RTap {
 /// operands load lanes through the resolved [`RTap`] table. The left/
 /// right and reversed variants preserve the IR's operand order exactly —
 /// the bit-identity contract.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum TapeOp {
     /// `acc = tap`.
     Set { tap: u16 },
@@ -164,7 +168,7 @@ pub(crate) struct RowProg {
 /// with `t·1.0` exact, so it is bit-identical to the tape's `acc + t` /
 /// `t + acc` for all non-NaN inputs (addition is commutative in IEEE-754
 /// up to NaN payload selection).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct FastRow {
     /// Tap that seeds the accumulator.
     pub(crate) first: u16,
@@ -175,7 +179,9 @@ pub(crate) struct FastRow {
 }
 
 /// Extract the chain form from a finished tape, if it has the shape.
-fn fast_row(tape: &[TapeOp]) -> Option<FastRow> {
+/// `pub(crate)` so the brick-safe prover can recompute it and compare
+/// against the stored form (obligation BS011).
+pub(crate) fn fast_row(tape: &[TapeOp]) -> Option<FastRow> {
     let Some((&TapeOp::Set { tap: first }, rest)) = tape.split_first() else {
         return None;
     };
@@ -194,12 +200,15 @@ fn fast_row(tape: &[TapeOp]) -> Option<FastRow> {
 }
 
 /// A fully fused kernel: the tap table and one program per output row.
+/// Fields are crate-visible so the brick-safe prover can walk (and, in
+/// its mutation harness, perturb) the program; external code goes through
+/// the accessors.
 #[derive(Debug, Clone)]
 pub(crate) struct FusedKernel {
-    taps: Vec<Tap>,
+    pub(crate) taps: Vec<Tap>,
     /// Parallel to `taps`; populated only for brick-layout kernels.
-    brick_taps: Vec<BrickTap>,
-    rows: Vec<RowProg>,
+    pub(crate) brick_taps: Vec<BrickTap>,
+    pub(crate) rows: Vec<RowProg>,
 }
 
 impl FusedKernel {
@@ -717,12 +726,12 @@ pub(crate) fn check_tape(tape: &[TapeOp], rtaps: &[RTap], raw_len: usize, w: usi
 
 /// Validate a resolved tap table against the input slab: every row a
 /// SIMD evaluator may load lies inside `raw`, and every shift distance is
-/// in `(0, w)`. This is the once-per-block half of the safety argument;
-/// the per-tape half (tap ids in range, stack discipline) is enforced
-/// with ordinary bounds-checked indexing inside the evaluators, so after
-/// this check no out-of-slab pointer can form regardless of tape
-/// contents. Panics on violation (unreachable for tables resolved from
-/// [`fuse`] output over verified kernels).
+/// in `(0, w)`. This restates, against one concrete block, what the
+/// brick-safe prover ([`super::safe`]) establishes statically for *all*
+/// blocks (BS001–BS003) given the per-run premise checks in `crate::exec`
+/// — so the release hot path no longer runs it; the SIMD `eval_block`s
+/// keep it as a debug-build assertion, and tests use it as the oracle for
+/// mutation-survivor harmlessness. Panics on violation.
 pub(crate) fn check_taps(rtaps: &[RTap], raw_len: usize, w: usize) {
     for rt in rtaps {
         match *rt {

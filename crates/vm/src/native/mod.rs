@@ -28,20 +28,35 @@
 //! # Safety argument
 //!
 //! The `unsafe` surface is confined to the [`avx2`]/[`neon`] submodules
-//! (pointer arithmetic into the register file). Its preconditions are
-//! established in two independent layers:
+//! (pointer arithmetic into the register file and input slab). Its
+//! preconditions are discharged *statically* by **brick-safe**
+//! ([`safe`]): an abstract-interpretation pass over the lowered
+//! `Plan`/`RowProg` program that [`Plan::compile`] runs before the plan
+//! can reach a dispatcher. Each precondition is a named obligation with a
+//! stable `BSxxx` diagnostic code (catalogued in DESIGN.md §13); an
+//! unprovable plan is rejected with `VmError::UnsafePlan` carrying the
+//! full report. The layers beneath it:
 //!
 //! * the analyzer's bounds proof ([`brick_lint::prove_bounds`]) — every
 //!   register index, lane range, shift distance, and coefficient index is
 //!   re-checked against the kernel's declared shape before lowering, and the
 //!   footprint pass's load reach bounds every out-of-block access (checked
 //!   against ghost/halo coverage by the callers in [`crate::exec`]);
-//! * a runtime assertion per row op in the safe wrappers — offsets are
-//!   checked against the register file length before any pointer is formed.
+//! * brick-safe's obligations over the lowered form (BS001–BS011) — tap and
+//!   store rows in-slab for all blocks, seam shifts in range, tape stack
+//!   discipline, lane geometry, register-file bounds — plus the cheap
+//!   per-run premise checks in [`crate::exec`] (whole-brick slab with valid
+//!   interior adjacency rows; array tap intervals inside the padded slab
+//!   via `Plan::check_array_geometry`);
+//! * a runtime assertion per step-machine row op in the safe wrappers —
+//!   offsets are checked against the register file length before any
+//!   pointer is formed — and debug-build re-checks of the resolved tap
+//!   tables in the fused evaluators ([`fuse::check_taps`]).
 
 pub(crate) mod fuse;
 mod plan;
 mod portable;
+pub(crate) mod safe;
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
@@ -50,6 +65,7 @@ mod neon;
 
 pub use plan::Plan;
 pub(crate) use portable::PortableOps;
+pub use safe::SafetySummary;
 
 use crate::exec::VmError;
 

@@ -1,8 +1,9 @@
 //! NEON row backend (aarch64).
 //!
 //! Mirrors [`super::avx2`] with 2-lane `float64x2_t` vectors; see that
-//! module for the three-layer safety argument (analyzer bounds proof,
-//! per-call row assertions, feature-gated construction). NEON is part of
+//! module for the three-layer safety argument (brick-safe compile-time
+//! proof BS001–BS011, per-call row assertions, feature-gated
+//! construction). NEON is part of
 //! the aarch64 baseline, so detection is trivially true on this
 //! architecture. `vfmaq_f64` is the correctly-rounded IEEE-754 fused
 //! multiply-add — bit-identical to `f64::mul_add` — so this backend is
@@ -85,14 +86,20 @@ impl RowOps for NeonOps {
         out: &mut [f64],
         row_start: F,
     ) {
-        // Same split as the AVX2 backend: validate the tap table once per
-        // block; tap ids and stack depth stay bounds-checked per op.
-        fuse::check_taps(rtaps, raw.len(), w);
+        // Same split as the AVX2 backend: tap-table bounds hold by the
+        // brick-safe proof (BS001–BS003) plus the executor's per-run
+        // premise, re-asserted here in debug builds; tap ids and stack
+        // depth stay bounds-checked per op.
+        if cfg!(debug_assertions) {
+            fuse::check_taps(rtaps, raw.len(), w);
+        }
         for rp in fused.rows() {
             let s = row_start(rp);
             let out_row = &mut out[s..s + w];
-            // SAFETY: tap table checked above; `out_row.len() == w` by
-            // the slice; NEON is aarch64 baseline.
+            // SAFETY: tap rows in-bounds by the BS001–BS003 proof plus
+            // the executor's per-run premise (re-asserted above in debug
+            // builds); `out_row.len() == w` by the slice; NEON is
+            // aarch64 baseline.
             unsafe {
                 match (w, &rp.fast) {
                     (16, Some(fr)) => eval_fast::<8>(fr, rtaps, raw, out_row),
@@ -198,9 +205,11 @@ unsafe fn apply<const NC: usize, const MODE: u8>(
 /// perf-validated on the x86 reference host anyway.
 ///
 /// # Safety
-/// Caller must have validated the tap table against `raw.len()` and `w`
-/// ([`fuse::check_taps`]) and `out.len() == w == 2·NC` must hold. Tap
-/// ids are accessed with bounds-checked indexing.
+/// Every tap row must be in-bounds for `raw.len()` and `w` — established
+/// by the brick-safe proof (BS001–BS003) plus the executor's per-run
+/// premise, or by an explicit [`fuse::check_taps`] run — and
+/// `out.len() == w == 2·NC` must hold. Tap ids are accessed with
+/// bounds-checked indexing.
 #[target_feature(enable = "neon")]
 unsafe fn eval_fast<const NC: usize>(
     fr: &fuse::FastRow,
@@ -211,10 +220,11 @@ unsafe fn eval_fast<const NC: usize>(
     let p = raw.as_ptr();
     let zero = vmovq_n_f64(0.0);
     let mut acc = [zero; NC];
-    // SAFETY (both `apply` calls): tap rows checked by check_taps; tap
-    // ids bounds-checked by the slice index.
+    // SAFETY: tap rows in-bounds per this fn's contract (BS001–BS003 +
+    // premise); tap id bounds-checked by the slice index.
     unsafe { apply::<NC, 0>(&mut acc, rtaps[fr.first as usize], p, zero) };
     for &(t, coeff) in &fr.fmas {
+        // SAFETY: as above.
         unsafe { apply::<NC, 3>(&mut acc, rtaps[t as usize], p, vdupq_n_f64(coeff)) };
     }
     if let Some(s) = fr.scale {
@@ -234,11 +244,12 @@ unsafe fn eval_fast<const NC: usize>(
 /// (0 for straight-chain tapes).
 ///
 /// # Safety
-/// Caller must have validated the tap table against `raw.len()` and `w`
-/// ([`fuse::check_taps`], or [`fuse::check_tape`] for this one tape),
-/// and `out.len() == w == 2·NC` must hold. Tap ids and the `SP`-sized
-/// value stack are accessed with bounds-checked indexing, so a malformed
-/// tape panics rather than forming a stray pointer.
+/// Every tap row must be in-bounds for `raw.len()` and `w` — established
+/// by the brick-safe proof (BS001–BS003) plus the executor's per-run
+/// premise, or by an explicit [`fuse::check_taps`]/[`fuse::check_tape`]
+/// run — and `out.len() == w == 2·NC` must hold. Tap ids and the
+/// `SP`-sized value stack are accessed with bounds-checked indexing, so
+/// a malformed tape panics rather than forming a stray pointer.
 #[target_feature(enable = "neon")]
 unsafe fn eval_tape<const NC: usize, const SP: usize>(
     tape: &[TapeOp],
@@ -252,14 +263,17 @@ unsafe fn eval_tape<const NC: usize, const SP: usize>(
     let mut stack = [[zero; NC]; SP];
     let mut sp = 0usize;
     for op in tape {
-        // SAFETY (all `apply` calls): tap rows checked by check_tape.
         match *op {
+            // SAFETY: tap rows in-bounds per this fn's contract
+            // (BS001–BS003 + premise); tap id bounds-checked here.
             TapeOp::Set { tap } => unsafe {
                 apply::<NC, 0>(&mut acc, rtaps[tap as usize], p, zero)
             },
+            // SAFETY: as for Set.
             TapeOp::AddTap { tap } => unsafe {
                 apply::<NC, 1>(&mut acc, rtaps[tap as usize], p, zero)
             },
+            // SAFETY: as for Set.
             TapeOp::TapAdd { tap } => unsafe {
                 apply::<NC, 2>(&mut acc, rtaps[tap as usize], p, zero)
             },
@@ -269,9 +283,11 @@ unsafe fn eval_tape<const NC: usize, const SP: usize>(
                     *a = vmulq_f64(*a, cv);
                 }
             }
+            // SAFETY: as for Set.
             TapeOp::Fma { tap, c } => unsafe {
                 apply::<NC, 3>(&mut acc, rtaps[tap as usize], p, vdupq_n_f64(c))
             },
+            // SAFETY: as for Set.
             TapeOp::FmaRev { tap, c } => unsafe {
                 apply::<NC, 4>(&mut acc, rtaps[tap as usize], p, vdupq_n_f64(c))
             },

@@ -20,6 +20,7 @@
 use brick_codegen::{VOp, VectorKernel};
 
 use super::fuse::{self, FusedKernel};
+use super::safe::{self, SafetySummary};
 use super::RowOps;
 use crate::exec::VmError;
 
@@ -109,17 +110,21 @@ pub(crate) enum Step {
 }
 
 /// A compiled kernel: the lowered step program plus the shape facts the
-/// executors rely on.
+/// executors rely on. Fields are crate-visible so the brick-safe prover
+/// ([`super::safe`]) can walk — and, in its mutation harness, perturb —
+/// the lowered program; external code goes through the accessors.
 #[derive(Debug, Clone)]
 pub struct Plan {
-    width: usize,
-    num_regs: usize,
-    block: brick_core::BrickDims,
-    steps: Vec<Step>,
-    reach: [i64; 3],
+    pub(crate) width: usize,
+    pub(crate) num_regs: usize,
+    pub(crate) block: brick_core::BrickDims,
+    pub(crate) steps: Vec<Step>,
+    pub(crate) reach: [i64; 3],
     /// Fused-row program when the kernel's IR proved row-fusable (see
     /// [`super::fuse`]); `None` falls back to the step machine.
-    fused: Option<FusedKernel>,
+    pub(crate) fused: Option<FusedKernel>,
+    /// Summary of the brick-safe proof discharged by [`Plan::compile`].
+    pub(crate) safety: SafetySummary,
 }
 
 impl Plan {
@@ -227,19 +232,63 @@ impl Plan {
                 },
             });
         }
+        let fused = fuse::fuse(kernel);
+        // brick-safe: discharge every memory-safety obligation the native
+        // backends rely on (BS001–BS011) before the plan can exist. An
+        // unprovable plan never reaches a dispatcher.
+        let safety = safe::prove(
+            &kernel.name,
+            w,
+            num_regs,
+            kernel.block,
+            &steps,
+            fused.as_ref(),
+        )
+        .map_err(VmError::UnsafePlan)?;
         Ok(Plan {
             width: w,
             num_regs,
             block: kernel.block,
             steps,
             reach: proof.reach,
-            fused: fuse::fuse(kernel),
+            fused,
+            safety,
         })
     }
 
     /// The fused-row program, when the kernel proved fusable.
     pub(crate) fn fused(&self) -> Option<&FusedKernel> {
         self.fused.as_ref()
+    }
+
+    /// Summary of the brick-safe proof discharged at compile time.
+    pub fn safety(&self) -> SafetySummary {
+        self.safety
+    }
+
+    /// Re-run the brick-safe prover over this plan and return the fresh
+    /// summary. [`Plan::compile`] already proved the plan once; this is
+    /// the standalone entry for the `bricks lint --native` CLI and the
+    /// overhead benchmark.
+    pub fn verify_safety(&self) -> Result<SafetySummary, VmError> {
+        safe::prove_plan(self).map_err(VmError::UnsafePlan)
+    }
+
+    /// Discharge the geometry-dependent half of the tap-bounds obligation
+    /// (BS001) for an array grid of `nx × ny × nz` interior points with
+    /// `halo` cells of padding: every tap row of every tile the executor
+    /// will visit stays inside the padded slab. Vacuously `Ok` for
+    /// non-fused plans and for brick-resolved plans, whose tap bounds are
+    /// fully discharged at compile time (plus the per-run adjacency
+    /// premise checked in `crate::exec`).
+    pub fn check_array_geometry(
+        &self,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        halo: usize,
+    ) -> Result<(), VmError> {
+        safe::check_array_geometry(self, nx, ny, nz, halo).map_err(VmError::UnsafePlan)
     }
 
     /// Vector width of the compiled kernel.

@@ -1,0 +1,217 @@
+//! Fused-path obligations: the compile-time half of the argument that
+//! every unsafe load/store in the SIMD fused evaluators is in bounds.
+//!
+//! The brick executor computes each tap's base as
+//! `brick_id · vol + off` with `brick_id` drawn from the adjacency table.
+//! Proving `off + w ≤ vol` here (BS001), together with the per-run
+//! premise that the slab holds exactly `nb` whole bricks and every
+//! interior adjacency entry is a valid id `< nb` (checked in
+//! `crate::exec::run_brick_fused_nt`), gives `base + w ≤ raw.len()` for
+//! every tap of every interior brick — translation invariance does the
+//! rest. Array layouts leave `brick_taps` empty; their geometry half
+//! lives in [`super::geometry`].
+
+use brick_core::BrickDims;
+use brick_lint::LintCode;
+
+use super::super::fuse::{self, BrickTap, FusedKernel, Tap, MAX_STACK, MAX_TAPS};
+use super::Prover;
+
+/// Discharge the fused-path obligations over `f`.
+pub(crate) fn prove_fused(p: &mut Prover, w: usize, block: BrickDims, f: &FusedKernel) {
+    let vol = block.volume();
+    // BS008: the fused evaluators index lanes as `x = i mod w` within a
+    // block row, which is only the grid row when the block x-extent IS
+    // the vector width; and their dispatch tables cover w ∈ {16, 32, 64}.
+    p.obligation(
+        matches!(w, 16 | 32 | 64) && block.bx == w,
+        LintCode::UnsafeLaneGeometry,
+        None,
+        || {
+            format!(
+                "fused width {w} / block x-extent {} outside the proven lane geometries",
+                block.bx
+            )
+        },
+    );
+    let ntaps = f.taps.len();
+    // BS004: executors size their resolved-tap arrays from taps_len and
+    // index them in lock-step with brick_taps.
+    p.obligation(
+        ntaps <= MAX_TAPS,
+        LintCode::UnsafeTapIndexInvalid,
+        None,
+        || format!("{ntaps} taps exceed the MAX_TAPS = {MAX_TAPS} resolved-tap buffer"),
+    );
+    p.obligation(
+        f.brick_taps.is_empty() || f.brick_taps.len() == ntaps,
+        LintCode::UnsafeTapIndexInvalid,
+        None,
+        || {
+            format!(
+                "brick tap table ({} entries) is not parallel to the tap table ({ntaps})",
+                f.brick_taps.len()
+            )
+        },
+    );
+    for (i, tap) in f.taps.iter().enumerate() {
+        if let Tap::Shifted { dx, .. } = *tap {
+            // BS003: split-row gathers assume a genuine two-brick seam.
+            p.obligation(
+                dx != 0 && (dx.unsigned_abs() as usize) < w,
+                LintCode::UnsafeSeamInvalid,
+                Some(i),
+                || format!("tap {i}: shift distance {dx} invalid for width {w}"),
+            );
+        }
+    }
+    for (i, bt) in f.brick_taps.iter().enumerate() {
+        match *bt {
+            BrickTap::Direct { nidx, off } => {
+                p.obligation(
+                    nidx < 27,
+                    LintCode::UnsafeTapNeighborInvalid,
+                    Some(i),
+                    || format!("brick tap {i}: neighbour index {nidx} outside the 27-entry table"),
+                );
+                p.obligation(
+                    off + w <= vol,
+                    LintCode::UnsafeTapEscapesSlab,
+                    Some(i),
+                    || format!("brick tap {i}: row offset {off} + width {w} escapes brick volume {vol}"),
+                );
+            }
+            BrickTap::Split {
+                hnidx,
+                nnidx,
+                off,
+                dx,
+            } => {
+                p.obligation(
+                    hnidx < 27 && nnidx < 27,
+                    LintCode::UnsafeTapNeighborInvalid,
+                    Some(i),
+                    || format!("brick tap {i}: neighbour indices ({hnidx}, {nnidx}) outside the 27-entry table"),
+                );
+                p.obligation(
+                    off + w <= vol,
+                    LintCode::UnsafeTapEscapesSlab,
+                    Some(i),
+                    || format!("brick tap {i}: row offset {off} + width {w} escapes brick volume {vol}"),
+                );
+                p.obligation(
+                    dx != 0 && dx.unsigned_abs() < w,
+                    LintCode::UnsafeSeamInvalid,
+                    Some(i),
+                    || format!("brick tap {i}: seam shift {dx} invalid for width {w}"),
+                );
+            }
+        }
+    }
+    let mut out_offs: Vec<usize> = Vec::with_capacity(f.rows.len());
+    for (r, rp) in f.rows.iter().enumerate() {
+        let (ry, rz) = (rp.ry as usize, rp.rz as usize);
+        // BS006: the streaming store targets `out[out_off .. out_off+w]`
+        // of a vol-sized block; out_off must be the block's own row
+        // offset (the decomposition's writeback relies on it), aligned,
+        // and in bounds.
+        let in_block = ry < block.by && rz < block.bz;
+        p.obligation(in_block, LintCode::UnsafeStoreEscapesBlock, Some(r), || {
+            format!(
+                "row {r}: output row ({ry}, {rz}) outside the {}x{} home block",
+                block.by, block.bz
+            )
+        });
+        // row_offset asserts its coordinates in debug builds — only
+        // consult it once the row is known to be in the block.
+        p.obligation(
+            in_block
+                && rp.out_off == block.row_offset(ry, rz)
+                && rp.out_off % w == 0
+                && rp.out_off + w <= vol,
+            LintCode::UnsafeStoreEscapesBlock,
+            Some(r),
+            || {
+                format!(
+                    "row {r}: store offset {} is not the in-bounds row base for ({ry}, {rz})",
+                    rp.out_off
+                )
+            },
+        );
+        out_offs.push(rp.out_off);
+        prove_tape(p, r, rp, ntaps);
+    }
+    // BS007: non-temporal stores bypass the cache; two rows writing the
+    // same offset would race with themselves and with any tap that the
+    // sfence was meant to order. Distinct offsets plus the proven
+    // out ≠ in slabs (separate allocations in the executors) give
+    // no-alias outright.
+    out_offs.sort_unstable();
+    let dup = out_offs.windows(2).position(|pair| pair[0] == pair[1]);
+    p.obligation(dup.is_none(), LintCode::UnsafeStoreOverlap, None, || {
+        format!(
+            "two fused rows store to the same block offset {}",
+            out_offs[dup.unwrap()]
+        )
+    });
+}
+
+/// Per-row tape obligations: tap indices (BS004), stack discipline
+/// (BS005), and fast-chain fidelity (BS011).
+fn prove_tape(p: &mut Prover, r: usize, rp: &fuse::RowProg, ntaps: usize) {
+    let mut sp: usize = 0;
+    let mut max_sp: usize = 0;
+    let mut underflow = false;
+    for (i, op) in rp.tape.iter().enumerate() {
+        if let Some(tap) = op.tap() {
+            // BS004: the evaluators index the resolved-tap array with
+            // this id unchecked in release builds.
+            p.obligation(
+                (tap as usize) < ntaps,
+                LintCode::UnsafeTapIndexInvalid,
+                Some(i),
+                || format!("row {r} tape op {i}: tap {tap} outside the {ntaps}-entry table"),
+            );
+        }
+        match op {
+            fuse::TapeOp::Push => {
+                sp += 1;
+                max_sp = max_sp.max(sp);
+            }
+            fuse::TapeOp::PopAdd | fuse::TapeOp::PopFma { .. } => {
+                if sp == 0 {
+                    underflow = true;
+                } else {
+                    sp -= 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    // BS005: the evaluators' fixed-size value stacks index `stack[sp]`
+    // unchecked; the declared max_sp picks the (possibly stackless)
+    // instantiation, so it must equal the true depth exactly.
+    p.obligation(
+        !underflow && max_sp <= MAX_STACK && rp.max_sp == max_sp,
+        LintCode::UnsafeStackDiscipline,
+        Some(r),
+        || {
+            format!(
+                "row {r}: declared stack depth {} disagrees with the tape (depth {max_sp}, underflow: {underflow})",
+                rp.max_sp
+            )
+        },
+    );
+    // BS011: the fast-chain evaluators execute `rp.fast` INSTEAD of the
+    // tape; a divergent chain would read taps the tape obligations never
+    // covered. Recompute it from the tape and demand equality. A stored
+    // `None` where a chain exists merely forfeits the fast path — safe.
+    if let Some(fr) = &rp.fast {
+        p.obligation(
+            fuse::fast_row(&rp.tape).as_ref() == Some(fr),
+            LintCode::UnsafeFastRowDivergent,
+            Some(r),
+            || format!("row {r}: stored fast chain diverges from its tape"),
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Step-machine obligations: every register-file access of the lowered
+//! [`Step`] program stays inside the file [`Plan::regs_len`] sizes, shift
+//! distances are representable, aliased shifts go through scratch, and
+//! stores land inside the home block.
+//!
+//! [`Plan::regs_len`]: super::super::Plan::regs_len
+
+use brick_core::BrickDims;
+use brick_lint::LintCode;
+
+use super::super::plan::Step;
+use super::Prover;
+
+/// A row base offset must be row-aligned and leave a whole row inside
+/// the register file (obligation BS009).
+fn row_in_file(p: &mut Prover, i: usize, what: &str, off: usize, w: usize, regs_len: usize) {
+    p.obligation(
+        off.is_multiple_of(w) && off + w <= regs_len,
+        LintCode::UnsafeRegRowEscapesFile,
+        Some(i),
+        || format!("step {i}: {what} row offset {off} escapes the {regs_len}-slot register file (width {w})"),
+    );
+}
+
+/// Discharge the step-machine obligations over `steps`.
+pub(crate) fn prove_steps(
+    p: &mut Prover,
+    w: usize,
+    num_regs: usize,
+    block: BrickDims,
+    steps: &[Step],
+) {
+    let regs_len = (num_regs + 1) * w;
+    // BS008: the SIMD row primitives (add/mul/fma over 4-lane AVX2 /
+    // 2-lane NEON chunks) require the width to chunk evenly; w % 4 == 0
+    // covers both, and the generated widths {16, 32, 64} all satisfy it.
+    p.obligation(
+        w > 0 && w.is_multiple_of(4),
+        LintCode::UnsafeLaneGeometry,
+        None,
+        || format!("vector width {w} is not a positive multiple of 4 lanes"),
+    );
+    for (i, step) in steps.iter().enumerate() {
+        match *step {
+            Step::Load {
+                dst0, lane0, lanes, ..
+            } => {
+                row_in_file(p, i, "load destination", dst0, w, regs_len);
+                p.obligation(
+                    lanes >= 1 && lane0 + lanes <= w,
+                    LintCode::UnsafeRegRowEscapesFile,
+                    Some(i),
+                    || format!("step {i}: load lanes {lane0}+{lanes} escape width {w}"),
+                );
+            }
+            Step::Shift {
+                dst0,
+                src0,
+                edge0,
+                dx,
+            } => {
+                row_in_file(p, i, "shift destination", dst0, w, regs_len);
+                row_in_file(p, i, "shift source", src0, w, regs_len);
+                row_in_file(p, i, "shift edge", edge0, w, regs_len);
+                p.obligation(
+                    dx != 0 && dx.unsigned_abs() < w,
+                    LintCode::UnsafeShiftInvalid,
+                    Some(i),
+                    || format!("step {i}: shift distance {dx} invalid for width {w}"),
+                );
+                // The two-copy shift clobbers dst before it finishes
+                // reading src/edge; aliasing must have been routed
+                // through ShiftScratch at lowering.
+                p.obligation(
+                    dst0 != src0 && dst0 != edge0,
+                    LintCode::UnsafeShiftInvalid,
+                    Some(i),
+                    || format!("step {i}: aliased shift (dst {dst0} = src {src0} / edge {edge0}) not routed through scratch"),
+                );
+            }
+            Step::ShiftScratch {
+                dst0,
+                src0,
+                edge0,
+                dx,
+            } => {
+                row_in_file(p, i, "shift destination", dst0, w, regs_len);
+                row_in_file(p, i, "shift source", src0, w, regs_len);
+                row_in_file(p, i, "shift edge", edge0, w, regs_len);
+                p.obligation(
+                    dx != 0 && dx.unsigned_abs() < w,
+                    LintCode::UnsafeShiftInvalid,
+                    Some(i),
+                    || format!("step {i}: shift distance {dx} invalid for width {w}"),
+                );
+                // The scratch row is the file's last row; sources inside
+                // the kernel's own registers never alias it.
+                let scratch0 = num_regs * w;
+                p.obligation(
+                    src0 != scratch0 && edge0 != scratch0,
+                    LintCode::UnsafeShiftInvalid,
+                    Some(i),
+                    || format!("step {i}: scratch shift reads the scratch row it writes"),
+                );
+            }
+            Step::Add { dst0, a0, b0 } => {
+                row_in_file(p, i, "add destination", dst0, w, regs_len);
+                row_in_file(p, i, "add left operand", a0, w, regs_len);
+                row_in_file(p, i, "add right operand", b0, w, regs_len);
+            }
+            Step::Mul { dst0, a0, .. } => {
+                row_in_file(p, i, "mul destination", dst0, w, regs_len);
+                row_in_file(p, i, "mul operand", a0, w, regs_len);
+            }
+            Step::Fma { dst0, acc0, a0, .. } => {
+                row_in_file(p, i, "fma destination", dst0, w, regs_len);
+                row_in_file(p, i, "fma accumulator", acc0, w, regs_len);
+                row_in_file(p, i, "fma multiplicand", a0, w, regs_len);
+            }
+            Step::Store { src0, ry, rz } => {
+                row_in_file(p, i, "store source", src0, w, regs_len);
+                // BS006: stores only target home-block rows.
+                p.obligation(
+                    ry >= 0 && (ry as usize) < block.by && rz >= 0 && (rz as usize) < block.bz,
+                    LintCode::UnsafeStoreEscapesBlock,
+                    Some(i),
+                    || {
+                        format!(
+                            "step {i}: store row ({ry}, {rz}) outside the {}x{} home block",
+                            block.by, block.bz
+                        )
+                    },
+                );
+            }
+        }
+    }
+}

@@ -216,6 +216,40 @@ fn forced_unsupported_mode_errors_not_panics() {
     }
 }
 
+/// Miri smoke: the scalar and portable execution paths on a tiny grid,
+/// bit-compared against the interpreter. These are the tests the CI
+/// sanitizer job runs under `cargo miri test -- miri_smoke` — they stay
+/// deliberately small (16×8×8, star(1), w=16) so the interpreter-speed
+/// Miri run finishes quickly, and they avoid the SIMD intrinsics Miri
+/// cannot execute. A leak, uninitialized read, or out-of-bounds access
+/// anywhere in grid construction, plan compilation (including the
+/// brick-safe prover), or portable fused evaluation fails the run.
+#[test]
+fn miri_smoke_portable_brick_matches_interpreter() {
+    let st = StencilShape::star(1).stencil();
+    let b = st.default_bindings();
+    let kernel = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+    let mut dense = DenseGrid::new(16, 8, 8, 1);
+    dense.fill_test_pattern();
+    let oracle = run_backend(&kernel, &dense, Backend::Interpreter);
+    let got = run_backend(&kernel, &dense, Backend::Portable);
+    assert_bits_equal(&oracle, &got, "miri smoke: brick portable");
+}
+
+/// Miri smoke, array-layout flank: exercises the array fused path and the
+/// per-run `check_array_geometry` premise under Miri.
+#[test]
+fn miri_smoke_portable_array_matches_interpreter() {
+    let st = StencilShape::star(1).stencil();
+    let b = st.default_bindings();
+    let kernel = generate(&st, &b, LayoutKind::Array, 16, CodegenOptions::default()).unwrap();
+    let mut dense = DenseGrid::new(16, 8, 8, 1);
+    dense.fill_test_pattern();
+    let oracle = run_backend(&kernel, &dense, Backend::Interpreter);
+    let got = run_backend(&kernel, &dense, Backend::Portable);
+    assert_bits_equal(&oracle, &got, "miri smoke: array portable");
+}
+
 /// `KernelSpec`-level numeric execution under every mode this host
 /// supports agrees with the scalar reference to the usual tolerance and
 /// with the interpreter bitwise.

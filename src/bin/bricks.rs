@@ -36,6 +36,7 @@ usage:
   bricks tune     <star|cube> <radius> <gpu> <model>    autotune bricks
   bricks reuse    <star|cube> <radius> <width>          reuse distances
   bricks lint     [kernel.json] [--json]                static kernel analysis
+  bricks lint     --native [--json]                     brick-safe memory proof
   bricks obs      <file> [--summary]                    inspect saved observability
   bricks exec     [--bench N]                           execution-backend report
   bricks prof sweep <spans.jsonl|PROF_sweep.json> [--json]
@@ -60,6 +61,13 @@ proof, reuse and occupancy lints) over every paper stencil at SIMD
 widths 16/32/64 in both layouts, or over one kernel saved as JSON.
 Exits non-zero if any kernel has error-severity diagnostics; --json
 emits machine-readable reports.
+
+`bricks lint --native` runs the brick-safe prover standalone: the
+compile-time memory-safety proof (obligations BS001-BS011) the native
+SIMD backend relies on, re-discharged for every paper stencil at SIMD
+widths 16/32/64 in both layouts and both codegen strategies, plus the
+array-layout geometry premise at 256^3. Exits non-zero if any plan is
+unprovable.
 
 `bricks obs` summarizes observability artifacts written by the
 experiments binary: trace.json (top spans by self-time), metrics.json
@@ -365,6 +373,89 @@ fn lint_cmd(target: Option<&str>, json: bool) -> Result<(), String> {
     }
 }
 
+/// Run the brick-safe memory-safety prover standalone over the paper
+/// suite × layouts × SIMD widths × codegen strategies. For each kernel
+/// the plan is compiled (which embeds the proof), re-proved with
+/// `verify_safety` (the standalone entry the sweep runner uses), and —
+/// for array layouts — the per-run geometry premise is discharged at the
+/// representative 256³ size. Any BSxxx diagnostic fails the command.
+fn lint_native_cmd(json: bool) -> Result<(), String> {
+    use bricks_repro::codegen::Strategy;
+    use bricks_repro::vm::Plan;
+
+    let mut kernels = 0usize;
+    let mut failures = 0usize;
+    for shape in StencilShape::paper_suite() {
+        let st = shape.stencil();
+        let b = st.default_bindings();
+        for layout in [LayoutKind::Brick, LayoutKind::Array] {
+            for width in [16usize, 32, 64] {
+                for strategy in [Strategy::Gather, Strategy::Scatter] {
+                    let opts = CodegenOptions {
+                        strategy,
+                        ..CodegenOptions::default()
+                    };
+                    let k = generate(&st, &b, layout, width, opts)
+                        .map_err(|e| format!("{shape} {layout} w{width}: {e}"))?;
+                    kernels += 1;
+                    let verdict = Plan::compile(&k)
+                        .and_then(|plan| {
+                            let s = plan.verify_safety()?;
+                            if layout == LayoutKind::Array {
+                                let halo = shape.radius as usize;
+                                plan.check_array_geometry(256, 256, 256, halo)?;
+                            }
+                            Ok(s)
+                        })
+                        .map_err(|e| e.to_string());
+                    // k.name encodes layout and strategy but not width
+                    let name = format!("{} w{width}", k.name);
+                    match &verdict {
+                        Ok(s) => {
+                            if json {
+                                println!(
+                                    "{{\"kernel\":\"{name}\",\"safe\":true,\
+                                     \"obligations\":{},\"fused\":{},\
+                                     \"taps\":{},\"rows\":{}}}",
+                                    s.obligations, s.fused, s.taps, s.rows
+                                );
+                            } else {
+                                println!(
+                                    "ok   {name:44} {:4} obligations, {:3} taps, {:2} rows{}",
+                                    s.obligations,
+                                    s.taps,
+                                    s.rows,
+                                    if s.fused { "" } else { " (unfused)" }
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            if json {
+                                println!(
+                                    "{{\"kernel\":\"{name}\",\"safe\":false,\
+                                     \"error\":\"{}\"}}",
+                                    e.replace('\\', "\\\\").replace('"', "\\\"")
+                                );
+                            } else {
+                                println!("FAIL {name:44} {e}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !json {
+        println!("\n{kernels} plans proved: {failures} unsafe");
+    }
+    if failures > 0 {
+        Err(format!("lint --native failed: {failures} unprovable plans"))
+    } else {
+        Ok(())
+    }
+}
+
 /// Summarize a saved observability artifact: a Chrome trace, a metrics
 /// snapshot, or a run manifest (or a sweep JSON embedding one). The kind
 /// is detected from the JSON shape, not the file name.
@@ -647,6 +738,8 @@ fn run() -> Result<(), String> {
         }
         ["lint"] => lint_cmd(None, false),
         ["lint", "--json"] => lint_cmd(None, true),
+        ["lint", "--native"] => lint_native_cmd(false),
+        ["lint", "--native", "--json"] => lint_native_cmd(true),
         ["lint", path] => lint_cmd(Some(path), false),
         ["lint", path, "--json"] => lint_cmd(Some(path), true),
         ["obs", path] => obs_cmd(path),
