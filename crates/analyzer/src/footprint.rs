@@ -50,6 +50,41 @@ impl ExpectedStencil {
             name: stencil.name().to_string(),
         })
     }
+
+    /// Resolve the `T`-step composition `stencil^T`: the stencil a kernel
+    /// fusing `T` timesteps must compute per launch. Offsets convolve
+    /// (reach grows to `T·r` per axis) and weights multiply-accumulate
+    /// along every path of length `T` through the tap graph.
+    ///
+    /// The composed weights are evaluated here in convolution order while
+    /// a fused kernel accumulates them in its own schedule order; the
+    /// footprint comparison absorbs that reassociation inside
+    /// [`WEIGHT_RTOL`].
+    pub fn resolve_temporal(
+        stencil: &Stencil,
+        bindings: &CoeffBindings,
+        temporal_degree: u32,
+    ) -> Result<Self, StencilError> {
+        let base = Self::resolve(stencil, bindings)?;
+        assert!(temporal_degree >= 1, "temporal degree must be ≥ 1");
+        let mut taps = base.taps.clone();
+        for _ in 1..temporal_degree {
+            let mut next: BTreeMap<[i64; 3], f64> = BTreeMap::new();
+            for (oa, wa) in &taps {
+                for (ob, wb) in &base.taps {
+                    let o = [oa[0] + ob[0], oa[1] + ob[1], oa[2] + ob[2]];
+                    *next.entry(o).or_insert(0.0) += wa * wb;
+                }
+            }
+            taps = next;
+        }
+        let name = if temporal_degree > 1 {
+            format!("{}^{temporal_degree}", stencil.name())
+        } else {
+            base.name
+        };
+        Ok(ExpectedStencil { taps, name })
+    }
 }
 
 /// The proven memory behaviour of a kernel.

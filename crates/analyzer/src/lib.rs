@@ -155,6 +155,7 @@ pub fn fingerprint(kernel: &VectorKernel) -> u64 {
     kernel.block.bz.hash(&mut h);
     kernel.layout.hash(&mut h);
     kernel.strategy.hash(&mut h);
+    kernel.temporal_degree.hash(&mut h);
     kernel.num_regs.hash(&mut h);
     for c in &kernel.coeffs {
         c.to_bits().hash(&mut h);
@@ -212,6 +213,7 @@ pub(crate) mod testkit {
             block: BrickDims::new(4, 1, 1),
             layout: LayoutKind::Brick,
             strategy: Strategy::Gather,
+            temporal_degree: 1,
             coeffs: vec![2.0],
             stats: KernelStats::from_ops(&ops, 1),
             ops,
@@ -279,6 +281,78 @@ mod tests {
                 assert_eq!(fp.reach, [r, r, r], "{shape} {layout}");
             }
         }
+    }
+
+    #[test]
+    fn fused_paper_suite_verifies_clean_against_composed_stencils() {
+        // Acceptance criterion: the footprint verifier proves every
+        // feasible T-fused paper kernel against the declared T-step
+        // composition with zero false positives, and the proven reach is
+        // T·r per axis.
+        for shape in StencilShape::paper_suite() {
+            let max_t = 4 / shape.radius; // T·r ≤ by = bz = 4
+            for t in 2..=max_t {
+                for layout in [LayoutKind::Brick, LayoutKind::Array] {
+                    let st = shape.stencil();
+                    let b = st.default_bindings();
+                    let k = generate(
+                        &st,
+                        &b,
+                        layout,
+                        16,
+                        CodegenOptions {
+                            temporal_degree: t,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    let opts = LintOptions {
+                        expected: Some(ExpectedStencil::resolve_temporal(&st, &b, t).unwrap()),
+                        budgets: Vec::new(),
+                    };
+                    let a = analyze(&k, &opts);
+                    assert!(
+                        a.is_clean(),
+                        "{shape} t{t} {layout}:\n{}",
+                        a.report.render(Some(&k))
+                    );
+                    let fp = a.footprint.unwrap();
+                    let r = t as i64 * shape.radius as i64;
+                    assert_eq!(fp.reach, [r, r, r], "{shape} t{t} {layout}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_rejected_against_wrong_degree() {
+        // A T=2 kernel must not verify against the T=1 declaration (and
+        // vice versa) — the composition is part of the contract.
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let k2 = generate(
+            &st,
+            &b,
+            LayoutKind::Brick,
+            16,
+            CodegenOptions {
+                temporal_degree: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let against_t1 = LintOptions {
+            expected: Some(ExpectedStencil::resolve(&st, &b).unwrap()),
+            budgets: Vec::new(),
+        };
+        assert!(!analyze(&k2, &against_t1).is_clean());
+        let k1 = generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap();
+        let against_t2 = LintOptions {
+            expected: Some(ExpectedStencil::resolve_temporal(&st, &b, 2).unwrap()),
+            budgets: Vec::new(),
+        };
+        assert!(!analyze(&k1, &against_t2).is_clean());
+        assert_ne!(fingerprint(&k1), fingerprint(&k2));
     }
 
     #[test]

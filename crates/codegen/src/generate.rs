@@ -38,6 +38,16 @@ pub enum CodegenError {
     Stencil(StencilError),
     /// More coefficient classes than the IR can index.
     TooManyClasses(usize),
+    /// Temporal fusion degree infeasible: `T·reach` exceeds the block
+    /// extent on `axis` (the fused kernel would need loads more than one
+    /// block away), or the degree is zero.
+    #[allow(missing_docs)]
+    TemporalTooDeep {
+        degree: u32,
+        axis: usize,
+        reach: i64,
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for CodegenError {
@@ -50,6 +60,17 @@ impl std::fmt::Display for CodegenError {
             ),
             CodegenError::Stencil(e) => write!(f, "{e}"),
             CodegenError::TooManyClasses(n) => write!(f, "{n} coefficient classes overflow u16"),
+            CodegenError::TemporalTooDeep {
+                degree,
+                axis,
+                reach,
+                max,
+            } => write!(
+                f,
+                "temporal degree {degree} needs fused reach {reach} on axis {axis}, \
+                 exceeding the block extent {max} (accesses must stay within one \
+                 neighbouring block)"
+            ),
         }
     }
 }
@@ -74,6 +95,12 @@ pub struct CodegenOptions {
     pub register_budget: u32,
     /// `y`/`z` extents of the home block (the brick's `by × bz`).
     pub block_yz: (usize, usize),
+    /// Number of stencil timesteps to fuse into the kernel (AN5D-style
+    /// temporal blocking). `1` generates the plain spatial kernel; `T > 1`
+    /// streams `T − 1` levels of intermediate planes through registers and
+    /// stores `stencil^T`, bit-identical to `T` sequential applications of
+    /// the gather schedule. Requires `T·reach ≤ block extent` per axis.
+    pub temporal_degree: u32,
 }
 
 impl Default for CodegenOptions {
@@ -82,6 +109,7 @@ impl Default for CodegenOptions {
             strategy: Strategy::Auto,
             register_budget: 96,
             block_yz: (4, 4),
+            temporal_degree: 1,
         }
     }
 }
@@ -108,6 +136,21 @@ pub fn generate(
         }
     }
 
+    let t = opts.temporal_degree;
+    if t != 1 {
+        for (axis, (&r, max)) in reach.iter().zip([block.bx, block.by, block.bz]).enumerate() {
+            let fused = t as i64 * r as i64;
+            if t == 0 || fused > max as i64 {
+                return Err(CodegenError::TemporalTooDeep {
+                    degree: t,
+                    axis,
+                    reach: fused,
+                    max,
+                });
+            }
+        }
+    }
+
     let classes = {
         let _s = brick_obs::span_cat("group-classes", "codegen");
         group_classes(stencil, bindings)?
@@ -116,23 +159,30 @@ pub fn generate(
         return Err(CodegenError::TooManyClasses(classes.len()));
     }
 
+    // A fused kernel is inherently gather-scheduled (each intermediate
+    // plane is a class-summed gather over the previous level), so the
+    // strategy choice only applies at T = 1.
+    if t > 1 {
+        return Ok(build(stencil, &classes, block, layout, Strategy::Gather, t));
+    }
+
     let strategy = match opts.strategy {
         Strategy::Gather | Strategy::Scatter => opts.strategy,
         Strategy::Auto => {
-            let gather = build(stencil, &classes, block, layout, Strategy::Gather);
+            let gather = build(stencil, &classes, block, layout, Strategy::Gather, 1);
             if gather.stats.max_live <= opts.register_budget {
                 return Ok(gather);
             }
             Strategy::Scatter
         }
     };
-    Ok(build(stencil, &classes, block, layout, strategy))
+    Ok(build(stencil, &classes, block, layout, strategy, 1))
 }
 
 /// One coefficient class: resolved value plus the member tap offsets.
-struct Class {
-    value: f64,
-    taps: Vec<[i32; 3]>,
+pub(crate) struct Class {
+    pub(crate) value: f64,
+    pub(crate) taps: Vec<[i32; 3]>,
 }
 
 fn group_classes(stencil: &Stencil, bindings: &CoeffBindings) -> Result<Vec<Class>, CodegenError> {
@@ -159,14 +209,19 @@ fn build(
     block: BrickDims,
     layout: LayoutKind,
     strategy: Strategy,
+    temporal_degree: u32,
 ) -> VectorKernel {
     let mut b = Builder::new(block.bx);
     {
         let _s = brick_obs::span_cat("schedule", "codegen");
-        match strategy {
-            Strategy::Gather => schedule_gather(&mut b, classes, block),
-            Strategy::Scatter => schedule_scatter(&mut b, classes, block),
-            Strategy::Auto => unreachable!("Auto resolved by generate()"),
+        if temporal_degree > 1 {
+            crate::temporal::schedule_temporal(&mut b, classes, block, temporal_degree);
+        } else {
+            match strategy {
+                Strategy::Gather => schedule_gather(&mut b, classes, block),
+                Strategy::Scatter => schedule_scatter(&mut b, classes, block),
+                Strategy::Auto => unreachable!("Auto resolved by generate()"),
+            }
         }
         narrow_edge_loads(&mut b.ops, block.bx);
     }
@@ -179,12 +234,24 @@ fn build(
     brick_obs::counter_add("codegen.ops", alloc.ops.len() as u64);
     brick_obs::histogram_record("codegen.regalloc.max_live", alloc.max_live as f64);
     brick_obs::histogram_record("codegen.regalloc.num_regs", alloc.num_regs as f64);
+    let name = if temporal_degree > 1 {
+        format!(
+            "{}_{}_cg_{}_t{}",
+            stencil.name(),
+            layout,
+            strategy,
+            temporal_degree
+        )
+    } else {
+        format!("{}_{}_cg_{}", stencil.name(), layout, strategy)
+    };
     VectorKernel {
-        name: format!("{}_{}_cg_{}", stencil.name(), layout, strategy),
+        name,
         width: block.bx,
         block,
         layout,
         strategy,
+        temporal_degree,
         coeffs: classes.iter().map(|c| c.value).collect(),
         ops: alloc.ops,
         num_regs: alloc.num_regs,
@@ -194,9 +261,9 @@ fn build(
 
 /// Emission helper holding the virtual-register program and the reuse
 /// caches.
-struct Builder {
+pub(crate) struct Builder {
     width: usize,
-    ops: Vec<VOp>,
+    pub(crate) ops: Vec<VOp>,
     next: Reg,
     rows: HashMap<(i8, i16, i16), Reg>,
     shifts: HashMap<(i16, i16, i16), Reg>,
@@ -225,7 +292,17 @@ impl Builder {
     /// Load (or reuse) the input row `(rx, ry, rz)` — emitted as a full
     /// row; [`narrow_edge_loads`] later shrinks edge rows to the lanes
     /// their shuffles consume.
-    fn row(&mut self, rx: i8, ry: i16, rz: i16) -> Reg {
+    pub(crate) fn row(&mut self, rx: i8, ry: i16, rz: i16) -> Reg {
+        let w = self.width as u16;
+        self.row_window(rx, ry, rz, 0, w)
+    }
+
+    /// Load (or reuse) row `(rx, ry, rz)` restricted to the lane window
+    /// `[lane0, lane0 + lanes)`; the other lanes are zero-filled by the
+    /// VM. The temporal scheduler uses this for neighbour-block rows whose
+    /// valid halo is provably narrower than a full row, which keeps the
+    /// kernel's load reach at `T·r` instead of a whole block.
+    pub(crate) fn row_window(&mut self, rx: i8, ry: i16, rz: i16, lane0: u16, lanes: u16) -> Reg {
         if let Some(&r) = self.rows.get(&(rx, ry, rz)) {
             return r;
         }
@@ -235,8 +312,8 @@ impl Builder {
             rx,
             ry,
             rz,
-            lane0: 0,
-            lanes: self.width as u16,
+            lane0,
+            lanes,
         });
         self.rows.insert((rx, ry, rz), dst);
         dst
@@ -260,25 +337,35 @@ impl Builder {
         dst
     }
 
-    fn add(&mut self, a: Reg, b: Reg) -> Reg {
+    /// Emit a `ShiftX` on explicit source/edge registers (no reuse cache);
+    /// used by the temporal scheduler, whose shift sources are computed
+    /// intermediate planes rather than loaded rows.
+    pub(crate) fn shift_raw(&mut self, src: Reg, edge: Reg, dx: i16) -> Reg {
+        debug_assert!(dx != 0 && (dx.unsigned_abs() as usize) < self.width);
+        let dst = self.fresh();
+        self.ops.push(VOp::ShiftX { dst, src, edge, dx });
+        dst
+    }
+
+    pub(crate) fn add(&mut self, a: Reg, b: Reg) -> Reg {
         let dst = self.fresh();
         self.ops.push(VOp::Add { dst, a, b });
         dst
     }
 
-    fn mul(&mut self, a: Reg, coeff: CoeffIdx) -> Reg {
+    pub(crate) fn mul(&mut self, a: Reg, coeff: CoeffIdx) -> Reg {
         let dst = self.fresh();
         self.ops.push(VOp::Mul { dst, a, coeff });
         dst
     }
 
-    fn fma(&mut self, acc: Reg, a: Reg, coeff: CoeffIdx) -> Reg {
+    pub(crate) fn fma(&mut self, acc: Reg, a: Reg, coeff: CoeffIdx) -> Reg {
         let dst = self.fresh();
         self.ops.push(VOp::Fma { dst, acc, a, coeff });
         dst
     }
 
-    fn store(&mut self, src: Reg, ry: i16, rz: i16) {
+    pub(crate) fn store(&mut self, src: Reg, ry: i16, rz: i16) {
         self.ops.push(VOp::StoreRow { src, ry, rz });
     }
 
@@ -297,18 +384,25 @@ impl Builder {
 /// `−x` row. Generated GPU code materialises exactly those elements with
 /// a predicated load, so the brick's edge traffic is a few elements, not
 /// a full row.
+///
+/// Only loads consumed *exclusively* as shuffle edges are narrowed: the
+/// temporal scheduler also feeds `±x` rows into shuffle sources and
+/// arithmetic (the first fused step of the neighbour-block intermediates),
+/// and those uses need the full row.
 fn narrow_edge_loads(ops: &mut [VOp], width: usize) {
-    use std::collections::HashMap as Map;
+    use std::collections::{HashMap as Map, HashSet as Set};
     // defining load per register at each point is unique in the virtual
     // program (SSA), so a single pass suffices.
     let mut def_load: Map<u16, usize> = Map::new();
     let mut range: Map<usize, (u16, u16)> = Map::new(); // op idx -> lane span
+    let mut full_use: Set<u16> = Set::new(); // regs with a non-edge use
     for (i, op) in ops.iter().enumerate() {
         match *op {
             VOp::LoadRow { dst, rx, .. } if rx != 0 => {
                 def_load.insert(dst, i);
             }
-            VOp::ShiftX { edge, dx, .. } => {
+            VOp::ShiftX { src, edge, dx, .. } => {
+                full_use.insert(src);
                 if let Some(&li) = def_load.get(&edge) {
                     let (lo, hi) = if dx > 0 {
                         (0u16, dx as u16)
@@ -320,11 +414,19 @@ fn narrow_edge_loads(ops: &mut [VOp], width: usize) {
                     e.1 = e.1.max(hi);
                 }
             }
-            _ => {}
+            _ => {
+                full_use.extend(op.uses());
+            }
         }
     }
     for (li, (lo, hi)) in range {
-        if let VOp::LoadRow { lane0, lanes, .. } = &mut ops[li] {
+        if let VOp::LoadRow {
+            dst, lane0, lanes, ..
+        } = &mut ops[li]
+        {
+            if full_use.contains(dst) {
+                continue;
+            }
             *lane0 = lo;
             *lanes = hi - lo;
         }

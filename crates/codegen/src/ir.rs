@@ -254,6 +254,12 @@ pub struct VectorKernel {
     pub layout: LayoutKind,
     /// Strategy actually used ([`Strategy::Auto`] never appears here).
     pub strategy: Strategy,
+    /// Number of stencil timesteps fused into this kernel (1 = plain
+    /// spatial kernel). A T-fused kernel computes `stencil^T` per launch:
+    /// its load reach is `T·r` per axis and its stored rows are
+    /// bit-identical to `T` sequential applications of the gather
+    /// schedule.
+    pub temporal_degree: u32,
     /// Resolved numeric coefficient table.
     pub coeffs: Vec<f64>,
     /// Instruction stream (register-allocated).
@@ -432,6 +438,7 @@ mod tests {
             block: BrickDims::new(4, 1, 1),
             layout: LayoutKind::Brick,
             strategy: Strategy::Gather,
+            temporal_degree: 1,
             coeffs: vec![2.0],
             stats: KernelStats::from_ops(&ops, 2),
             ops,

@@ -31,6 +31,7 @@ pub mod emit_cpu;
 pub mod generate;
 pub mod ir;
 pub mod regalloc;
+pub(crate) mod temporal;
 
 pub use emit::{emit_scalar, emit_vector, Dialect};
 pub use emit_cpu::{emit_cpu_vector, CpuIsa};

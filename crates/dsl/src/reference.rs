@@ -96,6 +96,88 @@ pub fn apply_symmetric(
     Ok(())
 }
 
+/// Apply `stencil` `t` times with the *vector gather schedule's* exact
+/// operation order — the ground-truth oracle for temporally fused
+/// kernels, bit-for-bit.
+///
+/// Per point and per step: for each coefficient class (grouped by
+/// symbolic weight, in first-occurrence order), the taps are summed in
+/// tap order with plain adds; the first class is scaled with one
+/// multiply and every later class is folded in with `f64::mul_add` —
+/// exactly the `Add`/`Mul`/`Fma` sequence the code generator emits and
+/// the VM interpreter executes (single rounding per FMA). A fused
+/// `temporal_degree = t` kernel must reproduce this function's interior
+/// to the last bit; `crates/vm/tests/temporal_diff.rs` pins that.
+///
+/// Intermediate steps are evaluated on a shrinking extended region: step
+/// `s` covers `[−(t−s)·r, n + (t−s)·r)` per axis, so the final step's
+/// interior only ever consumes real data. The input halo must therefore
+/// be at least `t·r` wide. Only the interior of `output` is written (its
+/// halo is zeroed), matching the VM's output convention.
+pub fn apply_temporal(
+    stencil: &Stencil,
+    bindings: &CoeffBindings,
+    input: &DenseGrid,
+    output: &mut DenseGrid,
+    t: u32,
+) -> Result<(), StencilError> {
+    assert_eq!(input.extents(), output.extents());
+    assert!(t >= 1, "temporal degree must be ≥ 1");
+    let radius = stencil.radius() as usize;
+    assert!(
+        input.halo() >= t as usize * radius,
+        "input halo {} narrower than fused reach {}",
+        input.halo(),
+        t as usize * radius
+    );
+
+    // Class grouping identical to the code generator's: by symbolic
+    // weight, classes and taps both in stencil tap order.
+    let mut sym_classes: Vec<(&crate::stencil::LinCoeff, f64, Vec<Offset>)> = Vec::new();
+    for tap in stencil.taps() {
+        match sym_classes.iter_mut().find(|(c, _, _)| **c == tap.coeff) {
+            Some((_, _, offs)) => offs.push(tap.offset),
+            None => sym_classes.push((&tap.coeff, tap.coeff.eval(bindings)?, vec![tap.offset])),
+        }
+    }
+    let classes: Vec<(f64, Vec<Offset>)> = sym_classes
+        .into_iter()
+        .map(|(_, w, offs)| (w, offs))
+        .collect();
+
+    let (nx, ny, nz) = input.extents();
+    let mut cur = input.clone();
+    for s in 1..=t {
+        let m = ((t - s) as usize * radius) as i64;
+        let mut next = DenseGrid::new(nx, ny, nz, input.halo());
+        for z in -m..nz as i64 + m {
+            for y in -m..ny as i64 + m {
+                for x in -m..nx as i64 + m {
+                    let mut acc = 0.0;
+                    for (ci, (w, offs)) in classes.iter().enumerate() {
+                        let mut sum = 0.0;
+                        for (ti, o) in offs.iter().enumerate() {
+                            let v = cur.get(x + o[0] as i64, y + o[1] as i64, z + o[2] as i64);
+                            // first tap is the register itself, not 0 + v
+                            // (0.0 + (−0.0) would flip the sign bit)
+                            sum = if ti == 0 { v } else { sum + v };
+                        }
+                        acc = if ci == 0 {
+                            sum * w
+                        } else {
+                            sum.mul_add(*w, acc)
+                        };
+                    }
+                    next.set(x, y, z, acc);
+                }
+            }
+        }
+        cur = next;
+    }
+    output.raw_mut().copy_from_slice(cur.raw());
+    Ok(())
+}
+
 /// Count the FLOPs the symmetric schedule performs per point; used to
 /// cross-check [`crate::analysis::StencilAnalysis::flops_per_point`].
 pub fn symmetric_schedule_flops(stencil: &Stencil) -> u64 {
@@ -184,6 +266,83 @@ mod tests {
         let st = cube(2);
         let (a, b) = run(&st, 4);
         assert!(a.max_rel_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn temporal_degree_one_agrees_with_symmetric() {
+        for shape in StencilShape::paper_suite() {
+            let st = shape.stencil();
+            let b = st.default_bindings();
+            let halo = st.radius() as usize;
+            let mut input = DenseGrid::cubic(6, halo);
+            input.fill_test_pattern();
+            let mut sym = DenseGrid::cubic(6, halo);
+            let mut tmp = DenseGrid::cubic(6, halo);
+            apply_symmetric(&st, &b, &input, &mut sym).unwrap();
+            apply_temporal(&st, &b, &input, &mut tmp, 1).unwrap();
+            assert!(sym.max_rel_diff(&tmp) < 1e-12, "{shape}");
+        }
+    }
+
+    #[test]
+    fn temporal_two_steps_annihilate_linear_fields_twice() {
+        // The Laplacian-weighted 7-point star maps linear fields to zero;
+        // two fused steps map *any* field whose first application is
+        // linear-plus-zero to zero as well. A linear input is the simple
+        // case: both steps produce zero.
+        let st = star(1);
+        let b = CoeffBindings::new().bind("c0", -6.0).bind("c1", 1.0);
+        let mut input = DenseGrid::cubic(6, 2);
+        input.fill_with(|x, y, z| 1.0 + 2.0 * x as f64 - 3.0 * y as f64 + 0.5 * z as f64);
+        let mut out = DenseGrid::cubic(6, 2);
+        apply_temporal(&st, &b, &input, &mut out, 2).unwrap();
+        for (x, y, z) in out.interior_coords() {
+            assert!(out.get(x, y, z).abs() < 1e-9, "({x},{y},{z})");
+        }
+    }
+
+    #[test]
+    fn temporal_matches_composed_convolution() {
+        // stencil^2 evaluated directly (taps convolved, then one naive
+        // application) agrees with the two-step schedule numerically.
+        let st = star(1);
+        let b = st.default_bindings();
+        let taps = st.resolve(&b).unwrap();
+        let mut composed: std::collections::BTreeMap<[i32; 3], f64> = Default::default();
+        for &(oa, wa) in &taps {
+            for &(ob, wb) in &taps {
+                *composed
+                    .entry([oa[0] + ob[0], oa[1] + ob[1], oa[2] + ob[2]])
+                    .or_insert(0.0) += wa * wb;
+            }
+        }
+        let mut input = DenseGrid::cubic(6, 2);
+        input.fill_test_pattern();
+        let mut direct = DenseGrid::cubic(6, 2);
+        for z in 0..6i64 {
+            for y in 0..6i64 {
+                for x in 0..6i64 {
+                    let mut acc = 0.0;
+                    for (o, w) in &composed {
+                        acc += w * input.get(x + o[0] as i64, y + o[1] as i64, z + o[2] as i64);
+                    }
+                    direct.set(x, y, z, acc);
+                }
+            }
+        }
+        let mut fused = DenseGrid::cubic(6, 2);
+        apply_temporal(&st, &b, &input, &mut fused, 2).unwrap();
+        assert!(direct.max_rel_diff(&fused) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "halo")]
+    fn temporal_narrow_halo_panics() {
+        let st = star(1);
+        let input = DenseGrid::cubic(4, 1);
+        let mut out = DenseGrid::cubic(4, 1);
+        let b = st.default_bindings();
+        let _ = apply_temporal(&st, &b, &input, &mut out, 2);
     }
 
     #[test]

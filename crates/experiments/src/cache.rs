@@ -24,7 +24,14 @@ use roofline::Roofline;
 /// v2: simulation fidelity ([`SimFidelity`]) became part of the cell
 /// identity, and the cache model gained an MRU lookup memo (accounting
 /// unchanged, but retiring v1 entries keeps provenance honest).
-pub const SIM_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: temporal fusion degree became part of the cell identity (both via
+/// the kernel fingerprint — fused programs hash differently — and as an
+/// explicit key field, so a `T=2` cell can never be served a cached
+/// `T=1` record even if a future refactor makes their programs collide),
+/// and temporal records moved to their own `tcell` domain so a `T=1`
+/// fused cell can never share a file with a base sweep record.
+pub const SIM_SCHEMA_VERSION: u64 = 3;
 
 /// Stable fingerprint of either kernel family.
 ///
@@ -69,14 +76,79 @@ pub fn cell_key(
     theoretical_ai: f64,
     roofline: &Roofline,
     fidelity: SimFidelity,
+    temporal_degree: u32,
 ) -> CacheKey {
-    KeyBuilder::new("cell", SIM_SCHEMA_VERSION)
+    keyed(
+        "cell",
+        spec,
+        arch,
+        model,
+        n,
+        flops_per_point,
+        theoretical_ai,
+        roofline,
+        fidelity,
+        temporal_degree,
+    )
+}
+
+/// Cache key for one temporal-sweep cell's
+/// [`crate::temporal::TemporalRecord`].
+///
+/// Same fields as [`cell_key`], but a distinct `tcell` domain: the cached
+/// *value shape* differs (a fused record carries its degree and
+/// per-applied-step traffic), and at `T=1` the fused program and every
+/// key field can legitimately coincide with the base sweep's gather cell.
+/// A shared file would then flap between the two record schemas on every
+/// interleaved run — the domain split makes that impossible by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+pub fn temporal_cell_key(
+    spec: &KernelSpec,
+    arch: &GpuArch,
+    model: ProgModel,
+    n: usize,
+    flops_per_point: u64,
+    theoretical_ai: f64,
+    roofline: &Roofline,
+    fidelity: SimFidelity,
+    temporal_degree: u32,
+) -> CacheKey {
+    keyed(
+        "tcell",
+        spec,
+        arch,
+        model,
+        n,
+        flops_per_point,
+        theoretical_ai,
+        roofline,
+        fidelity,
+        temporal_degree,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn keyed(
+    domain: &str,
+    spec: &KernelSpec,
+    arch: &GpuArch,
+    model: ProgModel,
+    n: usize,
+    flops_per_point: u64,
+    theoretical_ai: f64,
+    roofline: &Roofline,
+    fidelity: SimFidelity,
+    temporal_degree: u32,
+) -> CacheKey {
+    KeyBuilder::new(domain, SIM_SCHEMA_VERSION)
         .fingerprint("kernel", spec_fingerprint(spec))
         .fingerprint("arch", arch_fingerprint(arch))
         .field("model", model)
         .field("n", n)
         .field("flops", flops_per_point)
         .field("fidelity", fidelity)
+        .field("temporal", temporal_degree)
         .f64_bits("theory_ai", theoretical_ai)
         .f64_bits("rl_peak", roofline.peak_gflops)
         .f64_bits("rl_bw", roofline.bandwidth_gbs)
@@ -122,6 +194,7 @@ mod tests {
                 bandwidth_gbs: 1500.0,
             },
             fidelity,
+            1,
         )
     }
 
@@ -173,6 +246,74 @@ mod tests {
         let exact = key_fidelity(&spec, &arch, 64, SimFidelity::Exact);
         assert_ne!(fast.hash, exact.hash, "fidelity must be in the key");
         assert_ne!(fast.file_name(), exact.file_name());
+    }
+
+    #[test]
+    fn temporal_degree_is_in_the_key() {
+        // same spec, same everything, different declared fusion degree:
+        // the explicit key field alone must separate the cells
+        let arch = GpuArch::a100();
+        let spec = spec_for(KernelConfig::BricksCodegen);
+        let a = StencilAnalysis::of_shape(&StencilShape::star(1));
+        let key_t = |t: u32| {
+            cell_key(
+                &spec,
+                &arch,
+                ProgModel::Cuda,
+                64,
+                a.flops_per_point,
+                a.theoretical_ai,
+                &Roofline {
+                    peak_gflops: 8000.0,
+                    bandwidth_gbs: 1500.0,
+                },
+                SimFidelity::default(),
+                t,
+            )
+        };
+        let t1 = key_t(1);
+        let t2 = key_t(2);
+        assert_ne!(t1.hash, t2.hash, "T must be in the cell key");
+        assert_ne!(t1.file_name(), t2.file_name());
+    }
+
+    #[test]
+    fn temporal_and_base_cells_never_share_a_file() {
+        // at T=1 the fused gather program and every key field can equal
+        // the base sweep's — the record *shapes* still differ, so the
+        // domains must keep the entry files apart
+        let arch = GpuArch::a100();
+        let spec = spec_for(KernelConfig::BricksCodegen);
+        let a = StencilAnalysis::of_shape(&StencilShape::star(1));
+        let rl = Roofline {
+            peak_gflops: 8000.0,
+            bandwidth_gbs: 1500.0,
+        };
+        let base = cell_key(
+            &spec,
+            &arch,
+            ProgModel::Cuda,
+            64,
+            a.flops_per_point,
+            a.theoretical_ai,
+            &rl,
+            SimFidelity::default(),
+            1,
+        );
+        let fused = temporal_cell_key(
+            &spec,
+            &arch,
+            ProgModel::Cuda,
+            64,
+            a.flops_per_point,
+            a.theoretical_ai,
+            &rl,
+            SimFidelity::default(),
+            1,
+        );
+        assert_ne!(base.file_name(), fused.file_name());
+        assert!(fused.file_name().starts_with("tcell-"));
+        assert!(base.file_name().starts_with("cell-"));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use serde_json::Value;
 use crate::figures;
 use crate::runner::Sweep;
 use crate::tables;
+use crate::temporal::TemporalSweep;
 
 /// Domain size the golden artifacts are pinned at — small enough that a
 /// fresh sweep fits in a CI test, large enough to exercise every cache
@@ -78,17 +79,67 @@ pub fn golden_artifacts(sweep: &Sweep) -> Vec<(&'static str, String)> {
     ]
 }
 
-/// Regenerate the golden files under `dir` from `sweep`. Returns the
-/// paths written.
-pub fn bless(sweep: &Sweep, dir: &Path) -> io::Result<Vec<PathBuf>> {
+/// Render the temporal-sweep golden artifacts (which must have run at
+/// [`GOLDEN_N`]): the AN5D-style AI-vs-T and DRAM-bytes/point-vs-T
+/// tables, pinned on the A100/CUDA reference panel.
+pub fn temporal_artifacts(sweep: &TemporalSweep) -> Vec<(&'static str, String)> {
+    assert_eq!(
+        sweep.params.n, GOLDEN_N,
+        "temporal golden artifacts are pinned at n={GOLDEN_N}"
+    );
+    let panel: Vec<_> = sweep
+        .records
+        .iter()
+        .filter(|r| r.gpu == GpuKind::A100 && r.model == ProgModel::Cuda)
+        .collect();
+
+    // AI-vs-T: arithmetic intensity (and the FLOP rate it buys) per
+    // fusion degree — guards the fused codegen + FLOP normalisation.
+    let mut ai = String::from("stencil,temporal_degree,ai,gflops\n");
+    for r in &panel {
+        let _ = writeln!(
+            ai,
+            "{},{},{},{}",
+            r.stencil, r.temporal_degree, r.ai, r.gflops
+        );
+    }
+
+    // DRAM-bytes/point-vs-T: the launch's HBM traffic and the per-applied-
+    // timestep normalisation — guards the memory simulation of the grown
+    // fused footprint.
+    let mut dram = String::from("stencil,temporal_degree,dram_bytes,dram_bytes_per_point\n");
+    for r in &panel {
+        let _ = writeln!(
+            dram,
+            "{},{},{},{}",
+            r.stencil, r.temporal_degree, r.dram_bytes, r.dram_bytes_per_point
+        );
+    }
+
+    vec![("temporal_ai.csv", ai), ("temporal_dram.csv", dram)]
+}
+
+fn write_files(artifacts: Vec<(&'static str, String)>, dir: &Path) -> io::Result<Vec<PathBuf>> {
     fs::create_dir_all(dir)?;
     let mut written = Vec::new();
-    for (name, contents) in golden_artifacts(sweep) {
+    for (name, contents) in artifacts {
         let path = dir.join(name);
         fs::write(&path, contents)?;
         written.push(path);
     }
     Ok(written)
+}
+
+/// Regenerate the golden files under `dir` from `sweep`. Returns the
+/// paths written.
+pub fn bless(sweep: &Sweep, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    write_files(golden_artifacts(sweep), dir)
+}
+
+/// Regenerate the temporal golden files under `dir`. Returns the paths
+/// written.
+pub fn bless_temporal(sweep: &TemporalSweep, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    write_files(temporal_artifacts(sweep), dir)
 }
 
 /// Compare a freshly-rendered artifact against its golden text.
@@ -110,8 +161,17 @@ pub fn compare_artifact(name: &str, golden: &str, actual: &str) -> Result<(), St
 /// each against the checked-in file under `dir`. Returns every mismatch
 /// (empty = pass) so a failure reports all divergent artifacts at once.
 pub fn check(sweep: &Sweep, dir: &Path) -> Vec<String> {
+    check_files(golden_artifacts(sweep), dir)
+}
+
+/// [`check`] for the temporal golden artifacts.
+pub fn check_temporal(sweep: &TemporalSweep, dir: &Path) -> Vec<String> {
+    check_files(temporal_artifacts(sweep), dir)
+}
+
+fn check_files(artifacts: Vec<(&'static str, String)>, dir: &Path) -> Vec<String> {
     let mut diffs = Vec::new();
-    for (name, actual) in golden_artifacts(sweep) {
+    for (name, actual) in artifacts {
         let path = dir.join(name);
         match fs::read_to_string(&path) {
             Ok(golden) => {
@@ -250,6 +310,20 @@ mod tests {
         // blessing into the directory makes the same check pass
         bless(&sweep, &dir).unwrap();
         assert!(check(&sweep, &dir).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temporal_bless_round_trips() {
+        let sweep = crate::testutil::shared_temporal_sweep();
+        let dir = std::env::temp_dir().join(format!("golden_temporal_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let diffs = check_temporal(sweep, &dir);
+        assert_eq!(diffs.len(), 2, "both temporal artifacts missing: {diffs:?}");
+        assert!(diffs[0].contains("--bless"));
+        bless_temporal(sweep, &dir).unwrap();
+        assert!(check_temporal(sweep, &dir).is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 }

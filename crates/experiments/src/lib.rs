@@ -35,10 +35,12 @@ pub mod plot;
 pub mod report;
 pub mod runner;
 pub mod tables;
+pub mod temporal;
 
 pub use brick_sweep::Jobs;
 pub use config::{ExperimentParams, KernelConfig};
 pub use runner::{sweep, sweep_with, CellFilter, Record, Sweep, SweepError, SweepOptions};
+pub use temporal::{temporal_sweep, temporal_sweep_with, TemporalRecord, TemporalSweep};
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -46,11 +48,19 @@ pub(crate) mod testutil {
     //! expensive part, the assertions are cheap.
     use crate::config::ExperimentParams;
     use crate::runner::{sweep, Sweep};
+    use crate::temporal::{temporal_sweep, TemporalSweep};
     use std::sync::OnceLock;
 
     static SWEEP: OnceLock<Sweep> = OnceLock::new();
+    static TEMPORAL: OnceLock<TemporalSweep> = OnceLock::new();
 
     pub fn shared_sweep() -> &'static Sweep {
         SWEEP.get_or_init(|| sweep(ExperimentParams { n: 128 }))
+    }
+
+    /// One shared 64³ temporal sweep (the golden size — big enough that
+    /// every fused footprint still exercises all cache levels).
+    pub fn shared_temporal_sweep() -> &'static TemporalSweep {
+        TEMPORAL.get_or_init(|| temporal_sweep(ExperimentParams { n: 64 }))
     }
 }

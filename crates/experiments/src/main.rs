@@ -15,7 +15,9 @@ use std::time::Instant;
 
 use brick_vm::ExecutionMode;
 use experiments::report::*;
-use experiments::{bench_exec, bench_sim, figures, golden, tables, ExperimentParams, SweepOptions};
+use experiments::{
+    bench_exec, bench_sim, figures, golden, tables, temporal, ExperimentParams, SweepOptions,
+};
 use gpu_sim::SimFidelity;
 
 struct Args {
@@ -30,6 +32,9 @@ struct Args {
     exec_mode: Option<ExecutionMode>,
     bench_sim: bool,
     bench_exec: bool,
+    bench_temporal: bool,
+    temporal: bool,
+    temporal_degree: Option<u32>,
     bless: bool,
     table1: bool,
     table2: bool,
@@ -71,6 +76,9 @@ fn parse_args() -> Result<Args, String> {
         exec_mode: None,
         bench_sim: false,
         bench_exec: false,
+        bench_temporal: false,
+        temporal: false,
+        temporal_degree: None,
         bless: false,
         table1: false,
         table2: false,
@@ -153,6 +161,22 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bench-sim" => args.bench_sim = true,
             "--bench-exec" => args.bench_exec = true,
+            "--bench-temporal" => args.bench_temporal = true,
+            "--temporal" => args.temporal = true,
+            "--temporal-degree" => {
+                let t: u32 = it
+                    .next()
+                    .ok_or("--temporal-degree needs a value (1..=4)")?
+                    .parse()
+                    .map_err(|e| format!("--temporal-degree: {e}"))?;
+                if !(1..=4).contains(&t) {
+                    return Err(format!(
+                        "--temporal-degree {t}: the 4x4 transverse block caps T at 4"
+                    ));
+                }
+                args.temporal = true;
+                args.temporal_degree = Some(t);
+            }
             "--exec-mode" => {
                 let v = it
                     .next()
@@ -174,10 +198,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const HELP: &str = "usage: experiments [--all] [--table1..5] [--compare] [--fig3..7] [--listings]
-                   [--n N] [--full] [--out DIR] [--jobs N] [--no-cache]
+                   [--temporal] [--temporal-degree T] [--n N] [--full]
+                   [--out DIR] [--jobs N] [--no-cache]
                    [--fidelity exact|fast] [--bench-sim] [--bench-exec]
-                   [--exec-mode scalar|auto|avx2|neon] [--bless] [--trace]
-                   [--prof]
+                   [--bench-temporal] [--exec-mode scalar|auto|avx2|neon]
+                   [--bless] [--trace] [--prof]
 
 Regenerates the tables and figures of 'Performance Portability Evaluation
 of Blocked Stencil Computations on GPUs' (SC-W 2023) on the simulated
@@ -201,6 +226,22 @@ sweep throughput at 64^3 plus the exact-vs-fast wall-time ratio of the
 star-2 CUDA/A100 cell (128^3, or N^3 with --n/--full) and again at the
 paper's full 512^3; it exits non-zero if the fast path is slower than
 exact at either size.
+
+--temporal runs the temporal-blocking sweep: every paper stencil at
+every feasible fusion degree T (T*radius <= 4 under the 4x4 block),
+bricks codegen, across the full platform matrix. Fused kernels stream T
+timesteps through registers in one launch; each is statically verified
+against the T-fold composed stencil before simulation. Prints the
+A100/CUDA AI-vs-T panel and writes DIR/temporal.csv, DIR/temporal.json
+and DIR/manifest_temporal.json. --temporal-degree T restricts the
+emitted records to degree T plus the T=1 baseline (the sweep itself is
+cached per-degree, so narrowing is free on a warm cache).
+
+--bench-temporal runs the temporal sweep at N^3 (default the sweep
+default; --n/--full override) and writes DIR/BENCH_temporal.json. It
+exits non-zero unless AI strictly increases with T for the fusible star
+stencils on every platform and star-7's DRAM bytes per applied timestep
+at its deepest degree is at most 0.45x the spatial baseline (A100/CUDA).
 
 --bench-exec measures the native CPU execution backend and writes
 DIR/BENCH_exec.json: the 7-point star at 512^3 (or N^3 with --n), bricks
@@ -363,6 +404,66 @@ fn main() -> ExitCode {
         }
     }
 
+    if args.bench_temporal {
+        let bench_n = if args.n_explicit { args.n } else { params.n };
+        eprintln!("benchmarking temporal blocking: fused sweep at {bench_n}^3...");
+        match temporal::run_bench_temporal(bench_n, args.jobs, &args.out) {
+            Ok(b) => {
+                eprintln!(
+                    "star-7 DRAM/pt-step at t{}: {:.3}x of t1 (gate <= {})",
+                    b.star7_max_degree,
+                    b.star7_dram_ratio,
+                    temporal::STAR7_DRAM_RATIO_MAX
+                );
+                eprintln!("wrote {}", args.out.join("BENCH_temporal.json").display());
+            }
+            Err(e) => {
+                eprintln!("bench-temporal gate failed:\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.temporal {
+        eprintln!(
+            "running temporal sweep at {0}^3 (paper stencils x feasible T x 6 platform pairs)...",
+            params.n
+        );
+        let t0 = Instant::now();
+        // same cache dir as the base sweep: cell keys carry T, so fused
+        // and unfused records can never alias
+        let opts = sweep_opts(params);
+        let tsweep = match experiments::temporal_sweep_with(&opts) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("temporal sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("temporal sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+        let shown = match args.temporal_degree {
+            // keep the T=1 baseline rows so the requested degree has a
+            // reference to be read against
+            Some(t) => experiments::TemporalSweep {
+                records: tsweep
+                    .records
+                    .iter()
+                    .filter(|r| r.temporal_degree == t || r.temporal_degree == 1)
+                    .cloned()
+                    .collect(),
+                ..tsweep.clone()
+            },
+            None => tsweep.clone(),
+        };
+        println!("== Temporal blocking: AI and DRAM bytes/point vs T (A100/CUDA) ==");
+        println!("{}", render_temporal(&shown));
+        if let Err(e) = write_temporal_csv(&shown, &args.out.join("temporal.csv")) {
+            eprintln!("warning: could not write temporal.csv: {e}");
+        }
+        let _ = write_json(&shown, &args.out.join("temporal.json"));
+        let _ = write_json(&tsweep.manifest, &args.out.join("manifest_temporal.json"));
+    }
+
     if args.bless {
         eprintln!(
             "blessing golden artifacts from a fresh {0}^3 sweep...",
@@ -385,6 +486,30 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("could not write goldens: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "blessing temporal golden artifacts from a fresh {0}^3 temporal sweep...",
+            golden::GOLDEN_N
+        );
+        let tsweep = match experiments::temporal_sweep_with(&sweep_opts(ExperimentParams {
+            n: golden::GOLDEN_N,
+        })) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("temporal golden sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match golden::bless_temporal(&tsweep, &golden::golden_dir()) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("blessed {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("could not write temporal goldens: {e}");
                 return ExitCode::FAILURE;
             }
         }

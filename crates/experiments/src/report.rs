@@ -249,6 +249,72 @@ pub fn write_sweep_csv(sweep: &Sweep, path: &Path) -> io::Result<()> {
     fs::write(path, out)
 }
 
+/// Render the temporal sweep's A100/CUDA panel as an aligned table:
+/// one row per (stencil, fusion degree), the AN5D scaling columns.
+pub fn render_temporal(sweep: &crate::temporal::TemporalSweep) -> String {
+    use gpu_sim::{GpuKind, ProgModel};
+    let rows: Vec<Vec<String>> = sweep
+        .records
+        .iter()
+        .filter(|r| r.gpu == GpuKind::A100 && r.model == ProgModel::Cuda)
+        .map(|r| {
+            vec![
+                r.stencil.clone(),
+                format!("{}", r.temporal_degree),
+                format!("{:.3}", r.ai),
+                format!("{:.2}", r.dram_bytes_per_point),
+                format!("{:.0}", r.gflops),
+                format!("{}", r.regs_per_thread),
+                if r.spilled { "yes".into() } else { "no".into() },
+                r.limiter.clone(),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "stencil",
+            "T",
+            "AI",
+            "DRAM B/pt-step",
+            "GFLOP/s",
+            "regs",
+            "spill",
+            "limiter",
+        ],
+        &rows,
+    )
+}
+
+/// Write the full temporal sweep as CSV (one row per record).
+pub fn write_temporal_csv(sweep: &crate::temporal::TemporalSweep, path: &Path) -> io::Result<()> {
+    let mut out = String::from(
+        "stencil,temporal_degree,gpu,model,gflops,ai,dram_bytes,dram_bytes_per_point,\
+         l1_bytes,l2_bytes,time_s,occupancy,regs_per_thread,spilled,limiter\n",
+    );
+    for r in &sweep.records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.3},{:.5},{},{:.5},{},{},{:.6e},{:.4},{},{},{}",
+            r.stencil,
+            r.temporal_degree,
+            r.gpu,
+            r.model,
+            r.gflops,
+            r.ai,
+            r.dram_bytes,
+            r.dram_bytes_per_point,
+            r.l1_bytes,
+            r.l2_bytes,
+            r.time_s,
+            r.occupancy,
+            r.regs_per_thread,
+            r.spilled,
+            r.limiter,
+        );
+    }
+    fs::write(path, out)
+}
+
 /// Write any serialisable artifact as JSON.
 pub fn write_json<T: serde::Serialize>(value: &T, path: &Path) -> io::Result<()> {
     let s = serde_json::to_string_pretty(value)

@@ -372,7 +372,9 @@ fn flatten_cells(filter: &CellFilter) -> Vec<Cell> {
 /// model coincides (HIP on A100 is the CUDA wrapper) share one mixbench
 /// sweep instead of re-measuring, and with a warm disk cache the
 /// measurement is loaded instead of run.
-fn measure_rooflines(cache: Option<&DiskCache>) -> Vec<((GpuKind, ProgModel), Roofline)> {
+pub(crate) fn measure_rooflines(
+    cache: Option<&DiskCache>,
+) -> Vec<((GpuKind, ProgModel), Roofline)> {
     let _s = brick_obs::span_cat("rooflines", "phase");
     let mut memo: HashMap<String, Option<Roofline>> = HashMap::new();
     let mut rooflines = Vec::new();
@@ -530,6 +532,7 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
                 cell.theoretical_ai,
                 &rl,
                 opts.fidelity,
+                1, // the base matrix is unfused; see crate::temporal
             )
         });
         if let (Some(c), Some(key)) = (cache.as_ref(), key.as_ref()) {

@@ -40,14 +40,18 @@ fn counter(name: &str) -> u64 {
         .map_or(0, |(_, v)| *v)
 }
 
-fn cell_entries(dir: &PathBuf) -> Vec<String> {
+fn entries_with_prefix(dir: &PathBuf, prefix: &str) -> Vec<String> {
     let mut names: Vec<String> = fs::read_dir(dir)
         .unwrap()
         .map(|e| e.unwrap().file_name().into_string().unwrap())
-        .filter(|n| n.starts_with("cell-"))
+        .filter(|n| n.starts_with(prefix))
         .collect();
     names.sort();
     names
+}
+
+fn cell_entries(dir: &PathBuf) -> Vec<String> {
+    entries_with_prefix(dir, "cell-")
 }
 
 #[test]
@@ -76,6 +80,61 @@ fn entries_are_stable_across_runs_and_invalidated_by_config_change() {
         cell_entries(&dir).len() > after_cold.len(),
         "changed config wrote new entries instead of overwriting"
     );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn temporal_degrees_never_alias_in_the_cache() {
+    // the satellite invariant: a T=2 cell can never be served a cached
+    // T=1 record, in either direction, even over a shared cache directory
+    let dir = scratch_dir("temporal");
+
+    // warm the cache with the base sweep's 7pt/A100/CUDA cells (all T=1)
+    let base = experiments::sweep_with(&opts(64, &dir)).unwrap();
+    let base_entries = cell_entries(&dir);
+    assert!(!base_entries.is_empty());
+
+    // a temporal sweep over the same directory must miss every cell —
+    // temporal records live in their own `tcell` domain, so even a T=1
+    // fused cell with an identical program cannot touch a base entry
+    let misses_before = counter("sweep.cache.misses");
+    let topts = SweepOptions::new(ExperimentParams { n: 64 }).cache_dir(&dir);
+    let temporal = experiments::temporal_sweep_with(&topts).unwrap();
+    assert!(
+        counter("sweep.cache.misses") >= misses_before + temporal.records.len() as u64,
+        "no temporal cell may be served from a base (T=1) entry"
+    );
+    assert_eq!(
+        entries_with_prefix(&dir, "tcell-").len(),
+        temporal.records.len(),
+        "every temporal cell wrote its own tcell entry"
+    );
+    assert_eq!(
+        cell_entries(&dir),
+        base_entries,
+        "the temporal sweep left every base entry untouched"
+    );
+
+    // and the base results are reproduced bit-for-bit from the shared
+    // cache afterwards — temporal entries cannot satisfy base lookups
+    let hits_before = counter("sweep.cache.hits");
+    let base_again = experiments::sweep_with(&opts(64, &dir)).unwrap();
+    assert!(counter("sweep.cache.hits") > hits_before);
+    assert_eq!(
+        serde_json::to_string(&base.records).unwrap(),
+        serde_json::to_string(&base_again.records).unwrap()
+    );
+
+    // degree is visible in the data too: the fused launch moves different
+    // bytes than the baseline, so any aliasing would be caught here
+    let t1 = temporal
+        .point(GpuKind::A100, ProgModel::Cuda, "7pt", 1)
+        .unwrap();
+    let t2 = temporal
+        .point(GpuKind::A100, ProgModel::Cuda, "7pt", 2)
+        .unwrap();
+    assert_ne!(t1.dram_bytes, t2.dram_bytes);
+    assert!(t2.ai > t1.ai);
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -106,6 +106,55 @@ fn counter(name: &str) -> u64 {
         .map_or(0, |(_, v)| *v)
 }
 
+/// Temporal records serialized exactly as artifact writers see them.
+fn temporal_records_json(opts: &SweepOptions) -> String {
+    let sweep = experiments::temporal_sweep_with(opts).expect("temporal sweep runs");
+    serde_json::to_string(&sweep.records).expect("records serialize")
+}
+
+#[test]
+fn temporal_sweep_is_jobs_independent() {
+    // the fused matrix under the same contract as the base sweep: the
+    // serialized records are byte-identical at any worker count
+    let opts = |jobs: usize| {
+        SweepOptions::new(ExperimentParams { n: 64 })
+            .jobs(jobs)
+            .fidelity(SimFidelity::Fast)
+    };
+    let serial = temporal_records_json(&opts(1));
+    let two = temporal_records_json(&opts(2));
+    let eight = temporal_records_json(&opts(8));
+    assert_eq!(serial, two, "temporal jobs=2 diverged from serial");
+    assert_eq!(serial, eight, "temporal jobs=8 diverged from serial");
+}
+
+#[test]
+fn temporal_cache_warm_rerun_is_byte_identical_to_cold() {
+    let dir = scratch_dir("temporal_warm");
+    let opts = SweepOptions::new(ExperimentParams { n: 64 })
+        .jobs(4)
+        .cache_dir(&dir);
+
+    let cold = temporal_records_json(&opts);
+    let entries = fs::read_dir(&dir).unwrap().count();
+    assert!(entries > 0, "cold temporal run populated the cache");
+
+    let hits_before = counter("sweep.cache.hits");
+    let warm = temporal_records_json(&opts);
+    assert_eq!(
+        cold, warm,
+        "warm temporal rerun must reproduce the cold run"
+    );
+    assert!(
+        counter("sweep.cache.hits") > hits_before,
+        "warm temporal rerun served from the cache"
+    );
+
+    let uncached = temporal_records_json(&SweepOptions::new(ExperimentParams { n: 64 }).jobs(4));
+    assert_eq!(cold, uncached, "caching is invisible in temporal output");
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cache_warm_rerun_is_byte_identical_to_cold() {
     let dir = scratch_dir("warm");

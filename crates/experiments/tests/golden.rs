@@ -65,6 +65,48 @@ fn goldens_hold_in_both_fidelity_modes() {
 }
 
 #[test]
+fn fresh_temporal_sweep_matches_checked_in_goldens() {
+    // the temporal AI-vs-T and DRAM-vs-T tables, pinned the same way as
+    // the spatial artifacts: a fresh fused sweep must reproduce them
+    let sweep = experiments::temporal_sweep_with(&SweepOptions::new(ExperimentParams {
+        n: golden::GOLDEN_N,
+    }))
+    .expect("temporal golden sweep runs");
+    let diffs = golden::check_temporal(&sweep, &golden::golden_dir());
+    if diffs.is_empty() {
+        return;
+    }
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/golden-diff");
+    let _ = fs::create_dir_all(&out);
+    for (name, actual) in golden::temporal_artifacts(&sweep) {
+        let _ = fs::write(out.join(format!("actual-{name}")), actual);
+    }
+    let _ = fs::write(out.join("temporal-diff.txt"), diffs.join("\n"));
+    panic!(
+        "temporal golden artifacts diverged (fresh copies in {}):\n{}",
+        out.display(),
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn temporal_goldens_are_jobs_count_independent() {
+    let sweep = experiments::temporal_sweep_with(
+        &SweepOptions::new(ExperimentParams {
+            n: golden::GOLDEN_N,
+        })
+        .jobs(1),
+    )
+    .expect("serial temporal golden sweep runs");
+    let diffs = golden::check_temporal(&sweep, &golden::golden_dir());
+    assert!(
+        diffs.is_empty(),
+        "serial temporal sweep diverged:\n{}",
+        diffs.join("\n")
+    );
+}
+
+#[test]
 fn goldens_are_jobs_count_independent() {
     // the golden check above runs at the default jobs count; pin the
     // serial schedule against the same files so a determinism bug cannot

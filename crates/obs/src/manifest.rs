@@ -43,6 +43,9 @@ pub struct RunManifest {
     /// (`"scalar"`/`"auto"`/`"avx2"`/`"neon"`), when the producing
     /// workload executes kernels numerically.
     pub exec_mode: Option<String>,
+    /// Temporal fusion degrees the run swept (empty for the unfused base
+    /// matrix, where every kernel is implicitly `T = 1`).
+    pub temporal_degrees: Vec<u32>,
 }
 
 impl RunManifest {
@@ -88,6 +91,13 @@ impl RunManifest {
     /// under, for workloads that execute kernels numerically.
     pub fn with_exec_mode(mut self, exec_mode: &str) -> RunManifest {
         self.exec_mode = Some(exec_mode.to_string());
+        self
+    }
+
+    /// Record the temporal fusion degrees a temporal sweep covered, in
+    /// sweep order.
+    pub fn with_temporal_degrees(mut self, degrees: &[u32]) -> RunManifest {
+        self.temporal_degrees = degrees.to_vec();
         self
     }
 
@@ -175,6 +185,7 @@ mod tests {
             cache_misses: 8,
             cache_corrupt: 1,
             exec_mode: Some("avx2".into()),
+            temporal_degrees: vec![1, 2, 4],
         };
         let json = serde_json::to_string(&m).unwrap();
         let back: RunManifest = serde_json::from_str(&json).unwrap();

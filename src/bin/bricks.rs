@@ -30,7 +30,8 @@ use bricks_repro::vm::{KernelSpec, ScalarKernel, TraceGeometry};
 const HELP: &str = "bricks — BrickLib reproduction toolkit
 
 usage:
-  bricks inspect  <star|cube> <radius> <width>          kernel inspection
+  bricks inspect  <star|cube> <radius> <width> [--temporal T]
+                                                        kernel inspection
   bricks simulate <star|cube> <radius> <gpu> <model> [--fidelity exact|fast]
                                                         one measurement
   bricks tune     <star|cube> <radius> <gpu> <model>    autotune bricks
@@ -123,7 +124,7 @@ fn model_of(name: &str) -> Result<ProgModel, String> {
     }
 }
 
-fn inspect(shape: StencilShape, width: usize) -> Result<(), String> {
+fn inspect(shape: StencilShape, width: usize, temporal: u32) -> Result<(), String> {
     let st = shape.stencil();
     let b = st.default_bindings();
     let a = StencilAnalysis::of_shape(&shape);
@@ -132,9 +133,26 @@ fn inspect(shape: StencilShape, width: usize) -> Result<(), String> {
         "points {}  classes {}  flops/point {}  theoretical AI {:.4} FLOP/B\n",
         a.points, a.classes, a.flops_per_point, a.theoretical_ai
     );
-    let k = generate(&st, &b, LayoutKind::Brick, width, CodegenOptions::default())
-        .map_err(|e| e.to_string())?;
+    let opts = if temporal > 1 {
+        // fused kernels are inherently gather-scheduled
+        CodegenOptions {
+            temporal_degree: temporal,
+            strategy: bricks_repro::codegen::Strategy::Gather,
+            ..CodegenOptions::default()
+        }
+    } else {
+        CodegenOptions::default()
+    };
+    let k = generate(&st, &b, LayoutKind::Brick, width, opts).map_err(|e| e.to_string())?;
     let s = &k.stats;
+    if temporal > 1 {
+        println!(
+            "fused T={temporal}: stores stencil^{temporal}, flops/point {} \
+             theoretical AI {:.4} FLOP/B",
+            a.flops_per_point * temporal as u64,
+            a.theoretical_ai * temporal as f64
+        );
+    }
     println!(
         "generated {} — strategy {}, {} regs/thread",
         k.name, k.strategy, k.num_regs
@@ -715,7 +733,15 @@ fn run() -> Result<(), String> {
     match strs.as_slice() {
         ["inspect", kind, radius, width] => {
             let w: usize = width.parse().map_err(|e| format!("width: {e}"))?;
-            inspect(shape_of(kind, radius)?, w)
+            inspect(shape_of(kind, radius)?, w, 1)
+        }
+        ["inspect", kind, radius, width, "--temporal", t] => {
+            let w: usize = width.parse().map_err(|e| format!("width: {e}"))?;
+            let t: u32 = t.parse().map_err(|e| format!("--temporal: {e}"))?;
+            if !(1..=4).contains(&t) {
+                return Err(format!("--temporal {t}: the 4x4 block caps T at 4"));
+            }
+            inspect(shape_of(kind, radius)?, w, t)
         }
         ["simulate", kind, radius, gpu, model] => simulate_cmd(
             shape_of(kind, radius)?,
