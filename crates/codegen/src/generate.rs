@@ -48,6 +48,11 @@ pub enum CodegenError {
         reach: i64,
         max: usize,
     },
+    /// The fused schedule would allocate more virtual registers than the
+    /// `u16` id space holds ([`VREG_CAPACITY`]); counted exactly before
+    /// any scheduling by [`fused_vreg_count`].
+    #[allow(missing_docs)]
+    ProgramTooLarge { vregs: usize, capacity: usize },
 }
 
 impl std::fmt::Display for CodegenError {
@@ -70,6 +75,11 @@ impl std::fmt::Display for CodegenError {
                 "temporal degree {degree} needs fused reach {reach} on axis {axis}, \
                  exceeding the block extent {max} (accesses must stay within one \
                  neighbouring block)"
+            ),
+            CodegenError::ProgramTooLarge { vregs, capacity } => write!(
+                f,
+                "fused schedule needs {vregs} virtual registers, overflowing the \
+                 id space (capacity {capacity})"
             ),
         }
     }
@@ -151,6 +161,16 @@ pub fn generate(
         }
     }
 
+    if t > 1 {
+        let vregs = fused_vreg_count(stencil, opts.block_yz, t);
+        if vregs > VREG_CAPACITY {
+            return Err(CodegenError::ProgramTooLarge {
+                vregs,
+                capacity: VREG_CAPACITY,
+            });
+        }
+    }
+
     let classes = {
         let _s = brick_obs::span_cat("group-classes", "codegen");
         group_classes(stencil, bindings)?
@@ -179,13 +199,56 @@ pub fn generate(
     Ok(build(stencil, &classes, block, layout, strategy, 1))
 }
 
+/// Registers the virtual-register allocator can hand out before ids
+/// overflow `u16` (the IR's [`Reg`] type).
+pub const VREG_CAPACITY: usize = u16::MAX as usize;
+
+/// Exact number of virtual registers a `temporal_degree`-fused kernel of
+/// `stencil` on a `block_yz` block would allocate — computed from the
+/// tap offsets and need sets alone, before any IR is emitted, so callers
+/// (the autotuner's validity predicate, [`generate`] itself) can reject
+/// candidates whose fused schedule overflows [`VREG_CAPACITY`] without
+/// paying for or crashing in compilation. Independent of the vector
+/// width, the coefficient bindings and the class partition.
+pub fn fused_vreg_count(
+    stencil: &Stencil,
+    block_yz: (usize, usize),
+    temporal_degree: u32,
+) -> usize {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    use std::sync::{Mutex, OnceLock};
+    /// Memo key: tap-list hash, block extents, fusion degree.
+    type MemoKey = (u64, usize, usize, u32);
+    // the count is a pure function of (taps, block, T) and the need-set
+    // dilation is not cheap for deep fusions of wide stencils; the
+    // autotuner's validity predicate calls this per candidate, so memoize
+    // globally (a handful of entries per shape)
+    static MEMO: OnceLock<Mutex<HashMap<MemoKey, usize>>> = OnceLock::new();
+    let taps: Vec<[i32; 3]> = stencil.taps().iter().map(|t| t.offset).collect();
+    let mut h = DefaultHasher::new();
+    taps.hash(&mut h);
+    let key = (h.finish(), block_yz.0, block_yz.1, temporal_degree);
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&n) = memo.lock().expect("vreg memo poisoned").get(&key) {
+        return n;
+    }
+    let block = BrickDims::new(1, block_yz.0, block_yz.1);
+    let n = crate::temporal::fused_vreg_count(&taps, block, temporal_degree);
+    memo.lock().expect("vreg memo poisoned").insert(key, n);
+    n
+}
+
 /// One coefficient class: resolved value plus the member tap offsets.
 pub(crate) struct Class {
     pub(crate) value: f64,
     pub(crate) taps: Vec<[i32; 3]>,
 }
 
-fn group_classes(stencil: &Stencil, bindings: &CoeffBindings) -> Result<Vec<Class>, CodegenError> {
+pub(crate) fn group_classes(
+    stencil: &Stencil,
+    bindings: &CoeffBindings,
+) -> Result<Vec<Class>, CodegenError> {
     let mut keys: Vec<&LinCoeff> = Vec::new();
     let mut classes: Vec<Class> = Vec::new();
     for t in stencil.taps() {
@@ -270,7 +333,7 @@ pub(crate) struct Builder {
 }
 
 impl Builder {
-    fn new(width: usize) -> Self {
+    pub(crate) fn new(width: usize) -> Self {
         Builder {
             width,
             ops: Vec::new(),

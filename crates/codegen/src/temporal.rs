@@ -100,8 +100,9 @@ struct Needs {
     em: Vec<BTreeSet<Row>>,
 }
 
-/// Backward need-set propagation from the stored home block.
-fn compute_needs(classes: &[Class], block: BrickDims, t: usize) -> Needs {
+/// Backward need-set propagation from the stored home block. Depends
+/// only on the flat tap-offset set — the class partition is irrelevant.
+fn compute_needs(taps: &[[i32; 3]], block: BrickDims, t: usize) -> Needs {
     let (by, bz) = (block.by as i16, block.bz as i16);
     let mut home: Vec<BTreeSet<Row>> = vec![BTreeSet::new(); t + 1];
     let mut ep: Vec<BTreeSet<Row>> = vec![BTreeSet::new(); t + 1];
@@ -113,36 +114,76 @@ fn compute_needs(classes: &[Class], block: BrickDims, t: usize) -> Needs {
     }
     for s in (1..=t).rev() {
         let (cur_home, cur_ep, cur_em) = (home[s].clone(), ep[s].clone(), em[s].clone());
-        for class in classes {
-            for &[dx, dy, dz] in &class.taps {
-                let (dy, dz) = (dy as i16, dz as i16);
-                for &(ry, rz) in &cur_home {
-                    let row = (ry + dy, rz + dz);
-                    home[s - 1].insert(row);
-                    if dx > 0 {
-                        ep[s - 1].insert(row);
-                    } else if dx < 0 {
-                        em[s - 1].insert(row);
-                    }
-                }
-                for &(ry, rz) in &cur_ep {
-                    let row = (ry + dy, rz + dz);
+        for &[dx, dy, dz] in taps {
+            let (dy, dz) = (dy as i16, dz as i16);
+            for &(ry, rz) in &cur_home {
+                let row = (ry + dy, rz + dz);
+                home[s - 1].insert(row);
+                if dx > 0 {
                     ep[s - 1].insert(row);
-                    if dx < 0 {
-                        home[s - 1].insert(row);
-                    }
-                }
-                for &(ry, rz) in &cur_em {
-                    let row = (ry + dy, rz + dz);
+                } else if dx < 0 {
                     em[s - 1].insert(row);
-                    if dx > 0 {
-                        home[s - 1].insert(row);
-                    }
+                }
+            }
+            for &(ry, rz) in &cur_ep {
+                let row = (ry + dy, rz + dz);
+                ep[s - 1].insert(row);
+                if dx < 0 {
+                    home[s - 1].insert(row);
+                }
+            }
+            for &(ry, rz) in &cur_em {
+                let row = (ry + dy, rz + dz);
+                em[s - 1].insert(row);
+                if dx > 0 {
+                    home[s - 1].insert(row);
                 }
             }
         }
     }
     Needs { home, ep, em }
+}
+
+/// Exact count of virtual registers [`schedule_temporal`] would allocate
+/// for this tap set, block and fusion degree — computed from the need
+/// sets alone, with no IR emitted. Mirrors the emitter precisely:
+///
+/// - level 0 allocates one register per loaded row (the three need sets,
+///   each row loaded exactly once);
+/// - each evaluated row allocates `points` arithmetic registers — per
+///   class `taps_c − 1` adds plus one `Mul`/`Fma`, and `Σ taps_c =
+///   points` regardless of how taps partition into classes;
+/// - shifted operands are memoized per level on `(family, source row,
+///   dx)`, so each distinct key allocates exactly one register.
+///
+/// `tests::planned_vreg_count_is_exact` pins this against the real
+/// emitter op by op; [`crate::generate::generate`] uses it to reject
+/// programs that would overflow the `u16` register-id space before any
+/// scheduling work happens.
+pub(crate) fn fused_vreg_count(taps: &[[i32; 3]], block: BrickDims, t: u32) -> usize {
+    let t = t as usize;
+    let needs = compute_needs(taps, block, t);
+    let points = taps.len();
+    let mut n = needs.home[0].len() + needs.ep[0].len() + needs.em[0].len();
+    for s in 1..=t {
+        let mut shifts: BTreeSet<(u8, Row, i16)> = BTreeSet::new();
+        for (fam, set) in [
+            (0u8, &needs.home[s]),
+            (1u8, &needs.ep[s]),
+            (2u8, &needs.em[s]),
+        ] {
+            for &(ry, rz) in set {
+                for &[dx, dy, dz] in taps {
+                    if dx != 0 {
+                        shifts.insert((fam, (ry + dy as i16, rz + dz as i16), dx as i16));
+                    }
+                }
+            }
+        }
+        let rows = needs.home[s].len() + needs.ep[s].len() + needs.em[s].len();
+        n += shifts.len() + rows * points;
+    }
+    n
 }
 
 /// Rows of a need set in the gather schedule's `(rz, ry)` visit order.
@@ -156,7 +197,11 @@ fn ordered(set: &BTreeSet<Row>) -> Vec<Row> {
 /// `t ≥ 2` and `t·reach ≤ block extent` on every axis.
 pub(crate) fn schedule_temporal(b: &mut Builder, classes: &[Class], block: BrickDims, t: u32) {
     let t = t as usize;
-    let needs = compute_needs(classes, block, t);
+    let taps: Vec<[i32; 3]> = classes
+        .iter()
+        .flat_map(|c| c.taps.iter().copied())
+        .collect();
+    let needs = compute_needs(&taps, block, t);
 
     // Level 0: plain loads. Neighbour-block rows only ever contribute
     // their `h_0 = T·r_x` boundary lanes (as shuffle edges at step 1 and
@@ -390,6 +435,80 @@ mod tests {
             err0,
             CodegenError::TemporalTooDeep { degree: 0, .. }
         ));
+    }
+
+    #[test]
+    fn planned_vreg_count_is_exact() {
+        // the planner's contract: for every feasible (shape, block, T) it
+        // predicts the emitter's allocation count op for op — each
+        // non-store op allocates exactly one fresh register, so the count
+        // is `ops − stores` on the raw (pre-regalloc) program
+        use crate::generate::{group_classes, Builder};
+        for shape in [
+            StencilShape::star(1),
+            StencilShape::star(2),
+            StencilShape::cube(1),
+            StencilShape::cube(2),
+        ] {
+            let st = shape.stencil();
+            let bind = st.default_bindings();
+            let classes = group_classes(&st, &bind).unwrap();
+            let taps: Vec<[i32; 3]> = classes
+                .iter()
+                .flat_map(|c| c.taps.iter().copied())
+                .collect();
+            for (by, bz) in [(4usize, 4usize), (8, 8), (8, 4), (16, 16)] {
+                for t in 2..=3u32 {
+                    let reach = (t * shape.radius) as usize;
+                    if reach > by.min(bz) {
+                        continue;
+                    }
+                    let block = brick_core::BrickDims::new(32, by, bz);
+                    let planned = super::fused_vreg_count(&taps, block, t);
+                    if planned > crate::generate::VREG_CAPACITY {
+                        continue; // the emitter would (rightly) refuse
+                    }
+                    let mut b = Builder::new(block.bx);
+                    super::schedule_temporal(&mut b, &classes, block, t);
+                    let stores = b
+                        .ops
+                        .iter()
+                        .filter(|op| matches!(op, VOp::StoreRow { .. }))
+                        .count();
+                    assert_eq!(
+                        planned,
+                        b.ops.len() - stores,
+                        "{shape} block ({by},{bz}) t{t}: planner diverged from emitter"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_fused_schedules_error_cleanly() {
+        // cube-2 fused twice over a 16×16 block wants far more than 2¹⁶
+        // virtual registers; generate must refuse with a typed error
+        // instead of panicking mid-emission
+        let shape = StencilShape::cube(2);
+        let st = shape.stencil();
+        assert!(
+            crate::generate::fused_vreg_count(&st, (16, 16), 2) > crate::generate::VREG_CAPACITY
+        );
+        let b = st.default_bindings();
+        let err = generate(
+            &st,
+            &b,
+            LayoutKind::Brick,
+            32,
+            CodegenOptions {
+                temporal_degree: 2,
+                block_yz: (16, 16),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CodegenError::ProgramTooLarge { .. }), "{err}");
     }
 
     #[test]

@@ -80,6 +80,23 @@ impl StencilAnalysis {
     }
 }
 
+/// Structural lower bound on live vector registers for any schedule of a
+/// radius-`radius` star stencil fused over `temporal_degree` timesteps.
+///
+/// A spatial kernel (`temporal_degree == 1`) needs at least one
+/// accumulator and one in-flight load. A fused kernel additionally keeps
+/// every intermediate plane window register-resident (the PR 9 temporal
+/// lowering): each of the `temporal_degree − 1` intermediate stages holds
+/// a `2·radius + 1`-plane sliding window. No register allocator can go
+/// below this, so converting it through the occupancy lint's demand
+/// formula yields a sound *upper* bound on achievable occupancy — exactly
+/// what validity predicates and roofline pruning need (rejecting on a
+/// lower bound of demand never rejects a feasible kernel).
+pub fn min_live_registers(radius: usize, temporal_degree: u32) -> u32 {
+    let windows = temporal_degree.saturating_sub(1) * (2 * radius as u32 + 1);
+    windows + 2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +160,16 @@ mod tests {
     #[should_panic]
     fn zero_points_rejected() {
         let _ = StencilAnalysis::from_counts(0, 0);
+    }
+
+    #[test]
+    fn min_live_lower_bound() {
+        // spatial kernels: a shape-independent floor
+        assert_eq!(min_live_registers(1, 1), 2);
+        assert_eq!(min_live_registers(4, 1), 2);
+        // fused kernels: one (2r+1)-plane window per intermediate stage
+        assert_eq!(min_live_registers(1, 2), 3 + 2);
+        assert_eq!(min_live_registers(1, 4), 3 * 3 + 2);
+        assert_eq!(min_live_registers(2, 2), 5 + 2);
     }
 }

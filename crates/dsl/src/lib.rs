@@ -41,7 +41,7 @@ pub mod reference;
 pub mod shape;
 pub mod stencil;
 
-pub use analysis::{StencilAnalysis, BYTES_PER_POINT};
+pub use analysis::{min_live_registers, StencilAnalysis, BYTES_PER_POINT};
 pub use dense::DenseGrid;
 pub use expr::{ConstRef, Expr, GridRef};
 pub use shape::{ShapeKind, StencilShape};

@@ -11,6 +11,7 @@
 
 use std::hash::{Hash, Hasher};
 
+use brick_codegen::SpecParams;
 use brick_sweep::{CacheKey, KeyBuilder};
 use brick_vm::KernelSpec;
 use gpu_sim::{GpuArch, ProgModel, SimFidelity};
@@ -31,7 +32,16 @@ use roofline::Roofline;
 /// `T=1` record even if a future refactor makes their programs collide),
 /// and temporal records moved to their own `tcell` domain so a `T=1`
 /// fused cell can never share a file with a base sweep record.
-pub const SIM_SCHEMA_VERSION: u64 = 3;
+///
+/// v4: the full kernel-specialization vector
+/// ([`brick_codegen::SpecParams`]) became an explicit key field. Kernels
+/// were specialized before v4 too, but only implicitly (vector width via
+/// the program hash, everything else fixed at the paper defaults); now
+/// that the tuner varies every axis, two cells whose *programs* coincide
+/// (e.g. the same kernel under a different ordering or interleave chunk)
+/// must never share a record, and no pre-specialization v3 entry may
+/// alias a specialized one — the version bump retires them all at once.
+pub const SIM_SCHEMA_VERSION: u64 = 4;
 
 /// Stable fingerprint of either kernel family.
 ///
@@ -77,6 +87,7 @@ pub fn cell_key(
     roofline: &Roofline,
     fidelity: SimFidelity,
     temporal_degree: u32,
+    spec_params: &SpecParams,
 ) -> CacheKey {
     keyed(
         "cell",
@@ -89,6 +100,7 @@ pub fn cell_key(
         roofline,
         fidelity,
         temporal_degree,
+        spec_params,
     )
 }
 
@@ -113,6 +125,7 @@ pub fn temporal_cell_key(
     roofline: &Roofline,
     fidelity: SimFidelity,
     temporal_degree: u32,
+    spec_params: &SpecParams,
 ) -> CacheKey {
     keyed(
         "tcell",
@@ -125,6 +138,7 @@ pub fn temporal_cell_key(
         roofline,
         fidelity,
         temporal_degree,
+        spec_params,
     )
 }
 
@@ -140,9 +154,11 @@ fn keyed(
     roofline: &Roofline,
     fidelity: SimFidelity,
     temporal_degree: u32,
+    spec_params: &SpecParams,
 ) -> CacheKey {
     KeyBuilder::new(domain, SIM_SCHEMA_VERSION)
         .fingerprint("kernel", spec_fingerprint(spec))
+        .fingerprint("spec", spec_params.fingerprint())
         .fingerprint("arch", arch_fingerprint(arch))
         .field("model", model)
         .field("n", n)
@@ -195,6 +211,7 @@ mod tests {
             },
             fidelity,
             1,
+            &SpecParams::paper_default(32),
         )
     }
 
@@ -269,6 +286,7 @@ mod tests {
                 },
                 SimFidelity::default(),
                 t,
+                &SpecParams::paper_default(32),
             )
         };
         let t1 = key_t(1);
@@ -299,6 +317,7 @@ mod tests {
             &rl,
             SimFidelity::default(),
             1,
+            &SpecParams::paper_default(32),
         );
         let fused = temporal_cell_key(
             &spec,
@@ -310,10 +329,50 @@ mod tests {
             &rl,
             SimFidelity::default(),
             1,
+            &SpecParams::paper_default(32),
         );
         assert_ne!(base.file_name(), fused.file_name());
         assert!(fused.file_name().starts_with("tcell-"));
         assert!(base.file_name().starts_with("cell-"));
+    }
+
+    #[test]
+    fn specialization_vector_is_in_the_key() {
+        // two cells can share the identical generated program (ordering
+        // and interleave chunk never reach the IR) — the explicit
+        // SpecParams fingerprint must still keep their records apart
+        let arch = GpuArch::a100();
+        let spec = spec_for(KernelConfig::BricksCodegen);
+        let a = StencilAnalysis::of_shape(&StencilShape::star(1));
+        let key_p = |p: &SpecParams| {
+            cell_key(
+                &spec,
+                &arch,
+                ProgModel::Cuda,
+                64,
+                a.flops_per_point,
+                a.theoretical_ai,
+                &Roofline {
+                    peak_gflops: 8000.0,
+                    bandwidth_gbs: 1500.0,
+                },
+                SimFidelity::default(),
+                1,
+                p,
+            )
+        };
+        let paper = SpecParams::paper_default(32);
+        let morton = SpecParams {
+            ordering: brick_core::BrickOrdering::Morton,
+            ..paper
+        };
+        let chunked = SpecParams {
+            interleave_chunk: 256,
+            ..paper
+        };
+        assert_ne!(key_p(&paper).hash, key_p(&morton).hash);
+        assert_ne!(key_p(&paper).hash, key_p(&chunked).hash);
+        assert_ne!(key_p(&morton).file_name(), key_p(&chunked).file_name());
     }
 
     #[test]

@@ -18,6 +18,8 @@ use std::path::{Path, PathBuf};
 use gpu_sim::{GpuKind, ProgModel};
 use serde_json::Value;
 
+use brick_tuner::TuneReport;
+
 use crate::figures;
 use crate::runner::Sweep;
 use crate::tables;
@@ -119,6 +121,51 @@ pub fn temporal_artifacts(sweep: &TemporalSweep) -> Vec<(&'static str, String)> 
     vec![("temporal_ai.csv", ai), ("temporal_dram.csv", dram)]
 }
 
+/// How many ranked rows the tuner golden pins.
+pub const TUNE_GOLDEN_TOP_K: usize = 5;
+
+/// Render the tuner golden artifact from a tune report (which must have
+/// run at [`GOLDEN_N`]): the blessed top-K ranked table for the 7-point
+/// star on the A100/CUDA reference panel, `tune_star7_a100.json`.
+///
+/// The specialization vectors and their fingerprints are integer/string
+/// fields (exact match); the performance columns are floats under
+/// [`FLOAT_RTOL`]. Any change to the search order, validity predicates,
+/// pruning bounds or ranking tie-break that alters the winners shows up
+/// here.
+pub fn tune_artifacts(report: &TuneReport) -> Vec<(&'static str, String)> {
+    assert_eq!(
+        report.n, GOLDEN_N,
+        "tuner golden artifact is pinned at n={GOLDEN_N}"
+    );
+    let group = report
+        .group(GpuKind::A100, ProgModel::Cuda, "7pt")
+        .expect("7pt A100/CUDA group present in every tune report");
+
+    // the vendored serde derive does not handle lifetime parameters, so
+    // the golden view owns its rows
+    #[derive(serde::Serialize)]
+    struct TuneGolden {
+        n: usize,
+        space_fingerprint: u64,
+        baseline_fingerprint: u64,
+        top: Vec<brick_tuner::TunedRecord>,
+    }
+    let golden = TuneGolden {
+        n: report.n,
+        space_fingerprint: report.space_fingerprint,
+        baseline_fingerprint: group.baseline.fingerprint,
+        top: group
+            .ranked
+            .iter()
+            .take(TUNE_GOLDEN_TOP_K)
+            .cloned()
+            .collect(),
+    };
+    let json = serde_json::to_string_pretty(&golden).expect("tune golden serializes");
+    vec![("tune_star7_a100.json", json)]
+}
+
 fn write_files(artifacts: Vec<(&'static str, String)>, dir: &Path) -> io::Result<Vec<PathBuf>> {
     fs::create_dir_all(dir)?;
     let mut written = Vec::new();
@@ -140,6 +187,12 @@ pub fn bless(sweep: &Sweep, dir: &Path) -> io::Result<Vec<PathBuf>> {
 /// written.
 pub fn bless_temporal(sweep: &TemporalSweep, dir: &Path) -> io::Result<Vec<PathBuf>> {
     write_files(temporal_artifacts(sweep), dir)
+}
+
+/// Regenerate the tuner golden file under `dir`. Returns the paths
+/// written.
+pub fn bless_tune(report: &TuneReport, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    write_files(tune_artifacts(report), dir)
 }
 
 /// Compare a freshly-rendered artifact against its golden text.
@@ -167,6 +220,11 @@ pub fn check(sweep: &Sweep, dir: &Path) -> Vec<String> {
 /// [`check`] for the temporal golden artifacts.
 pub fn check_temporal(sweep: &TemporalSweep, dir: &Path) -> Vec<String> {
     check_files(temporal_artifacts(sweep), dir)
+}
+
+/// [`check`] for the tuner golden artifact.
+pub fn check_tune(report: &TuneReport, dir: &Path) -> Vec<String> {
+    check_files(tune_artifacts(report), dir)
 }
 
 fn check_files(artifacts: Vec<(&'static str, String)>, dir: &Path) -> Vec<String> {
@@ -310,6 +368,23 @@ mod tests {
         // blessing into the directory makes the same check pass
         bless(&sweep, &dir).unwrap();
         assert!(check(&sweep, &dir).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tune_bless_round_trips() {
+        let report = crate::testutil::shared_tune_report();
+        let dir = std::env::temp_dir().join(format!("golden_tune_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let diffs = check_tune(report, &dir);
+        assert_eq!(diffs.len(), 1, "tune artifact missing: {diffs:?}");
+        assert!(diffs[0].contains("--bless"));
+        bless_tune(report, &dir).unwrap();
+        assert!(check_tune(report, &dir).is_empty());
+        // the blessed table is non-trivial: top-K rows, winner first
+        let text = fs::read_to_string(dir.join("tune_star7_a100.json")).unwrap();
+        assert!(text.contains("space_fingerprint"), "{text}");
         let _ = fs::remove_dir_all(&dir);
     }
 

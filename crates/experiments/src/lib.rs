@@ -36,11 +36,13 @@ pub mod report;
 pub mod runner;
 pub mod tables;
 pub mod temporal;
+pub mod tune;
 
 pub use brick_sweep::Jobs;
 pub use config::{ExperimentParams, KernelConfig};
 pub use runner::{sweep, sweep_with, CellFilter, Record, Sweep, SweepError, SweepOptions};
 pub use temporal::{temporal_sweep, temporal_sweep_with, TemporalRecord, TemporalSweep};
+pub use tune::{run_bench_tune, run_tune, tune_options, tuned_vs_paper, SpaceChoice, TuneBench};
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -53,6 +55,7 @@ pub(crate) mod testutil {
 
     static SWEEP: OnceLock<Sweep> = OnceLock::new();
     static TEMPORAL: OnceLock<TemporalSweep> = OnceLock::new();
+    static TUNE: OnceLock<brick_tuner::TuneReport> = OnceLock::new();
 
     pub fn shared_sweep() -> &'static Sweep {
         SWEEP.get_or_init(|| sweep(ExperimentParams { n: 128 }))
@@ -62,5 +65,14 @@ pub(crate) mod testutil {
     /// every fused footprint still exercises all cache levels).
     pub fn shared_temporal_sweep() -> &'static TemporalSweep {
         TEMPORAL.get_or_init(|| temporal_sweep(ExperimentParams { n: 64 }))
+    }
+
+    /// One shared golden-configuration tune report (7pt × A100/CUDA ×
+    /// smoke space at the golden size).
+    pub fn shared_tune_report() -> &'static brick_tuner::TuneReport {
+        TUNE.get_or_init(|| {
+            brick_tuner::tune_matrix(&crate::tune::golden_tune_options(None, None))
+                .expect("golden tune configuration runs")
+        })
     }
 }

@@ -16,7 +16,7 @@ use std::time::Instant;
 use brick_vm::ExecutionMode;
 use experiments::report::*;
 use experiments::{
-    bench_exec, bench_sim, figures, golden, tables, temporal, ExperimentParams, SweepOptions,
+    bench_exec, bench_sim, figures, golden, tables, temporal, tune, ExperimentParams, SweepOptions,
 };
 use gpu_sim::SimFidelity;
 
@@ -33,8 +33,11 @@ struct Args {
     bench_sim: bool,
     bench_exec: bool,
     bench_temporal: bool,
+    bench_tune: bool,
     temporal: bool,
     temporal_degree: Option<u32>,
+    tune: bool,
+    tune_space: tune::SpaceChoice,
     bless: bool,
     table1: bool,
     table2: bool,
@@ -77,8 +80,11 @@ fn parse_args() -> Result<Args, String> {
         bench_sim: false,
         bench_exec: false,
         bench_temporal: false,
+        bench_tune: false,
         temporal: false,
         temporal_degree: None,
+        tune: false,
+        tune_space: tune::SpaceChoice::Full,
         bless: false,
         table1: false,
         table2: false,
@@ -162,6 +168,15 @@ fn parse_args() -> Result<Args, String> {
             "--bench-sim" => args.bench_sim = true,
             "--bench-exec" => args.bench_exec = true,
             "--bench-temporal" => args.bench_temporal = true,
+            "--bench-tune" => args.bench_tune = true,
+            "--tune" => args.tune = true,
+            "--tune-space" => {
+                let v = it
+                    .next()
+                    .ok_or("--tune-space needs a value (full|smoke|minimal)")?;
+                args.tune_space =
+                    tune::SpaceChoice::parse(&v).map_err(|e| format!("--tune-space: {e}"))?;
+            }
             "--temporal" => args.temporal = true,
             "--temporal-degree" => {
                 let t: u32 = it
@@ -199,9 +214,11 @@ fn parse_args() -> Result<Args, String> {
 
 const HELP: &str = "usage: experiments [--all] [--table1..5] [--compare] [--fig3..7] [--listings]
                    [--temporal] [--temporal-degree T] [--n N] [--full]
+                   [--tune] [--tune-space full|smoke|minimal]
                    [--out DIR] [--jobs N] [--no-cache]
                    [--fidelity exact|fast] [--bench-sim] [--bench-exec]
-                   [--bench-temporal] [--exec-mode scalar|auto|avx2|neon]
+                   [--bench-temporal] [--bench-tune]
+                   [--exec-mode scalar|auto|avx2|neon]
                    [--bless] [--trace] [--prof]
 
 Regenerates the tables and figures of 'Performance Portability Evaluation
@@ -213,9 +230,10 @@ Sweep cells run in parallel: --jobs N (or BRICK_JOBS=N) sets the worker
 count, default all hardware threads; results are byte-identical at any
 jobs count. Completed cells are cached under DIR/simcache so unchanged
 reruns are incremental; --no-cache disables the cache for this run.
---bless reruns the pinned 64^3 golden sweep and rewrites the checked-in
-golden artifacts under crates/experiments/tests/golden (only after an
-intentional model change — see EXPERIMENTS.md).
+--bless reruns the pinned 64^3 golden sweep (plus the temporal sweep and
+the smoke-space tuner run) and rewrites the checked-in golden artifacts
+under crates/experiments/tests/golden (only after an intentional model
+change — see EXPERIMENTS.md).
 
 --fidelity selects the memory-simulation path: 'fast' (default) replays
 one compiled access stream per block equivalence class, 'exact' traces
@@ -242,6 +260,25 @@ default; --n/--full override) and writes DIR/BENCH_temporal.json. It
 exits non-zero unless AI strictly increases with T for the fusible star
 stencils on every platform and star-7's DRAM bytes per applied timestep
 at its deepest degree is at most 0.45x the spatial baseline (A100/CUDA).
+
+--tune searches the kernel-specialization space (vector width, fold
+factor, transverse block, ordering, gather/scatter, interleave chunk,
+temporal degree) for every paper stencil on all 6 platform pairs at 64^3
+(--n overrides). Invalid cells are rejected by per-target validity
+predicates before compilation; candidates whose Roofline upper bound
+cannot beat the paper baseline are pruned before simulation; survivors
+are ranked per group with the paper configuration always measured as the
+anchor. Prints the tuned-vs-paper table and writes DIR/tune.json,
+DIR/tune_compare.json and DIR/manifest_tune.json. --tune-space selects
+the candidate grid: 'full' (default, >10k valid cells across the
+matrix), 'smoke' (~200, CI) or 'minimal'. Results are cached under
+DIR/simcache keyed by the full specialization vector, so reruns and
+narrowed spaces are incremental.
+
+--bench-tune runs the tuner twice against a scratch cache (cold, then
+warm) at 64^3 over --tune-space and writes DIR/BENCH_tune.json. It exits
+non-zero unless the warm rerun costs under 10% of the cold wall time,
+every warm cell is a cache hit, and the two ranked tables are identical.
 
 --bench-exec measures the native CPU execution backend and writes
 DIR/BENCH_exec.json: the 7-point star at 512^3 (or N^3 with --n), bricks
@@ -424,6 +461,73 @@ fn main() -> ExitCode {
         }
     }
 
+    if args.bench_tune {
+        let bench_n = if args.n_explicit {
+            args.n
+        } else {
+            tune::TUNE_N
+        };
+        eprintln!(
+            "benchmarking autotuner: {} space, cold + warm at {bench_n}^3...",
+            args.tune_space
+        );
+        match tune::run_bench_tune(bench_n, args.jobs, &args.out, args.tune_space) {
+            Ok(b) => {
+                eprintln!(
+                    "{} cells ({} pruned, {} skipped): cold {:.1}s, warm {:.1}s ({:.1}% of cold, gate < {:.0}%)",
+                    b.cells,
+                    b.pruned,
+                    b.skipped,
+                    b.cold_wall_s,
+                    b.warm_wall_s,
+                    b.warm_frac * 100.0,
+                    tune::WARM_FRAC_MAX * 100.0
+                );
+                eprintln!("wrote {}", args.out.join("BENCH_tune.json").display());
+            }
+            Err(e) => {
+                eprintln!("bench-tune gate failed:\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.tune {
+        let tune_n = if args.n_explicit {
+            args.n
+        } else {
+            tune::TUNE_N
+        };
+        eprintln!(
+            "tuning: {} space x paper stencils x 6 platform pairs at {tune_n}^3...",
+            args.tune_space
+        );
+        let t0 = Instant::now();
+        let cache_dir = (!args.no_cache).then(|| args.out.join("simcache"));
+        let opts = tune::tune_options(tune_n, args.jobs, cache_dir, args.tune_space.space());
+        let report = match tune::run_tune(&opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("tune failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "tune done in {:.1}s: {} cells evaluated, {} pruned, {} skipped",
+            t0.elapsed().as_secs_f64(),
+            report.manifest.tune_valid_cells,
+            report.manifest.tune_pruned_cells,
+            report.manifest.tune_skipped_cells
+        );
+        println!("== Tuned vs paper configuration ==");
+        let rows = tune::tuned_vs_paper(&report);
+        println!("{}", tune::render_tuned_vs_paper(&rows));
+        let _ = write_json(&report, &args.out.join("tune.json"));
+        let _ = write_json(&rows, &args.out.join("tune_compare.json"));
+        let _ = write_json(&report.manifest, &args.out.join("manifest_tune.json"));
+        eprintln!("wrote {}", args.out.join("tune.json").display());
+    }
+
     if args.temporal {
         eprintln!(
             "running temporal sweep at {0}^3 (paper stencils x feasible T x 6 platform pairs)...",
@@ -510,6 +614,31 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("could not write temporal goldens: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "blessing tuner golden artifact from a fresh {0}^3 smoke tune...",
+            golden::GOLDEN_N
+        );
+        let report = match tune::run_tune(&tune::golden_tune_options(
+            args.jobs,
+            (!args.no_cache).then(|| args.out.join("simcache")),
+        )) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("tuner golden run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match golden::bless_tune(&report, &golden::golden_dir()) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("blessed {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("could not write tuner golden: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -533,6 +533,9 @@ pub fn sweep_with(opts: &SweepOptions) -> Result<Sweep, SweepError> {
                 &rl,
                 opts.fidelity,
                 1, // the base matrix is unfused; see crate::temporal
+                // the base sweep always runs the paper's fixed
+                // specialization for the target's lane width
+                &brick_codegen::SpecParams::paper_default(width),
             )
         });
         if let (Some(c), Some(key)) = (cache.as_ref(), key.as_ref()) {

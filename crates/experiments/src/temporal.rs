@@ -357,6 +357,12 @@ pub fn temporal_sweep_with(opts: &SweepOptions) -> Result<TemporalSweep, SweepEr
                 &rl,
                 opts.fidelity,
                 cell.t,
+                // the temporal sweep fixes every axis at the paper
+                // default except the fusion degree under test
+                &brick_codegen::SpecParams {
+                    temporal_degree: cell.t,
+                    ..brick_codegen::SpecParams::paper_default(width)
+                },
             )
         });
         if let (Some(c), Some(key)) = (cache.as_ref(), key.as_ref()) {

@@ -138,6 +138,178 @@ fn temporal_degrees_never_alias_in_the_cache() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+fn tune_opts(dir: &std::path::Path) -> brick_tuner::TuneOptions {
+    let mut opts = brick_tuner::TuneOptions::new(64)
+        .shapes(vec![brick_dsl::shape::StencilShape::star(1)])
+        .targets(vec![brick_tuner::TuneTarget {
+            arch: gpu_sim::GpuArch::a100(),
+            model: ProgModel::Cuda,
+        }])
+        .space(brick_tuner::TuningSpace::minimal())
+        .jobs(2);
+    opts.cache_dir = Some(dir.to_path_buf());
+    opts
+}
+
+fn tune_groups_json(opts: &brick_tuner::TuneOptions) -> String {
+    let report = brick_tuner::tune_matrix(opts).expect("tune runs");
+    serde_json::to_string(&report.groups).expect("groups serialize")
+}
+
+fn tune_cell_entries(dir: &PathBuf) -> Vec<String> {
+    entries_with_prefix(dir, "tune-")
+        .into_iter()
+        .filter(|n| !n.starts_with("tune-roofline-"))
+        .collect()
+}
+
+#[test]
+fn tuner_entries_never_touch_sweep_entries() {
+    // the tuner shares the sweep's cache directory but owns its `tune`
+    // domain: warming one side must be invisible to the other
+    let dir = scratch_dir("tune_domain");
+    let base = experiments::sweep_with(&opts(64, &dir)).unwrap();
+    let base_entries = cell_entries(&dir);
+    assert!(!base_entries.is_empty());
+
+    let cold = tune_groups_json(&tune_opts(&dir));
+    assert!(
+        !tune_cell_entries(&dir).is_empty(),
+        "tune wrote its own entries"
+    );
+    assert_eq!(
+        cell_entries(&dir),
+        base_entries,
+        "tuning left every sweep entry untouched"
+    );
+
+    // warm tune rerun: served from cache, byte-identical ranked tables
+    let hits_before = counter("sweep.cache.hits");
+    let warm = tune_groups_json(&tune_opts(&dir));
+    assert!(counter("sweep.cache.hits") > hits_before);
+    assert_eq!(cold, warm, "warm tune reproduces the cold ranked tables");
+
+    // and the base sweep still reproduces bit-for-bit over the shared dir
+    let base_again = experiments::sweep_with(&opts(64, &dir)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&base.records).unwrap(),
+        serde_json::to_string(&base_again.records).unwrap()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_stale_tuner_entries_read_as_misses() {
+    let dir = scratch_dir("tune_corrupt");
+    let cold = tune_groups_json(&tune_opts(&dir));
+    let entries = tune_cell_entries(&dir);
+    assert!(!entries.is_empty());
+
+    // torn writes: unparsable JSON
+    for name in &entries {
+        fs::write(dir.join(name), "{torn write").unwrap();
+    }
+    let corrupt_before = counter("sweep.cache.corrupt");
+    assert_eq!(
+        cold,
+        tune_groups_json(&tune_opts(&dir)),
+        "corrupt tuner entries never change results"
+    );
+    assert!(counter("sweep.cache.corrupt") > corrupt_before);
+
+    // stale entries: well-formed JSON from a different (older) key scheme
+    // — the embedded key description mismatches, so they read as misses
+    for name in &entries {
+        fs::write(dir.join(name), r#"{"desc":"tune;v0;ancient=1","value":{}}"#).unwrap();
+    }
+    let corrupt_before = counter("sweep.cache.corrupt");
+    assert_eq!(
+        cold,
+        tune_groups_json(&tune_opts(&dir)),
+        "stale tuner entries never change results"
+    );
+    assert!(
+        counter("sweep.cache.corrupt") > corrupt_before,
+        "description mismatch was detected, not served"
+    );
+
+    // both reruns repaired the files: one more run hits cleanly
+    let hits_before = counter("sweep.cache.hits");
+    let _ = tune_groups_json(&tune_opts(&dir));
+    assert!(counter("sweep.cache.hits") > hits_before);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn specialized_cells_never_alias_pre_specialization_records() {
+    // v4 made the specialization vector an explicit key field; the schema
+    // bump must keep every v3-era file name out of reach of v4 lookups,
+    // so a pre-specialization record can never satisfy a specialized cell
+    use brick_codegen::SpecParams;
+    use brick_dsl::shape::StencilShape;
+    use brick_dsl::StencilAnalysis;
+    use experiments::cache::{cell_key, spec_fingerprint, SIM_SCHEMA_VERSION};
+    use experiments::KernelConfig;
+
+    let arch = gpu_sim::GpuArch::a100();
+    let spec =
+        experiments::runner::build_spec(&StencilShape::star(1), KernelConfig::BricksCodegen, 32);
+    let a = StencilAnalysis::of_shape(&StencilShape::star(1));
+    let rl = roofline::Roofline {
+        peak_gflops: 8000.0,
+        bandwidth_gbs: 1500.0,
+    };
+    let v4 = cell_key(
+        &spec,
+        &arch,
+        ProgModel::Cuda,
+        64,
+        a.flops_per_point,
+        a.theoretical_ai,
+        &rl,
+        gpu_sim::SimFidelity::default(),
+        1,
+        &SpecParams::paper_default(32),
+    );
+    assert_eq!(SIM_SCHEMA_VERSION, 4, "key recipe below mirrors v3");
+    assert!(v4.desc.contains(";spec="), "v4 keys carry the spec vector");
+
+    // the exact v3 recipe: same fields, no spec fingerprint, version 3
+    let v3 = brick_sweep::KeyBuilder::new("cell", 3)
+        .fingerprint("kernel", spec_fingerprint(&spec))
+        .fingerprint("arch", experiments::cache::arch_fingerprint(&arch))
+        .field("model", ProgModel::Cuda)
+        .field("n", 64usize)
+        .field("flops", a.flops_per_point)
+        .field("fidelity", gpu_sim::SimFidelity::default())
+        .field("temporal", 1u32)
+        .f64_bits("theory_ai", a.theoretical_ai)
+        .f64_bits("rl_peak", rl.peak_gflops)
+        .f64_bits("rl_bw", rl.bandwidth_gbs)
+        .build();
+    assert_ne!(v3.hash, v4.hash);
+    assert_ne!(v3.file_name(), v4.file_name());
+
+    // end to end: a poisoned v3-era file in the cache directory is never
+    // read by a v4 sweep — the cell misses, recomputes, and matches an
+    // uncached run bit-for-bit
+    let dir = scratch_dir("v3_alias");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join(v3.file_name()), r#"{"desc":"poison","value":{}}"#).unwrap();
+    let misses_before = counter("sweep.cache.misses");
+    let cached = experiments::sweep_with(&opts(64, &dir)).unwrap();
+    assert!(counter("sweep.cache.misses") > misses_before);
+    let clean =
+        experiments::sweep_with(&SweepOptions::new(ExperimentParams { n: 64 }).filter(one_cell()))
+            .unwrap();
+    assert_eq!(
+        serde_json::to_string(&cached.records).unwrap(),
+        serde_json::to_string(&clean.records).unwrap(),
+        "the stale v3 record is unreachable and results are unchanged"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn corrupted_entries_recompute_and_repair() {
     let dir = scratch_dir("corrupt");

@@ -155,6 +155,70 @@ fn temporal_cache_warm_rerun_is_byte_identical_to_cold() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Tune report groups serialized exactly as artifact writers see them.
+fn tune_groups_json(opts: &brick_tuner::TuneOptions) -> String {
+    let report = brick_tuner::tune_matrix(opts).expect("tune runs");
+    serde_json::to_string(&report.groups).expect("groups serialize")
+}
+
+fn small_tune(jobs: usize) -> brick_tuner::TuneOptions {
+    // the golden configuration's shape: one group over the smoke space —
+    // big enough to exercise pruning, ranking and the kernel-program
+    // memo, small enough to run three times in a test
+    brick_tuner::TuneOptions::new(64)
+        .shapes(vec![brick_dsl::shape::StencilShape::star(1)])
+        .targets(vec![brick_tuner::TuneTarget {
+            arch: gpu_sim::GpuArch::a100(),
+            model: gpu_sim::ProgModel::Cuda,
+        }])
+        .space(brick_tuner::TuningSpace::smoke())
+        .jobs(jobs)
+}
+
+#[test]
+fn tune_ranked_tables_are_jobs_independent() {
+    // the tuner's determinism contract: the serialized ranked tables —
+    // winner, order, every float — are byte-identical at any worker
+    // count; ties broken by specialization fingerprint, never by arrival
+    let serial = tune_groups_json(&small_tune(1));
+    let two = tune_groups_json(&small_tune(2));
+    let eight = tune_groups_json(&small_tune(8));
+    assert_eq!(serial, two, "tune jobs=2 diverged from serial");
+    assert_eq!(serial, eight, "tune jobs=8 diverged from serial");
+}
+
+#[test]
+fn tune_cache_warm_rerun_is_byte_identical_to_cold() {
+    let dir = scratch_dir("tune_warm");
+    let with_cache = |jobs: usize| {
+        let mut opts = small_tune(jobs);
+        opts.cache_dir = Some(dir.clone());
+        opts
+    };
+
+    let cold = tune_groups_json(&with_cache(4));
+    assert!(
+        fs::read_dir(&dir).unwrap().count() > 0,
+        "cold tune populated the cache"
+    );
+
+    let hits_before = counter("sweep.cache.hits");
+    let warm = tune_groups_json(&with_cache(4));
+    assert_eq!(cold, warm, "warm tune rerun must reproduce the cold run");
+    assert!(
+        counter("sweep.cache.hits") > hits_before,
+        "warm tune rerun served from the cache"
+    );
+
+    // cache-warm results under a different schedule, and with no cache at
+    // all, still agree — neither caching nor parallelism is observable
+    let warm_serial = tune_groups_json(&with_cache(1));
+    assert_eq!(cold, warm_serial, "warm serial tune diverged");
+    let uncached = tune_groups_json(&small_tune(4));
+    assert_eq!(cold, uncached, "caching is invisible in tune output");
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cache_warm_rerun_is_byte_identical_to_cold() {
     let dir = scratch_dir("warm");

@@ -90,6 +90,42 @@ fn fresh_temporal_sweep_matches_checked_in_goldens() {
 }
 
 #[test]
+fn fresh_tune_matches_checked_in_golden() {
+    // the blessed tuner table: a fresh smoke-space tune of the 7-point
+    // star on A100/CUDA must reproduce tune_star7_a100.json — winners,
+    // order, fingerprints (exact) and performance columns (1e-9)
+    let report = brick_tuner::tune_matrix(&experiments::tune::golden_tune_options(None, None))
+        .expect("golden tune runs");
+    let diffs = golden::check_tune(&report, &golden::golden_dir());
+    if diffs.is_empty() {
+        return;
+    }
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/golden-diff");
+    let _ = fs::create_dir_all(&out);
+    for (name, actual) in golden::tune_artifacts(&report) {
+        let _ = fs::write(out.join(format!("actual-{name}")), actual);
+    }
+    let _ = fs::write(out.join("tune-diff.txt"), diffs.join("\n"));
+    panic!(
+        "tuner golden artifact diverged (fresh copy in {}):\n{}",
+        out.display(),
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn tune_golden_is_jobs_count_independent() {
+    let report = brick_tuner::tune_matrix(&experiments::tune::golden_tune_options(Some(1), None))
+        .expect("serial golden tune runs");
+    let diffs = golden::check_tune(&report, &golden::golden_dir());
+    assert!(
+        diffs.is_empty(),
+        "serial tune diverged from golden:\n{}",
+        diffs.join("\n")
+    );
+}
+
+#[test]
 fn temporal_goldens_are_jobs_count_independent() {
     let sweep = experiments::temporal_sweep_with(
         &SweepOptions::new(ExperimentParams {

@@ -59,6 +59,10 @@ pub fn compile(spec: &KernelSpec, arch: &GpuArch, cm: &CompilerModel) -> Compile
     match spec {
         KernelSpec::Vector(k) => {
             let w = k.width as u32;
+            // Vector folding: a row wider than the hardware vector maps to
+            // `fold` SIMD groups per block, each executing every IR vector
+            // op on its slice of the row.
+            let fold = (w / arch.simd_width as u32).max(1);
             // A vector register is one f64 per lane = 2 architectural
             // 32-bit registers per thread.
             let demand =
@@ -78,14 +82,16 @@ pub fn compile(spec: &KernelSpec, arch: &GpuArch, cm: &CompilerModel) -> Compile
             let mem_instrs = (s.loads + s.stores) as f64 * (1.0 + cm.addr_instrs_per_access * 0.5);
             let alu_instrs = (s.fmas + s.adds + s.muls) as f64;
             let spill_instrs = (spilled_f64 * (1 + SPILL_USES)) as f64;
-            let instrs =
-                shift_instrs + mem_instrs + alu_instrs + spill_instrs + THREAD_OVERHEAD_INSTRS;
+            // Each warp issues the full op stream over its row slice, so
+            // dynamic warp-instructions scale with the fold factor.
+            let instrs = (shift_instrs + mem_instrs + alu_instrs + spill_instrs) * fold as f64
+                + THREAD_OVERHEAD_INSTRS;
 
             CompiledKernel {
                 name: k.name.clone(),
                 regs_per_thread: regs,
                 threads_per_block: w,
-                warps_per_block: 1,
+                warps_per_block: fold,
                 instrs_per_block: instrs,
                 exec_flops_per_block: s.flops() * w as u64,
                 spill_read_bytes_per_block: spill_read,

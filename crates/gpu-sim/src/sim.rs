@@ -98,12 +98,14 @@ pub fn simulate_opts(
     opts: &SimOptions,
 ) -> Option<SimResult> {
     let cm = CompilerModel::resolve(arch.kind, model)?;
-    assert_eq!(
+    // A folded row (vector folding, paper §3) maps to several hardware
+    // vectors per block; the row extent must tile the SIMD width exactly.
+    assert!(
+        spec.block().bx.is_multiple_of(arch.simd_width) && spec.block().bx > 0,
+        "kernel built for SIMD width {} run on {} (width {})",
         spec.block().bx,
-        arch.simd_width,
-        "kernel built for SIMD width {} run on {}",
-        spec.block().bx,
-        arch.name
+        arch.name,
+        arch.simd_width
     );
     let _span = brick_obs::span_cat(
         format!("simulate:{}:{}/{model}", spec.name(), arch.kind),
@@ -377,14 +379,35 @@ mod tests {
     #[should_panic(expected = "SIMD width")]
     fn width_mismatch_panics() {
         let shape = StencilShape::star(1);
-        // kernel for width 32 on PVC (width 16)
+        // kernel for width 16 on A100 (width 32): not a whole number of
+        // hardware vectors per row, so no fold factor makes it legal
         let st = shape.stencil();
         let b = st.default_bindings();
         let spec = KernelSpec::Vector(
-            generate(&st, &b, LayoutKind::Brick, 32, CodegenOptions::default()).unwrap(),
+            generate(&st, &b, LayoutKind::Brick, 16, CodegenOptions::default()).unwrap(),
         );
-        let geom = geom_for(LayoutKind::Brick, 32, 32, 1);
-        let arch = GpuArch::pvc_stack();
-        let _ = simulate(&spec, &geom, &arch, ProgModel::Sycl, 8);
+        let geom = geom_for(LayoutKind::Brick, 32, 16, 1);
+        let arch = GpuArch::a100();
+        let _ = simulate(&spec, &geom, &arch, ProgModel::Cuda, 8);
+    }
+
+    #[test]
+    fn folded_row_simulates_as_two_warps() {
+        // a fold-2 kernel (64-wide row on A100) is a legal launch: two
+        // hardware vectors per block, occupancy accounted at 64 threads
+        let st = StencilShape::star(1).stencil();
+        let b = st.default_bindings();
+        let spec = KernelSpec::Vector(
+            generate(&st, &b, LayoutKind::Brick, 64, CodegenOptions::default()).unwrap(),
+        );
+        let geom = geom_for(LayoutKind::Brick, 64, 64, 1);
+        let arch = GpuArch::a100();
+        let r = simulate(&spec, &geom, &arch, ProgModel::Cuda, 8).unwrap();
+        assert!(r.gflops > 0.0);
+        assert_eq!(
+            r.occupancy.resident_warps,
+            2 * r.occupancy.blocks_per_sm,
+            "fold-2 block holds two hardware vectors"
+        );
     }
 }

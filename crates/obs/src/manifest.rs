@@ -46,6 +46,17 @@ pub struct RunManifest {
     /// Temporal fusion degrees the run swept (empty for the unfused base
     /// matrix, where every kernel is implicitly `T = 1`).
     pub temporal_degrees: Vec<u32>,
+    /// Fingerprint of the tuning space a tuner run searched (0 for
+    /// non-tuner workloads).
+    pub tune_space_fingerprint: u64,
+    /// Raw candidate cells the tuner enumerated across groups.
+    pub tune_raw_cells: u64,
+    /// Cells the tuner actually measured (validity survivors, unpruned).
+    pub tune_valid_cells: u64,
+    /// Cells dropped by the tuner's Roofline upper bound.
+    pub tune_pruned_cells: u64,
+    /// Cells rejected by the tuner's validity predicates.
+    pub tune_skipped_cells: u64,
 }
 
 impl RunManifest {
@@ -98,6 +109,25 @@ impl RunManifest {
     /// sweep order.
     pub fn with_temporal_degrees(mut self, degrees: &[u32]) -> RunManifest {
         self.temporal_degrees = degrees.to_vec();
+        self
+    }
+
+    /// Record a tuner run's cell accounting: the searched space's
+    /// fingerprint and how the raw candidate count decomposed into
+    /// measured, pruned and validity-skipped cells.
+    pub fn with_tune_info(
+        mut self,
+        space_fingerprint: u64,
+        raw: u64,
+        valid: u64,
+        pruned: u64,
+        skipped: u64,
+    ) -> RunManifest {
+        self.tune_space_fingerprint = space_fingerprint;
+        self.tune_raw_cells = raw;
+        self.tune_valid_cells = valid;
+        self.tune_pruned_cells = pruned;
+        self.tune_skipped_cells = skipped;
         self
     }
 
@@ -186,6 +216,11 @@ mod tests {
             cache_corrupt: 1,
             exec_mode: Some("avx2".into()),
             temporal_degrees: vec![1, 2, 4],
+            tune_space_fingerprint: 7,
+            tune_raw_cells: 1000,
+            tune_valid_cells: 600,
+            tune_pruned_cells: 150,
+            tune_skipped_cells: 250,
         };
         let json = serde_json::to_string(&m).unwrap();
         let back: RunManifest = serde_json::from_str(&json).unwrap();

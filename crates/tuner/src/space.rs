@@ -1,0 +1,191 @@
+//! The tuner's search space: the cross product of every specialization
+//! axis, enumerated in one canonical order.
+//!
+//! A [`TuningSpace`] is a set of per-axis candidate lists; [`enumerate`]
+//! expands them into concrete [`SpecParams`] in a fixed nesting order
+//! (vector width → fold → block → ordering → strategy → chunk → degree),
+//! so the raw candidate sequence — and therefore skipped-candidate
+//! reports, cache keys and ranked tables — is identical on every run and
+//! at every jobs count. Feasibility is *not* this module's business:
+//! every combination is emitted, and [`crate::validity`] decides which
+//! survive, so invalid cells are visible (counted, attributable) rather
+//! than silently absent.
+
+use serde::{Deserialize, Serialize};
+
+use brick_codegen::{SpecParams, Strategy};
+use brick_core::BrickOrdering;
+
+/// Per-axis candidate lists; the searched space is their cross product.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuningSpace {
+    /// Candidate hardware vector widths in lanes. Widths that do not
+    /// match the target's SIMD width are enumerated and then rejected by
+    /// the validity predicate — a real searched axis, not a constant.
+    pub vector_widths: Vec<usize>,
+    /// Candidate fold factors (hardware vectors per brick row).
+    pub fold_factors: Vec<u32>,
+    /// Candidate `(by, bz)` brick extents.
+    pub block_yz: Vec<(usize, usize)>,
+    /// Candidate memory orderings.
+    pub orderings: Vec<BrickOrdering>,
+    /// Candidate strategies (never [`Strategy::Auto`]: the tuner *is* the
+    /// policy that `Auto` approximates).
+    pub strategies: Vec<Strategy>,
+    /// Candidate L2 interleave chunks for the memory simulation.
+    pub interleave_chunks: Vec<usize>,
+    /// Candidate temporal fusion degrees.
+    pub temporal_degrees: Vec<u32>,
+}
+
+impl Default for TuningSpace {
+    fn default() -> Self {
+        TuningSpace {
+            vector_widths: vec![16, 32, 64],
+            fold_factors: vec![1, 2],
+            block_yz: vec![
+                (2, 2),
+                (4, 2),
+                (2, 4),
+                (4, 4),
+                (8, 4),
+                (4, 8),
+                (8, 8),
+                (16, 16),
+            ],
+            orderings: vec![BrickOrdering::Lexicographic, BrickOrdering::Morton],
+            strategies: vec![Strategy::Gather, Strategy::Scatter],
+            interleave_chunks: vec![256, 512, 1024, 2048, 4096],
+            temporal_degrees: vec![1, 2, 4],
+        }
+    }
+}
+
+impl TuningSpace {
+    /// A minimal space: the paper's fixed configuration plus the scatter
+    /// alternative — two candidates per target.
+    pub fn minimal() -> Self {
+        TuningSpace {
+            vector_widths: vec![16, 32, 64],
+            fold_factors: vec![1],
+            block_yz: vec![(4, 4)],
+            orderings: vec![BrickOrdering::Lexicographic],
+            strategies: vec![Strategy::Gather, Strategy::Scatter],
+            interleave_chunks: vec![1024],
+            temporal_degrees: vec![1],
+        }
+    }
+
+    /// A reduced space for smoke runs (~200 valid cells over the full
+    /// stencil × platform matrix): one block axis, both strategies, two
+    /// chunks, no folding.
+    pub fn smoke() -> Self {
+        TuningSpace {
+            vector_widths: vec![16, 32, 64],
+            fold_factors: vec![1],
+            block_yz: vec![(4, 4), (8, 8)],
+            orderings: vec![BrickOrdering::Lexicographic],
+            strategies: vec![Strategy::Gather, Strategy::Scatter],
+            interleave_chunks: vec![1024],
+            temporal_degrees: vec![1, 2],
+        }
+    }
+
+    /// Number of raw candidates per target before validity filtering.
+    pub fn len(&self) -> usize {
+        self.vector_widths.len()
+            * self.fold_factors.len()
+            * self.block_yz.len()
+            * self.orderings.len()
+            * self.strategies.len()
+            * self.interleave_chunks.len()
+            * self.temporal_degrees.len()
+    }
+
+    /// True if any axis is empty (the cross product is empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand the cross product in canonical order.
+    pub fn enumerate(&self) -> Vec<SpecParams> {
+        let mut out = Vec::with_capacity(self.len());
+        for &vector_width in &self.vector_widths {
+            for &fold_factor in &self.fold_factors {
+                for &block_yz in &self.block_yz {
+                    for &ordering in &self.orderings {
+                        for &strategy in &self.strategies {
+                            for &interleave_chunk in &self.interleave_chunks {
+                                for &temporal_degree in &self.temporal_degrees {
+                                    out.push(SpecParams {
+                                        vector_width,
+                                        fold_factor,
+                                        block_yz,
+                                        ordering,
+                                        strategy,
+                                        interleave_chunk,
+                                        temporal_degree,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stable fingerprint of the whole space (axis contents and order) —
+    /// recorded in run provenance so two ranked tables are only
+    /// comparable when they searched the same space.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("space serializes");
+        brick_obs::manifest::fnv1a64(json.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_covers_the_cross_product_in_order() {
+        let space = TuningSpace::minimal();
+        let all = space.enumerate();
+        assert_eq!(all.len(), space.len());
+        assert_eq!(all.len(), 3 * 2);
+        // canonical order: widths outermost, strategies inner
+        assert_eq!(all[0].vector_width, 16);
+        assert_eq!(all[0].strategy, Strategy::Gather);
+        assert_eq!(all[1].strategy, Strategy::Scatter);
+        assert_eq!(all[2].vector_width, 32);
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let space = TuningSpace::default();
+        assert_eq!(space.enumerate(), space.enumerate());
+        assert_eq!(space.fingerprint(), space.fingerprint());
+        assert_ne!(
+            space.fingerprint(),
+            TuningSpace::minimal().fingerprint(),
+            "different spaces fingerprint differently"
+        );
+    }
+
+    #[test]
+    fn default_space_is_thousands_of_candidates_per_target() {
+        // the tentpole scale check: 6 stencils × 6 (gpu, model) pairs of
+        // this per-target space clear the 10k-valid-cell bar
+        assert!(TuningSpace::default().len() >= 1500);
+    }
+
+    #[test]
+    fn empty_axis_empties_the_space() {
+        let mut s = TuningSpace::minimal();
+        s.temporal_degrees.clear();
+        assert!(s.is_empty());
+        assert!(s.enumerate().is_empty());
+    }
+}

@@ -39,20 +39,24 @@ fn main() {
         (GpuArch::pvc_stack(), ProgModel::Sycl),
     ] {
         let result = autotune(&shape, &arch, model, n, &space).expect("tunable");
-        let (best, gflops) = result.best();
-        println!("{} / {model}:", arch.name);
-        println!("  best     : {best}  ->  {gflops:.0} GFLOP/s");
-        for (point, sim) in result.ranked.iter().take(4).skip(1) {
-            println!("  runner-up: {point}  ->  {:.0} GFLOP/s", sim.gflops);
+        let best = result.best();
+        println!("{} / {model}:", arch.kind);
+        println!(
+            "  best     : {}  ->  {:.0} GFLOP/s",
+            best.params, best.gflops
+        );
+        for r in result.ranked.iter().take(4).skip(1) {
+            println!("  runner-up: {}  ->  {:.0} GFLOP/s", r.params, r.gflops);
         }
-        if let Some(gain) = result.gain_over_default() {
-            println!("  gain over the paper's fixed 4x4xW gather default: {gain:.2}x");
-        }
+        println!(
+            "  gain over the paper's fixed 4x4xW gather default: {:.2}x",
+            result.gain_over_paper()
+        );
         println!(
             "  spread best/worst: {:.2}x over {} feasible points ({} skipped)\n",
             result.spread(),
-            result.ranked.len(),
-            result.skipped.len()
+            result.evaluated,
+            result.skipped
         );
     }
 }

@@ -253,20 +253,41 @@ fn simulate_cmd(
 
 fn tune_cmd(shape: StencilShape, arch: GpuArch, model: ProgModel) -> Result<(), String> {
     let n = 128;
-    let result =
+    let group =
         autotune(&shape, &arch, model, n, &TuningSpace::default()).map_err(|e| e.to_string())?;
     println!(
-        "autotuning {shape} on {} / {model} ({n}^3, {} feasible / {} skipped)",
-        arch.name,
-        result.ranked.len(),
-        result.skipped.len()
+        "autotuning {shape} on {} / {model} ({n}^3, {} evaluated / {} skipped)",
+        arch.name, group.evaluated, group.skipped
     );
-    for (i, (point, sim)) in result.ranked.iter().take(6).enumerate() {
-        println!("  #{:<2} {point:32} {:8.0} GFLOP/s", i + 1, sim.gflops);
+    if !group.skip_reasons.is_empty() {
+        let reasons: Vec<String> = group
+            .skip_reasons
+            .iter()
+            .map(|(kind, count)| format!("{kind} x{count}"))
+            .collect();
+        println!("  skipped     : {}", reasons.join(", "));
     }
-    if let Some(gain) = result.gain_over_default() {
-        println!("  gain over fixed 4x4xW gather default: {gain:.2}x");
+    for (i, rec) in group.ranked.iter().take(6).enumerate() {
+        println!(
+            "  #{:<2} {:32} {:8.0} GFLOP/s  occ {:3.0}%, {} regs{}, {}",
+            i + 1,
+            rec.params.to_string(),
+            rec.gflops,
+            rec.occupancy * 100.0,
+            rec.regs_per_thread,
+            if rec.spilled { " (spilled)" } else { "" },
+            rec.limiter
+        );
     }
+    println!(
+        "  paper config: {:8.0} GFLOP/s ({})",
+        group.baseline.gflops, group.baseline.params
+    );
+    println!(
+        "  gain over paper 4x4xW gather default: {:.2}x (spread {:.2}x across the space)",
+        group.gain_over_paper(),
+        group.spread()
+    );
     Ok(())
 }
 
