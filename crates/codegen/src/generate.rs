@@ -215,26 +215,24 @@ pub fn fused_vreg_count(
     block_yz: (usize, usize),
     temporal_degree: u32,
 ) -> usize {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
     use std::sync::{Mutex, OnceLock};
-    /// Memo key: tap-list hash, block extents, fusion degree.
-    type MemoKey = (u64, usize, usize, u32);
+    /// Memo key: the tap list itself (not a lossy hash of it — a
+    /// collision between two stencils would silently return the wrong
+    /// count), block extents, fusion degree.
+    type MemoKey = (Vec<[i32; 3]>, usize, usize, u32);
     // the count is a pure function of (taps, block, T) and the need-set
     // dilation is not cheap for deep fusions of wide stencils; the
     // autotuner's validity predicate calls this per candidate, so memoize
     // globally (a handful of entries per shape)
     static MEMO: OnceLock<Mutex<HashMap<MemoKey, usize>>> = OnceLock::new();
     let taps: Vec<[i32; 3]> = stencil.taps().iter().map(|t| t.offset).collect();
-    let mut h = DefaultHasher::new();
-    taps.hash(&mut h);
-    let key = (h.finish(), block_yz.0, block_yz.1, temporal_degree);
+    let key = (taps, block_yz.0, block_yz.1, temporal_degree);
     let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(&n) = memo.lock().expect("vreg memo poisoned").get(&key) {
         return n;
     }
     let block = BrickDims::new(1, block_yz.0, block_yz.1);
-    let n = crate::temporal::fused_vreg_count(&taps, block, temporal_degree);
+    let n = crate::temporal::fused_vreg_count(&key.0, block, temporal_degree);
     memo.lock().expect("vreg memo poisoned").insert(key, n);
     n
 }

@@ -219,6 +219,94 @@ fn tune_cache_warm_rerun_is_byte_identical_to_cold() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// One group over a space whose only free axes are memory ordering and
+/// strategy. Pruning off and `top_k` large, so every measured candidate
+/// appears in the ranked table.
+fn ordering_tune(
+    orderings: Vec<brick_core::BrickOrdering>,
+    jobs: usize,
+) -> brick_tuner::TuneOptions {
+    let space = brick_tuner::TuningSpace {
+        vector_widths: vec![16, 32, 64],
+        fold_factors: vec![1],
+        block_yz: vec![(4, 4)],
+        orderings,
+        strategies: vec![
+            brick_codegen::Strategy::Gather,
+            brick_codegen::Strategy::Scatter,
+        ],
+        interleave_chunks: vec![1024],
+        temporal_degrees: vec![1],
+    };
+    brick_tuner::TuneOptions::new(64)
+        .shapes(vec![brick_dsl::shape::StencilShape::star(1)])
+        .targets(vec![brick_tuner::TuneTarget {
+            arch: gpu_sim::GpuArch::a100(),
+            model: gpu_sim::ProgModel::Cuda,
+        }])
+        .space(space)
+        .prune(false)
+        .top_k(64)
+        .jobs(jobs)
+}
+
+#[test]
+fn tune_orderings_never_share_memory_counters() {
+    use brick_core::BrickOrdering;
+    // Candidates differing only in ordering share one generated program
+    // (one kernel fingerprint) but trace different geometries, so the
+    // tuner's in-run memory-counter memo must keep them apart: each
+    // record in a combined Lexicographic+Morton run must be identical to
+    // the record the same candidate gets in a run of its ordering alone,
+    // and the combined run must be schedule-independent.
+    let both = |jobs| {
+        brick_tuner::tune_matrix(&ordering_tune(
+            vec![BrickOrdering::Lexicographic, BrickOrdering::Morton],
+            jobs,
+        ))
+        .expect("tune runs")
+    };
+    let serial = both(1);
+    for jobs in [2, 8] {
+        assert_eq!(
+            serde_json::to_string(&serial.groups).unwrap(),
+            serde_json::to_string(&both(jobs).groups).unwrap(),
+            "mixed-ordering tune at jobs={jobs} diverged from serial"
+        );
+    }
+
+    let solo: Vec<brick_tuner::TuneGroup> = [BrickOrdering::Lexicographic, BrickOrdering::Morton]
+        .into_iter()
+        .map(|o| {
+            brick_tuner::tune_matrix(&ordering_tune(vec![o], 1))
+                .expect("tune runs")
+                .groups
+                .remove(0)
+        })
+        .collect();
+    let group = &serial.groups[0];
+    let mut per_ordering = [0usize; 2];
+    for rec in &group.ranked {
+        let oi = (rec.params.ordering == brick_core::BrickOrdering::Morton) as usize;
+        per_ordering[oi] += 1;
+        let reference = solo[oi]
+            .ranked
+            .iter()
+            .find(|r| r.fingerprint == rec.fingerprint)
+            .expect("candidate present in its single-ordering run");
+        assert_eq!(
+            serde_json::to_string(rec).unwrap(),
+            serde_json::to_string(reference).unwrap(),
+            "record for {} diverged from its single-ordering run",
+            rec.params
+        );
+    }
+    assert!(
+        per_ordering.iter().all(|&n| n > 0),
+        "both orderings measured: {per_ordering:?}"
+    );
+}
+
 #[test]
 fn cache_warm_rerun_is_byte_identical_to_cold() {
     let dir = scratch_dir("warm");

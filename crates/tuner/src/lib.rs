@@ -662,8 +662,12 @@ pub fn tune_matrix(opts: &TuneOptions) -> Result<TuneReport, TuneError> {
     };
 
     // Shared evaluation machinery: geometry and memory-counter memos.
+    // The memory counters depend on the traced geometry (which carries
+    // the brick ordering), not just the generated program — so MemKey
+    // embeds the full GeomKey: two candidates differing only in
+    // ordering must never share a counter slot.
     type GeomKey = (usize, usize, usize, brick_core::BrickOrdering, usize);
-    type MemKey = (u64, GpuKind, u32, usize);
+    type MemKey = (u64, GpuKind, u32, usize, GeomKey);
     let geom_memo: Mutex<HashMap<GeomKey, Arc<OnceLock<TraceGeometry>>>> =
         Mutex::new(HashMap::new());
     let mem_memo: Mutex<HashMap<MemKey, Arc<OnceLock<MemCounters>>>> = Mutex::new(HashMap::new());
@@ -757,13 +761,17 @@ pub fn tune_matrix(opts: &TuneOptions) -> Result<TuneReport, TuneError> {
                 KernelSpec::Scalar(_) => unreachable!("tuner specs are vector kernels"),
             };
             let reach = t as usize * plan.shape.radius as usize;
-            let geom_slot = memo_slot(
-                &geom_memo,
-                (p.width(), p.block_yz.0, p.block_yz.1, p.ordering, reach),
-            );
+            let gkey: GeomKey = (p.width(), p.block_yz.0, p.block_yz.1, p.ordering, reach);
+            let geom_slot = memo_slot(&geom_memo, gkey);
             let mem_slot = memo_slot(
                 &mem_memo,
-                (kernel_fp, arch.kind, occ.blocks_per_sm, p.interleave_chunk),
+                (
+                    kernel_fp,
+                    arch.kind,
+                    occ.blocks_per_sm,
+                    p.interleave_chunk,
+                    gkey,
+                ),
             );
             let (geom, mem) = {
                 let _phase = brick_obs::span_cat("simulate", "phase");
